@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Buffer_pool Cost_model Exec_ctx Executor List Optimizer Option Paper_opt Physical Printf Relation Search_stats String Unix

@@ -1,0 +1,1 @@
+bench/e10_unnest.ml: Bench_util Binder Emp_dept List Optimizer Printf

@@ -1,0 +1,1 @@
+bench/e11_ablations.ml: Bench_util Block Buffer_pool Cost_model Datatype Emp_dept Exec_ctx Executor Expr List Optimizer Paper_opt Printf Relation Schema String Tpcd

@@ -1,0 +1,1 @@
+bench/e12_bushy.ml: Bench_util Chain List Optimizer Paper_opt Printf Search_stats Star Tpcd

@@ -1,0 +1,1 @@
+bench/e1_example1.ml: Aggregate Bench_util Block Datatype Emp_dept Expr List Optimizer Printf Schema

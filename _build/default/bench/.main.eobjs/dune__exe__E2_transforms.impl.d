@@ -1,0 +1,1 @@
+bench/e2_transforms.ml: Aggregate Bench_util Coalesce Datatype Emp_dept Expr List Logical Option Pullup Pushdown Relation Schema

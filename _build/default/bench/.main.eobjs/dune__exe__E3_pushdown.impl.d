@@ -1,0 +1,1 @@
+bench/e3_pushdown.ml: Bench_util Emp_dept List Optimizer Printf

@@ -1,0 +1,1 @@
+bench/e4_fig4.ml: Bench_util List Optimizer Tpcd

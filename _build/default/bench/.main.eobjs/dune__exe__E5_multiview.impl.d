@@ -1,0 +1,1 @@
+bench/e5_multiview.ml: Bench_util Cost_model Dp List Optimizer Paper_opt Printf String Tpcd

@@ -1,0 +1,1 @@
+bench/e6_noregress.ml: Bench_util List Optimizer Printf Query_gen Rng Tpcd

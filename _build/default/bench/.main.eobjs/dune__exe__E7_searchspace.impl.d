@@ -1,0 +1,1 @@
+bench/e7_searchspace.ml: Bench_util Chain List Optimizer Printf Search_stats

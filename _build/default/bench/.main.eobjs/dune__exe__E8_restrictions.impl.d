@@ -1,0 +1,1 @@
+bench/e8_restrictions.ml: Bench_util Chain List Optimizer Paper_opt Printf Search_stats

@@ -1,0 +1,1 @@
+bench/e9_costmodel.ml: Bench_util Chain Emp_dept Float List Optimizer Printf Tpcd

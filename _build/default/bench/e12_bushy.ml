@@ -1,0 +1,34 @@
+(* E12 — linear vs bushy join trees (extension).  The paper's execution
+   space is linear join orders (Section 5.1); enumerating bushy trees is
+   the natural enlargement.  We measure what it buys and costs. *)
+
+let run () =
+  let rows = ref [] in
+  let record name cat q =
+    List.iter
+      (fun bushy ->
+        let paper_opts = { Paper_opt.default_options with bushy } in
+        let o = Bench_util.run_algo ~paper_opts cat q Optimizer.Paper in
+        rows :=
+          [
+            name;
+            (if bushy then "bushy" else "linear");
+            Bench_util.f1 o.Bench_util.est_cost;
+            Bench_util.i (Bench_util.io_total o);
+            Bench_util.i o.Bench_util.search.Search_stats.join_plans;
+            Printf.sprintf "%.1f" o.Bench_util.opt_ms;
+          ]
+          :: !rows)
+      [ false; true ]
+  in
+  let chain = Chain.load ~n:6 () in
+  record "chain6" chain (Chain.chain_query ~view_size:2 ~n:6);
+  let tpcd = Tpcd.load () in
+  record "two_views" tpcd (Tpcd.q_two_views ());
+  record "q17_shape" tpcd (Tpcd.q_small_quantity_parts ());
+  let star = Star.load () in
+  record "star_revenue" star (Star.q_category_revenue ());
+  Bench_util.print_table
+    ~title:"E12 Linear vs bushy join enumeration (paper algorithm)"
+    ~header:[ "query"; "space"; "est-cost"; "io"; "join-plans"; "opt-ms" ]
+    (List.rev !rows)

@@ -1,0 +1,61 @@
+(* E6 — the paper's guarantee: "our cost-based optimization algorithm is
+   guaranteed to pick a plan that is no worse than the traditional
+   optimization algorithm."  The guarantee is stated in terms of the cost
+   model; we check it on random aggregate-view queries and also report the
+   measured-IO outcome — once for simple single-relation views and once for
+   rich ones (multi-relation views, HAVING, several aggregates), where cost
+   estimation is harder and measured regressions become possible. *)
+
+let run_pass ~complexity ~n cat rng =
+  let violations = ref 0 in
+  let improved = ref 0 in
+  let equal = ref 0 in
+  let ratios = ref [] in
+  for i = 1 to n do
+    let q = Query_gen.generate ~complexity rng cat in
+    let t = Bench_util.run_algo cat q Optimizer.Traditional in
+    let p = Bench_util.run_algo cat q Optimizer.Paper in
+    if p.Bench_util.est_cost > t.Bench_util.est_cost +. 1e-6 then incr violations;
+    let iot = Bench_util.io_total t and iop = Bench_util.io_total p in
+    let ratio = float_of_int iot /. float_of_int (max 1 iop) in
+    ratios := ratio :: !ratios;
+    if iop < iot then incr improved else if iop = iot then incr equal;
+    if p.Bench_util.rows <> t.Bench_util.rows then
+      Printf.printf "E6 WARNING: query %d row mismatch (%d vs %d)\n" i
+        t.Bench_util.rows p.Bench_util.rows
+  done;
+  let geo =
+    exp (List.fold_left (fun acc r -> acc +. log r) 0. !ratios /. float_of_int n)
+  in
+  [
+    (match complexity with `Simple -> "simple" | `Rich -> "rich");
+    Bench_util.i !violations;
+    Bench_util.i !improved;
+    Bench_util.i !equal;
+    Bench_util.i (n - !improved - !equal);
+    Bench_util.f2 geo;
+    Bench_util.f2 (List.fold_left max 1. !ratios);
+    Bench_util.f2 (List.fold_left min infinity !ratios);
+  ]
+
+let run () =
+  let params =
+    { Tpcd.default_params with customers = 1500; orders_per_customer = 8;
+      lines_per_order = 5; nations = 30 }
+  in
+  let cat = Tpcd.load ~params () in
+  let n = 50 in
+  let rows =
+    [
+      run_pass ~complexity:`Simple ~n cat (Rng.create ~seed:2024);
+      run_pass ~complexity:`Rich ~n cat (Rng.create ~seed:2024);
+    ]
+  in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E6  No-regression over %d random queries per class (ratio = io(trad)/io(paper); est-violations must be 0)"
+         n)
+    ~header:
+      [ "queries"; "est-viol"; "improved"; "equal"; "worse"; "geo-ratio"; "max"; "min" ]
+    rows

@@ -1,0 +1,62 @@
+(* E7 — search-space growth (Section 5.2, citing [CS94]: the greedy
+   conservative heuristic causes only a "very moderate increase in search
+   space"; Section 5.3: pull-up is the expensive dimension, bounded by the
+   restrictions).  Chain queries of growing size; we count costed join
+   plans, group placements, DP entries and pulled view variants, and the
+   optimizer wall time. *)
+
+let run () =
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let cat = Chain.load ~n () in
+      let q = Chain.chain_query ~view_size:2 ~n in
+      List.iter
+        (fun algo ->
+          let o = Bench_util.run_algo cat q algo in
+          rows :=
+            [
+              Bench_util.i n;
+              Bench_util.algo_name algo;
+              Bench_util.i o.Bench_util.search.Search_stats.join_plans;
+              Bench_util.i o.Bench_util.search.Search_stats.group_plans;
+              Bench_util.i o.Bench_util.search.Search_stats.entries;
+              Bench_util.i o.Bench_util.search.Search_stats.pullups;
+              Printf.sprintf "%.1f" o.Bench_util.opt_ms;
+              Bench_util.i (Bench_util.io_total o);
+            ]
+            :: !rows)
+        [ Optimizer.Traditional; Optimizer.Greedy_conservative; Optimizer.Paper ])
+    [ 3; 4; 5; 6 ];
+  Bench_util.print_table
+    ~title:
+      "E7  Search effort vs query size (chain queries, view over 2 relations + n-2 outer)"
+    ~header:
+      [ "n"; "algorithm"; "join-plans"; "group-plans"; "dp-entries"; "pullups";
+        "opt-ms"; "io" ]
+    (List.rev !rows);
+  (* Single-block growth: the greedy conservative heuristic alone. *)
+  let rows2 = ref [] in
+  List.iter
+    (fun n ->
+      let cat = Chain.load ~n () in
+      let q = Chain.flat_query ~n in
+      List.iter
+        (fun algo ->
+          let o = Bench_util.run_algo cat q algo in
+          rows2 :=
+            [
+              Bench_util.i n;
+              Bench_util.algo_name algo;
+              Bench_util.i o.Bench_util.search.Search_stats.join_plans;
+              Bench_util.i o.Bench_util.search.Search_stats.group_plans;
+              Printf.sprintf "%.1f" o.Bench_util.opt_ms;
+              Bench_util.i (Bench_util.io_total o);
+            ]
+            :: !rows2)
+        [ Optimizer.Traditional; Optimizer.Greedy_conservative ])
+    [ 3; 5; 7 ];
+  Bench_util.print_table
+    ~title:"E7b Single-block grouped chain: traditional vs greedy conservative"
+    ~header:[ "n"; "algorithm"; "join-plans"; "group-plans"; "opt-ms"; "io" ]
+    (List.rev !rows2)

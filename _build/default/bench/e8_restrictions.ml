@@ -1,0 +1,37 @@
+(* E8 — practical restrictions on the search space (Section 5.3): the
+   k-level pull-up bound and the shared-predicate requirement.  We ablate
+   both on a chain query with a pullable view and report plan quality vs
+   search effort. *)
+
+let run () =
+  let n = 5 in
+  let cat = Chain.load ~n () in
+  let q = Chain.chain_query ~view_size:2 ~n in
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun shared ->
+          let paper_opts =
+            { Paper_opt.default_options with k_pullup = k; require_shared_pred = shared }
+          in
+          let o = Bench_util.run_algo ~paper_opts cat q Optimizer.Paper in
+          rows :=
+            [
+              Bench_util.i k;
+              (if shared then "yes" else "no");
+              Bench_util.f1 o.Bench_util.est_cost;
+              Bench_util.i (Bench_util.io_total o);
+              Bench_util.i o.Bench_util.search.Search_stats.pullups;
+              Bench_util.i o.Bench_util.search.Search_stats.join_plans;
+              Printf.sprintf "%.1f" o.Bench_util.opt_ms;
+            ]
+            :: !rows)
+        [ true; false ])
+    [ 0; 1; 2; 3 ];
+  Bench_util.print_table
+    ~title:
+      "E8  Ablation of the Section 5.3 restrictions (k-level pull-up, shared-predicate)"
+    ~header:
+      [ "k"; "shared-pred"; "est-cost"; "io"; "pullups"; "join-plans"; "opt-ms" ]
+    (List.rev !rows)

@@ -1,0 +1,49 @@
+(* E9 — cost-model validation: the paper's algorithms minimize an IO cost
+   function (Section 5); the experiments are only meaningful if estimated
+   IO tracks measured IO.  We compare both across all workload queries and
+   algorithms. *)
+
+let run () =
+  let rows = ref [] in
+  let errors = ref [] in
+  let record name cat q =
+    List.iter
+      (fun algo ->
+        let o = Bench_util.run_algo cat q algo in
+        let measured = Bench_util.io_total o in
+        let rel_err =
+          Float.abs (o.Bench_util.est_cost -. float_of_int measured)
+          /. Float.max 1. (float_of_int measured)
+        in
+        errors := rel_err :: !errors;
+        rows :=
+          [
+            name;
+            Bench_util.algo_name algo;
+            Bench_util.f1 o.Bench_util.est_cost;
+            Bench_util.i measured;
+            Bench_util.f2 rel_err;
+          ]
+          :: !rows)
+      [ Optimizer.Traditional; Optimizer.Paper ]
+  in
+  let empdept =
+    Emp_dept.load
+      ~params:{ Emp_dept.default_params with emps = 20_000; depts = 500 }
+      ()
+  in
+  record "example1" empdept (Emp_dept.example1 ());
+  record "example2" empdept (Emp_dept.example2 ());
+  let tpcd = Tpcd.load () in
+  record "big_spenders" tpcd (Tpcd.q_big_spenders ());
+  record "q17_shape" tpcd (Tpcd.q_small_quantity_parts ());
+  record "two_views" tpcd (Tpcd.q_two_views ());
+  let chain = Chain.load ~n:4 () in
+  record "chain4" chain (Chain.chain_query ~view_size:2 ~n:4);
+  let n = List.length !errors in
+  let mean = List.fold_left ( +. ) 0. !errors /. float_of_int n in
+  Bench_util.print_table
+    ~title:"E9  Cost model: estimated vs measured page IO"
+    ~header:[ "query"; "algorithm"; "est-cost"; "measured-io"; "rel-error" ]
+    (List.rev !rows);
+  Printf.printf "\nmean relative error across %d plans: %.2f\n" n mean

@@ -1,0 +1,235 @@
+(* avq — command-line front end: parse, optimize, explain and run SQL with
+   aggregate views over the built-in synthetic databases. *)
+
+open Cmdliner
+
+(* ---- shared options ---- *)
+
+let algo_conv =
+  Arg.enum
+    [
+      ("traditional", Optimizer.Traditional);
+      ("greedy", Optimizer.Greedy_conservative);
+      ("paper", Optimizer.Paper);
+    ]
+
+let algo =
+  Arg.(
+    value
+    & opt algo_conv Optimizer.Paper
+    & info [ "a"; "algo" ] ~docv:"ALGO"
+        ~doc:"Optimization algorithm: $(b,traditional), $(b,greedy) or $(b,paper).")
+
+let db_conv = Arg.enum [ ("empdept", `Empdept); ("tpcd", `Tpcd); ("star", `Star) ]
+
+let db =
+  Arg.(
+    value
+    & opt db_conv `Empdept
+    & info [ "d"; "db" ] ~docv:"DB"
+        ~doc:
+          "Built-in database: $(b,empdept) (the paper's example schema), $(b,tpcd) \
+           or $(b,star).")
+
+let scale =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "s"; "scale" ] ~docv:"N" ~doc:"Scale factor for the synthetic data.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Data generator seed.")
+
+let work_mem =
+  Arg.(
+    value
+    & opt int 32
+    & info [ "work-mem" ] ~docv:"PAGES" ~doc:"Operator memory budget in pages.")
+
+let sql_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"SQL" ~doc:"SQL text; omit to read from stdin.")
+
+let load_db db scale seed =
+  match db with
+  | `Empdept ->
+    let p = Emp_dept.default_params in
+    Emp_dept.load
+      ~params:{ p with emps = p.emps * scale; depts = p.depts * scale; seed }
+      ()
+  | `Tpcd ->
+    let p = Tpcd.default_params in
+    Tpcd.load ~params:{ p with customers = p.customers * scale; seed } ()
+  | `Star ->
+    let p = Star.default_params in
+    Star.load ~params:{ p with days = p.days * scale; seed } ()
+
+let read_sql = function
+  | Some s -> s
+  | None -> In_channel.input_all In_channel.stdin
+
+let options algorithm work_mem = { Optimizer.default_options with algorithm; work_mem }
+
+let with_query db scale seed sql f =
+  let cat = load_db db scale seed in
+  match Binder.bind_sql cat (read_sql sql) with
+  | query -> f cat query
+  | exception Binder.Bind_error msg ->
+    Format.eprintf "bind error: %s@." msg;
+    exit 1
+  | exception Parser.Parse_error (msg, off) ->
+    Format.eprintf "parse error at offset %d: %s@." off msg;
+    exit 1
+  | exception Lexer.Lex_error (msg, off) ->
+    Format.eprintf "lex error at offset %d: %s@." off msg;
+    exit 1
+
+(* ---- commands ---- *)
+
+let explain_cmd =
+  let run algo db scale seed work_mem sql =
+    with_query db scale seed sql (fun cat query ->
+        Format.printf "Canonical form:@.%a@.@." Block.pp query;
+        let r = Optimizer.optimize ~options:(options algo work_mem) cat query in
+        Format.printf "Plan (estimated %a):@.%a@." Cost_model.pp_est r.Optimizer.est
+          Physical.pp r.Optimizer.plan;
+        Format.printf "@.Per-node estimates:@.%a" (Explain.pp cat ~work_mem)
+          r.Optimizer.plan;
+        Format.printf "@.Search effort: %a@." Search_stats.pp r.Optimizer.search;
+        match r.Optimizer.report with
+        | None -> ()
+        | Some rep ->
+          Format.printf "Minimal invariant sets:@.";
+          List.iter
+            (fun (v, aliases) ->
+              Format.printf "  %s: {%s}@." v (String.concat ", " aliases))
+            rep.Paper_opt.minimal_sets;
+          Format.printf "Chosen pull-up sets:@.";
+          List.iter
+            (fun (v, w) ->
+              Format.printf "  %s: {%s}@." v (String.concat ", " (List.map fst w)))
+            rep.Paper_opt.chosen_w)
+  in
+  let doc = "Show the canonical multi-block form and the chosen plan." in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const run $ algo $ db $ scale $ seed $ work_mem $ sql_arg)
+
+let run_cmd =
+  let run algo db scale seed work_mem sql =
+    with_query db scale seed sql (fun cat query ->
+        let r = Optimizer.optimize ~options:(options algo work_mem) cat query in
+        let ctx = Exec_ctx.create ~work_mem cat in
+        let rel, io = Executor.run_measured ctx r.Optimizer.plan in
+        Format.printf "%a@.@.(%a)@." Relation.pp rel Buffer_pool.pp_stats io)
+  in
+  let doc = "Optimize and execute a query, printing the result and measured IO." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ algo $ db $ scale $ seed $ work_mem $ sql_arg)
+
+let compare_cmd =
+  let run db scale seed work_mem sql =
+    with_query db scale seed sql (fun cat query ->
+        Format.printf "%-14s %12s %12s %10s %8s@." "algorithm" "est-cost"
+          "meas-reads" "meas-writes" "rows";
+        List.iter
+          (fun (name, algorithm) ->
+            let r = Optimizer.optimize ~options:(options algorithm work_mem) cat query in
+            let ctx = Exec_ctx.create ~work_mem cat in
+            let rel, io = Executor.run_measured ctx r.Optimizer.plan in
+            Format.printf "%-14s %12.1f %12d %10d %8d@." name
+              r.Optimizer.est.Cost_model.cost io.Buffer_pool.reads
+              io.Buffer_pool.writes (Relation.cardinality rel))
+          [
+            ("traditional", Optimizer.Traditional);
+            ("greedy", Optimizer.Greedy_conservative);
+            ("paper", Optimizer.Paper);
+          ])
+  in
+  let doc = "Compare the three optimization algorithms on one query." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ db $ scale $ seed $ work_mem $ sql_arg)
+
+let tables_cmd =
+  let run db scale seed =
+    let cat = load_db db scale seed in
+    List.iter
+      (fun (tbl : Catalog.table) ->
+        Format.printf "%-10s %a  pk=(%s)%s@." tbl.Catalog.tname Stats.pp_table
+          tbl.Catalog.tstats
+          (String.concat ", " tbl.Catalog.primary_key)
+          (match tbl.Catalog.clustered with
+           | Some c -> "  clustered on " ^ c
+           | None -> ""))
+      (Catalog.tables cat)
+  in
+  let doc = "List the tables of a built-in database with their statistics." in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ db $ scale $ seed)
+
+let repl_cmd =
+  let run db scale seed work_mem =
+    let cat = load_db db scale seed in
+    Format.printf
+      "avq interactive shell — terminate statements with ';;'.@.Commands: \
+       .tables  .quit@.";
+    let buffer = Buffer.create 256 in
+    let rec loop () =
+      if Buffer.length buffer = 0 then Format.printf "avq> @?"
+      else Format.printf "...> @?";
+      match In_channel.input_line In_channel.stdin with
+      | None -> ()
+      | Some ".quit" -> ()
+      | Some ".tables" ->
+        List.iter
+          (fun (tbl : Catalog.table) ->
+            Format.printf "%-10s %a@." tbl.Catalog.tname Stats.pp_table
+              tbl.Catalog.tstats)
+          (Catalog.tables cat);
+        loop ()
+      | Some line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        let finished =
+          match String.rindex_opt (String.trim text) ';' with
+          | Some i ->
+            i > 0 && (String.trim text).[i - 1] = ';'
+          | None -> false
+        in
+        if not finished then loop ()
+        else begin
+          let sql =
+            let t = String.trim text in
+            String.sub t 0 (String.length t - 2)
+          in
+          Buffer.clear buffer;
+          (try
+             let query = Binder.bind_sql cat sql in
+             let r =
+               Optimizer.optimize
+                 ~options:{ Optimizer.default_options with work_mem } cat query
+             in
+             let ctx = Exec_ctx.create ~work_mem cat in
+             let rel, io = Executor.run_measured ctx r.Optimizer.plan in
+             Format.printf "%a@.(%a)@." Relation.pp rel Buffer_pool.pp_stats io
+           with
+           | Binder.Bind_error msg -> Format.printf "bind error: %s@." msg
+           | Parser.Parse_error (msg, off) ->
+             Format.printf "parse error at %d: %s@." off msg
+           | Lexer.Lex_error (msg, off) ->
+             Format.printf "lex error at %d: %s@." off msg);
+          loop ()
+        end
+    in
+    loop ()
+  in
+  let doc = "Interactive SQL shell over a built-in database." in
+  Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ db $ scale $ seed $ work_mem)
+
+let main =
+  let doc = "cost-based optimization of queries with aggregate views (EDBT'96)" in
+  Cmd.group (Cmd.info "avq" ~version:"1.0.0" ~doc)
+    [ explain_cmd; run_cmd; compare_cmd; tables_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main)

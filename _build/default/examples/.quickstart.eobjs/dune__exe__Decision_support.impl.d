@@ -1,0 +1,1 @@
+examples/decision_support.ml: Buffer_pool Cost_model Exec_ctx Executor Format List Optimizer Physical Relation Tpcd

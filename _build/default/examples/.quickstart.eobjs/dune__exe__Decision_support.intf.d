@@ -1,0 +1,1 @@
+examples/decision_support.mli:

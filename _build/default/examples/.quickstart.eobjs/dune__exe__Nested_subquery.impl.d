@@ -1,0 +1,1 @@
+examples/nested_subquery.ml: Binder Block Buffer_pool Cost_model Emp_dept Exec_ctx Executor Format List Optimizer Physical Relation

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Binder Block Buffer_pool Cost_model Emp_dept Exec_ctx Executor Format Optimizer Physical Relation

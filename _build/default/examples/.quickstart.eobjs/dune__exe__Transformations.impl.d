@@ -1,0 +1,1 @@
+examples/transformations.ml: Aggregate Coalesce Datatype Emp_dept Expr Format Logical Pullup Pushdown Relation Schema

@@ -1,0 +1,1 @@
+examples/warehouse.ml: Block Buffer_pool Catalog Cost_model Exec_ctx Executor Explain Format List Optimizer Relation Star Stats

@@ -1,0 +1,46 @@
+(* Decision-support workload: TPC-D-like queries with aggregate views,
+   optimized under all three algorithms; prints estimated and measured IO
+   side by side.
+
+     dune exec examples/decision_support.exe
+*)
+
+let algos =
+  [
+    ("traditional", Optimizer.Traditional);
+    ("greedy-conservative", Optimizer.Greedy_conservative);
+    ("paper (pull-up + push-down)", Optimizer.Paper);
+  ]
+
+let run_query cat name query =
+  Format.printf "== %s ==@." name;
+  List.iter
+    (fun (aname, algorithm) ->
+      let options = { Optimizer.default_options with algorithm } in
+      let r = Optimizer.optimize ~options cat query in
+      let ctx = Exec_ctx.create cat in
+      let rel, io = Executor.run_measured ctx r.Optimizer.plan in
+      Format.printf
+        "  %-28s est-cost %8.1f   measured %5d reads %4d writes   %d rows@."
+        aname r.Optimizer.est.Cost_model.cost io.Buffer_pool.reads
+        io.Buffer_pool.writes (Relation.cardinality rel))
+    algos;
+  Format.printf "@."
+
+let () =
+  let params =
+    { Tpcd.default_params with customers = 800; orders_per_customer = 8;
+      lines_per_order = 5 }
+  in
+  let cat = Tpcd.load ~params () in
+  run_query cat
+    "big spenders: customers with balance below their average order value"
+    (Tpcd.q_big_spenders ());
+  run_query cat
+    "Q17 shape: revenue of small-quantity lineitems for one brand"
+    (Tpcd.q_small_quantity_parts ());
+  run_query cat "two aggregate views joined (Figure 5 shape)" (Tpcd.q_two_views ());
+  (* Show the winning plan of the most interesting query. *)
+  let r = Optimizer.optimize cat (Tpcd.q_small_quantity_parts ()) in
+  Format.printf "Paper-algorithm plan for the Q17 shape:@.%a@." Physical.pp
+    r.Optimizer.plan

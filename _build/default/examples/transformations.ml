@@ -1,0 +1,110 @@
+(* The three transformations as standalone operator-tree rewrites, shown on
+   the paper's own examples (Figures 1 and 2), with result equality checked
+   by the reference interpreter.
+
+     dune exec examples/transformations.exe
+*)
+
+let show cat title before after =
+  Format.printf "== %s ==@.Before:@.%a@.After:@.%a@." title Logical.pp before
+    Logical.pp after;
+  let a = Logical.eval cat before and b = Logical.eval cat after in
+  Format.printf "Results equal: %b (%d rows)@.@." (Relation.multiset_equal a b)
+    (Relation.cardinality a)
+
+let () =
+  let params = { Emp_dept.default_params with emps = 2000; depts = 40 } in
+  let cat = Emp_dept.load ~params () in
+
+  (* Figure 1: pull-up.  P1 = Join(Group(emp e2), emp e1). *)
+  let p1 =
+    let group =
+      Logical.Group
+        {
+          input = Logical.scan cat ~alias:"e2" "emp";
+          agg_qual = "b";
+          keys = [ Schema.column ~qual:"e2" "dno" Datatype.Int ];
+          aggs =
+            [
+              Aggregate.make Aggregate.Avg
+                ~arg:(Expr.Col (Schema.column ~qual:"e2" "sal" Datatype.Int))
+                "asal";
+            ];
+          having = [];
+        }
+    in
+    let e1 =
+      Logical.Filter
+        {
+          input = Logical.scan cat ~alias:"e1" "emp";
+          pred =
+            Expr.Cmp
+              (Expr.Lt, Expr.Col (Schema.column ~qual:"e1" "age" Datatype.Int), Expr.int 22);
+        }
+    in
+    Logical.Join
+      {
+        left = group;
+        right = e1;
+        cond =
+          [
+            Expr.Cmp
+              ( Expr.Eq,
+                Expr.Col (Schema.column ~qual:"e2" "dno" Datatype.Int),
+                Expr.Col (Schema.column ~qual:"e1" "dno" Datatype.Int) );
+            Expr.Cmp
+              ( Expr.Lt,
+                Expr.Col (Schema.column ~qual:"b" "asal" Datatype.Float),
+                Expr.Col (Schema.column ~qual:"e1" "sal" Datatype.Int) );
+          ];
+      }
+  in
+  (match Pullup.rewrite cat p1 with
+   | Some p2 -> show cat "Figure 1: pull-up (defer the group-by past the join)" p1 p2
+   | None -> Format.printf "pull-up did not apply!@.");
+
+  (* Figure 2a: invariant grouping (Example 2).  Group(Join(emp, dept)). *)
+  let c =
+    Logical.Group
+      {
+        input =
+          Logical.Join
+            {
+              left = Logical.scan cat ~alias:"e" "emp";
+              right =
+                Logical.Filter
+                  {
+                    input = Logical.scan cat ~alias:"d" "dept";
+                    pred =
+                      Expr.Cmp
+                        ( Expr.Lt,
+                          Expr.Col (Schema.column ~qual:"d" "budget" Datatype.Int),
+                          Expr.int 1_000_000 );
+                  };
+              cond =
+                [
+                  Expr.Cmp
+                    ( Expr.Eq,
+                      Expr.Col (Schema.column ~qual:"e" "dno" Datatype.Int),
+                      Expr.Col (Schema.column ~qual:"d" "dno" Datatype.Int) );
+                ];
+            };
+        agg_qual = "g";
+        keys = [ Schema.column ~qual:"e" "dno" Datatype.Int ];
+        aggs =
+          [
+            Aggregate.make Aggregate.Avg
+              ~arg:(Expr.Col (Schema.column ~qual:"e" "sal" Datatype.Int))
+              "asal";
+          ];
+        having = [];
+      }
+  in
+  (match Pushdown.rewrite cat c with
+   | Some d -> show cat "Figure 2a: invariant grouping push-down (Example 2)" c d
+   | None -> Format.printf "invariant grouping did not apply!@.");
+
+  (* Figure 2b: simple coalescing on the same query. *)
+  (match Coalesce.rewrite c with
+   | Some d -> show cat "Figure 2b: simple coalescing grouping" c d
+   | None -> Format.printf "simple coalescing did not apply!@.")

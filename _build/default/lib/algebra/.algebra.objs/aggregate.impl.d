@@ -1,0 +1,1 @@
+lib/algebra/aggregate.ml: Datatype Expr Float Format List Schema Value

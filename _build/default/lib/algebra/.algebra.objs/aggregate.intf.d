@@ -1,0 +1,1 @@
+lib/algebra/aggregate.mli: Datatype Expr Format Schema Value

@@ -1,0 +1,1 @@
+lib/algebra/block.ml: Aggregate Array Catalog Expr Format List Logical Printf Relation Result Schema String

@@ -1,0 +1,1 @@
+lib/algebra/block.mli: Aggregate Catalog Expr Format Logical Relation Schema

@@ -1,0 +1,1 @@
+lib/algebra/expr.ml: Datatype Format List Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/algebra/expr.mli: Datatype Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/algebra/logical.ml: Aggregate Array Catalog Expr Format Hashtbl Heap_file List Printf Relation Schema String Tuple

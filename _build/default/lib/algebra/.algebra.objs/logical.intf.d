@@ -1,0 +1,1 @@
+lib/algebra/logical.mli: Aggregate Catalog Expr Format Relation Schema

@@ -1,0 +1,181 @@
+type func =
+  | Count_star
+  | Count
+  | Sum
+  | Avg
+  | Min
+  | Max
+  | Udf of udf_spec
+
+and udf_spec = {
+  udf_name : string;
+  udf_result : Datatype.t;
+  udf_fold : Value.t list -> Value.t;
+}
+
+type t = { func : func; arg : Expr.t option; out_name : string }
+
+let make func ?arg out_name =
+  (match func, arg with
+   | Count_star, Some _ -> invalid_arg "Aggregate.make: COUNT(*) takes no argument"
+   | (Count | Sum | Avg | Min | Max | Udf _), None ->
+     invalid_arg "Aggregate.make: missing argument"
+   | Count_star, None | (Count | Sum | Avg | Min | Max | Udf _), Some _ -> ());
+  { func; arg; out_name }
+
+let stddev ~arg out_name =
+  let fold values =
+    let n = float_of_int (List.length values) in
+    let sum = List.fold_left (fun acc v -> acc +. Value.to_float v) 0. values in
+    let sumsq =
+      List.fold_left (fun acc v -> acc +. (Value.to_float v ** 2.)) 0. values
+    in
+    let mean = sum /. n in
+    Value.Float (Float.sqrt (Float.max 0. ((sumsq /. n) -. (mean *. mean))))
+  in
+  make
+    (Udf { udf_name = "STDDEV"; udf_result = Datatype.Float; udf_fold = fold })
+    ~arg out_name
+
+let result_type t =
+  match t.func, t.arg with
+  | (Count_star | Count), _ -> Datatype.Int
+  | Avg, _ -> Datatype.Float
+  | Udf u, _ -> u.udf_result
+  | (Sum | Min | Max), Some e -> Expr.type_of e
+  | (Sum | Min | Max), None -> assert false
+
+let arg_columns t = match t.arg with None -> [] | Some e -> Expr.columns e
+
+let is_decomposable t =
+  match t.func with
+  | Count_star | Count | Sum | Avg | Min | Max -> true
+  | Udf _ -> false
+
+type decomposed = {
+  partials : t list;
+  combine : t list;
+  post : (Expr.t * string) option;
+}
+
+let partial_col ~qual name ty = Expr.Col (Schema.column ~qual name ty)
+
+let decompose ~qual t =
+  let p name = t.out_name ^ "$" ^ name in
+  match t.func with
+  | Udf u -> invalid_arg ("Aggregate.decompose: UDF " ^ u.udf_name)
+  | Sum ->
+    let ty = result_type t in
+    {
+      partials = [ { t with out_name = p "s" } ];
+      combine = [ make Sum ~arg:(partial_col ~qual (p "s") ty) t.out_name ];
+      post = None;
+    }
+  | Count_star | Count ->
+    {
+      partials = [ { t with out_name = p "c" } ];
+      combine = [ make Sum ~arg:(partial_col ~qual (p "c") Datatype.Int) t.out_name ];
+      post = None;
+    }
+  | Min ->
+    let ty = result_type t in
+    {
+      partials = [ { t with out_name = p "m" } ];
+      combine = [ make Min ~arg:(partial_col ~qual (p "m") ty) t.out_name ];
+      post = None;
+    }
+  | Max ->
+    let ty = result_type t in
+    {
+      partials = [ { t with out_name = p "m" } ];
+      combine = [ make Max ~arg:(partial_col ~qual (p "m") ty) t.out_name ];
+      post = None;
+    }
+  | Avg ->
+    let arg = match t.arg with Some e -> e | None -> assert false in
+    let sum_ty = Expr.type_of arg in
+    let ps = { func = Sum; arg = Some arg; out_name = p "s" } in
+    let pc = { func = Count_star; arg = None; out_name = p "c" } in
+    let cs = make Sum ~arg:(partial_col ~qual (p "s") sum_ty) (p "ss") in
+    let cc = make Sum ~arg:(partial_col ~qual (p "c") Datatype.Int) (p "cc") in
+    {
+      partials = [ ps; pc ];
+      combine = [ cs; cc ];
+      post =
+        Some
+          ( Expr.Binop
+              ( Expr.Div,
+                partial_col ~qual (p "ss") sum_ty,
+                partial_col ~qual (p "cc") Datatype.Int ),
+            t.out_name );
+    }
+
+type state =
+  | SCount of int
+  | SSum of Value.t option
+  | SMin of Value.t option
+  | SMax of Value.t option
+  | SAvg of Value.t option * int
+  | SUdf of udf_spec * Value.t list  (* collected argument values, reversed *)
+
+let init = function
+  | Count_star | Count -> SCount 0
+  | Sum -> SSum None
+  | Min -> SMin None
+  | Max -> SMax None
+  | Avg -> SAvg (None, 0)
+  | Udf u -> SUdf (u, [])
+
+let acc f old v = match old with None -> Some v | Some o -> Some (f o v)
+
+let step state v =
+  match state, v with
+  | SCount n, _ -> SCount (n + 1)
+  | SSum s, Some v -> SSum (acc Value.add s v)
+  | SMin s, Some v -> SMin (acc Value.min_value s v)
+  | SMax s, Some v -> SMax (acc Value.max_value s v)
+  | SAvg (s, n), Some v -> SAvg (acc Value.add s v, n + 1)
+  | SUdf (u, vs), Some v -> SUdf (u, v :: vs)
+  | (SSum _ | SMin _ | SMax _ | SAvg _ | SUdf _), None ->
+    invalid_arg "Aggregate.step: missing argument value"
+
+let merge_opt f a b =
+  match a, b with
+  | None, s | s, None -> s
+  | Some x, Some y -> Some (f x y)
+
+let merge a b =
+  match a, b with
+  | SCount x, SCount y -> SCount (x + y)
+  | SSum x, SSum y -> SSum (merge_opt Value.add x y)
+  | SMin x, SMin y -> SMin (merge_opt Value.min_value x y)
+  | SMax x, SMax y -> SMax (merge_opt Value.max_value x y)
+  | SAvg (x, n), SAvg (y, m) -> SAvg (merge_opt Value.add x y, n + m)
+  | SUdf (u, xs), SUdf (_, ys) -> SUdf (u, ys @ xs)
+  | (SCount _ | SSum _ | SMin _ | SMax _ | SAvg _ | SUdf _), _ ->
+    invalid_arg "Aggregate.merge: mismatched states"
+
+let finish = function
+  | SCount n -> Value.Int n
+  | SSum (Some v) | SMin (Some v) | SMax (Some v) -> v
+  | SAvg (Some s, n) when n > 0 -> Value.div s (Value.Int n)
+  | SUdf (u, vs) when vs <> [] -> u.udf_fold (List.rev vs)
+  | SSum None | SMin None | SMax None | SAvg _ | SUdf _ ->
+    invalid_arg "Aggregate.finish: empty group"
+
+let func_name = function
+  | Count_star -> "COUNT(*)"
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Udf u -> u.udf_name
+
+let pp ppf t =
+  match t.arg with
+  | None -> Format.fprintf ppf "%s AS %s" (func_name t.func) t.out_name
+  | Some e ->
+    Format.fprintf ppf "%s(%a) AS %s" (func_name t.func) Expr.pp e t.out_name
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Array Btree Datatype Heap_file List Option Printf Schema Stats Storage String Tuple Value

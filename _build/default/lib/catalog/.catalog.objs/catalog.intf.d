@@ -1,0 +1,1 @@
+lib/catalog/catalog.mli: Btree Datatype Heap_file Schema Stats Storage Tuple

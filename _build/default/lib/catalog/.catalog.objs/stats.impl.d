@@ -1,0 +1,1 @@
+lib/catalog/stats.ml: Array Format Histogram List Page Schema Tuple Value

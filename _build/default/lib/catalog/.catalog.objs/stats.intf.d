@@ -1,0 +1,1 @@
+lib/catalog/stats.mli: Format Histogram Schema Tuple Value

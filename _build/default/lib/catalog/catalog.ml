@@ -1,0 +1,128 @@
+type table = {
+  tname : string;
+  tschema : Schema.t;
+  primary_key : string list;
+  heap : Heap_file.t;
+  indexes : (string * Btree.t) list;
+  tstats : Stats.table_stats;
+  clustered : string option;
+}
+
+type foreign_key = {
+  fk_table : string;
+  fk_column : string;
+  pk_table : string;
+  pk_column : string;
+}
+
+type t = {
+  storage : Storage.t;
+  mutable table_list : table list;
+  mutable fks : foreign_key list;
+}
+
+let create ?frames () = { storage = Storage.create ?frames (); table_list = []; fks = [] }
+
+let storage t = t.storage
+
+let find_table t name =
+  List.find_opt (fun tbl -> String.equal tbl.tname name) t.table_list
+
+let table_exn t name =
+  match find_table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Catalog: unknown table %s" name)
+
+let tables t = t.table_list
+let foreign_keys t = t.fks
+
+let add_table t ~name ~columns ~pk ?(index = []) ?cluster rows =
+  if find_table t name <> None then
+    invalid_arg (Printf.sprintf "Catalog.add_table: duplicate table %s" name);
+  let check_col c =
+    if not (List.exists (fun (n, _) -> String.equal n c) columns) then
+      invalid_arg (Printf.sprintf "Catalog.add_table %s: unknown column %s" name c)
+  in
+  List.iter check_col pk;
+  List.iter check_col index;
+  Option.iter check_col cluster;
+  if rows = [] then invalid_arg (Printf.sprintf "Catalog.add_table %s: no rows" name);
+  (* No declared primary key: materialize the internal tuple id as a hidden
+     [_rid] column and use it as the key (paper, Section 3: "the query
+     engine can use the internal tuple id as a key"). *)
+  let columns, pk, rows =
+    if pk <> [] then (columns, pk, rows)
+    else
+      ( columns @ [ ("_rid", Datatype.Int) ],
+        [ "_rid" ],
+        List.mapi (fun i t -> Tuple.concat t [| Value.Int i |]) rows )
+  in
+  let schema =
+    Schema.of_columns
+      (List.map (fun (cname, ty) -> Schema.column ~qual:name cname ty) columns)
+  in
+  let clustered =
+    match cluster, pk with
+    | Some c, _ -> Some c
+    | None, c :: _ -> Some c
+    | None, [] -> None
+  in
+  let rows =
+    match clustered with
+    | None -> rows
+    | Some c ->
+      let i = Schema.find_exn schema c in
+      List.stable_sort (fun a b -> Value.compare (Tuple.get a i) (Tuple.get b i)) rows
+  in
+  let heap = Storage.create_heap t.storage schema in
+  Heap_file.append_all heap rows;
+  let tstats = Stats.analyze schema rows in
+  let to_index =
+    let pk_head = match pk with [] -> [] | c :: _ -> [ c ] in
+    let clustered_col = match clustered with None -> [] | Some c -> [ c ] in
+    List.sort_uniq String.compare (pk_head @ clustered_col @ index)
+  in
+  let indexes =
+    List.map
+      (fun cname ->
+        let col = Schema.find_exn schema cname in
+        (cname, Storage.build_index t.storage heap ~column:col))
+      to_index
+  in
+  let tbl =
+    { tname = name; tschema = schema; primary_key = pk; heap; indexes; tstats;
+      clustered }
+  in
+  t.table_list <- t.table_list @ [ tbl ];
+  tbl
+
+let add_foreign_key t ~from:(ft, fc) ~refs:(pt, pc) =
+  let ftbl = table_exn t ft and ptbl = table_exn t pt in
+  let has_col tbl c = Schema.find tbl.tschema c <> None in
+  if not (has_col ftbl fc) then
+    invalid_arg (Printf.sprintf "add_foreign_key: %s has no column %s" ft fc);
+  if not (has_col ptbl pc) then
+    invalid_arg (Printf.sprintf "add_foreign_key: %s has no column %s" pt pc);
+  if ptbl.primary_key <> [ pc ] then
+    invalid_arg
+      (Printf.sprintf "add_foreign_key: %s.%s is not the primary key" pt pc);
+  t.fks <- { fk_table = ft; fk_column = fc; pk_table = pt; pk_column = pc } :: t.fks
+
+let column_stats tbl cname =
+  match Schema.find tbl.tschema cname with
+  | None -> raise Not_found
+  | Some i -> tbl.tstats.Stats.columns.(i)
+
+let index_on tbl cname =
+  List.assoc_opt cname tbl.indexes
+
+let is_superkey tbl cols =
+  tbl.primary_key <> []
+  && List.for_all (fun k -> List.exists (String.equal k) cols) tbl.primary_key
+
+let is_fk_join t ~from:(ft, fc) ~refs:(pt, pc) =
+  List.exists
+    (fun fk ->
+      String.equal fk.fk_table ft && String.equal fk.fk_column fc
+      && String.equal fk.pk_table pt && String.equal fk.pk_column pc)
+    t.fks

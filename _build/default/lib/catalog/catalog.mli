@@ -1,0 +1,75 @@
+(** The catalog: tables with storage, keys, indexes and statistics.
+
+    A catalog owns one {!Storage.t}; loading a table creates its heap file,
+    analyzes statistics from the loaded data, and builds B+-tree indexes on
+    the primary-key column and any extra requested columns.  Declared
+    primary keys and foreign keys drive the paper's transformations: pull-up
+    needs a key of the joined relation (Definition 1) and skips adding it
+    for foreign-key joins; invariant grouping's applicability test also
+    relies on keys. *)
+
+type table = {
+  tname : string;
+  tschema : Schema.t;             (** columns qualified with [tname] *)
+  primary_key : string list;      (** names of the PK columns *)
+  heap : Heap_file.t;
+  indexes : (string * Btree.t) list;  (** indexed column name -> index *)
+  tstats : Stats.table_stats;
+  clustered : string option;
+      (** column the heap is physically ordered by; index access on it
+          touches contiguous pages *)
+}
+
+type foreign_key = {
+  fk_table : string;
+  fk_column : string;
+  pk_table : string;
+  pk_column : string;
+}
+
+type t
+
+val create : ?frames:int -> unit -> t
+(** Fresh catalog with its own storage manager ([frames] buffer-pool pages,
+    default 256). *)
+
+val storage : t -> Storage.t
+
+val add_table :
+  t ->
+  name:string ->
+  columns:(string * Datatype.t) list ->
+  pk:string list ->
+  ?index:string list ->
+  ?cluster:string ->
+  Tuple.t list ->
+  table
+(** Load a table.  [index] lists extra single-column indexes beyond the one
+    built on the first PK column.  [cluster] physically sorts the rows by
+    that column before loading (an index on it is built too); without it
+    the heap is clustered on the first PK column (rows are sorted by it).
+    @raise Invalid_argument if the name is taken, a PK/index column is
+    unknown, or the data is empty. *)
+
+val add_foreign_key :
+  t -> from:string * string -> refs:string * string -> unit
+(** Declare [from] (table, column) referencing [refs] (table, PK column).
+    @raise Invalid_argument if either side is unknown or [refs] is not the
+    single-column primary key of its table. *)
+
+val find_table : t -> string -> table option
+val table_exn : t -> string -> table
+val tables : t -> table list
+val foreign_keys : t -> foreign_key list
+
+val column_stats : table -> string -> Stats.column_stats
+(** @raise Not_found for an unknown column name. *)
+
+val index_on : table -> string -> Btree.t option
+
+val is_superkey : table -> string list -> bool
+(** [is_superkey tbl cols] — do [cols] (column names of [tbl]) contain the
+    primary key? *)
+
+val is_fk_join : t -> from:string * string -> refs:string * string -> bool
+(** Is there a declared foreign key matching this equi-join? *)

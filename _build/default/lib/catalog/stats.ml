@@ -1,0 +1,39 @@
+type column_stats = {
+  ndv : int;
+  vmin : Value.t;
+  vmax : Value.t;
+  histogram : Histogram.t;
+}
+
+type table_stats = {
+  card : int;
+  pages : int;
+  row_bytes : int;
+  columns : column_stats array;
+}
+
+let analyze_column values =
+  let h = Histogram.build values in
+  {
+    ndv = Histogram.ndv h;
+    vmin = Histogram.min_value h;
+    vmax = Histogram.max_value h;
+    histogram = h;
+  }
+
+let analyze schema tuples =
+  if tuples = [] then invalid_arg "Stats.analyze: empty table";
+  let arity = Schema.arity schema in
+  let columns =
+    Array.init arity (fun i ->
+        analyze_column (List.map (fun t -> Tuple.get t i) tuples))
+  in
+  let card = List.length tuples in
+  let row_bytes = Schema.byte_width schema in
+  { card; pages = Page.pages_for ~rows:card ~row_bytes; row_bytes; columns }
+
+let pp_table ppf t =
+  Format.fprintf ppf "card=%d pages=%d width=%dB" t.card t.pages t.row_bytes;
+  Array.iteri
+    (fun i c -> Format.fprintf ppf "@ col%d: ndv=%d [%a..%a]" i c.ndv Value.pp c.vmin Value.pp c.vmax)
+    t.columns

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Dp Grouping List Normalize

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Catalog Dp Normalize

@@ -1,0 +1,1 @@
+lib/core/coalesce.ml: Aggregate Expr List Logical Schema String

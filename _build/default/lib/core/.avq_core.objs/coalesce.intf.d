@@ -1,0 +1,1 @@
+lib/core/coalesce.mli: Logical

@@ -1,0 +1,1 @@
+lib/core/dp.ml: Aggregate Array Catalog Cost_model Expr Float Grouping Hashtbl List Option Physical Printf Schema Search_stats String Value

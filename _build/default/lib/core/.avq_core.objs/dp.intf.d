@@ -1,0 +1,1 @@
+lib/core/dp.mli: Catalog Cost_model Expr Grouping Physical Schema

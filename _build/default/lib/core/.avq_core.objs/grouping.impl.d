@@ -1,0 +1,1 @@
+lib/core/grouping.ml: Aggregate Catalog Expr List Normalize Schema String

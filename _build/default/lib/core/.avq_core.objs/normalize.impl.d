@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Aggregate Block Expr List Option Schema String

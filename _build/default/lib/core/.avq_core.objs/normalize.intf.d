@@ -1,0 +1,1 @@
+lib/core/normalize.mli: Aggregate Block Catalog Expr Schema

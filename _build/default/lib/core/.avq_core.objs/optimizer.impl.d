@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Baseline Cost_model Dp Exec_ctx Executor Normalize Paper_opt Physical Predicate_transfer Search_stats

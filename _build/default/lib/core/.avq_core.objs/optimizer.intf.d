@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Block Buffer_pool Catalog Cost_model Paper_opt Physical Relation Search_stats

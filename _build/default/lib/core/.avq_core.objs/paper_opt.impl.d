@@ -1,0 +1,1 @@
+lib/core/paper_opt.ml: Aggregate Catalog Cost_model Dp Expr Grouping Hashtbl List Normalize Schema Search_stats String

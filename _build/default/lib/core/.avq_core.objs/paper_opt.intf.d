@@ -1,0 +1,1 @@
+lib/core/paper_opt.mli: Catalog Dp Normalize

@@ -1,0 +1,1 @@
+lib/core/predicate_transfer.ml: Expr List Normalize Option Schema String

@@ -1,0 +1,1 @@
+lib/core/predicate_transfer.mli: Expr Normalize

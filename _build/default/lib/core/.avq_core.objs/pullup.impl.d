@@ -1,0 +1,1 @@
+lib/core/pullup.ml: Aggregate Catalog Expr List Logical Option Schema

@@ -1,0 +1,1 @@
+lib/core/pullup.mli: Catalog Logical

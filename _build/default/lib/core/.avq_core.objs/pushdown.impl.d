@@ -1,0 +1,1 @@
+lib/core/pushdown.ml: Aggregate Catalog Expr List Logical Schema String

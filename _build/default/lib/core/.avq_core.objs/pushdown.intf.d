@@ -1,0 +1,1 @@
+lib/core/pushdown.mli: Catalog Logical

@@ -1,0 +1,1 @@
+lib/core/search_stats.ml: Format

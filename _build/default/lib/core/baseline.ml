@@ -1,0 +1,55 @@
+module N = Normalize
+
+let view_spec (v : N.nview) =
+  {
+    Grouping.gs_qual = v.N.n_alias;
+    gs_keys = v.N.n_keys;
+    gs_aggs = v.N.n_aggs;
+    gs_having = v.N.n_having;
+  }
+
+let top_spec (nq : N.nquery) =
+  {
+    Grouping.gs_qual = "";
+    gs_keys = nq.N.keys;
+    gs_aggs = nq.N.aggs;
+    gs_having = nq.N.having;
+  }
+
+let base_item (alias, table) =
+  { Dp.covers = [ alias ]; access = Dp.A_base { alias; table } }
+
+let optimize_view cat ~work_mem ~early ?(bushy = false) (v : N.nview) =
+  Dp.optimize cat ~work_mem
+    {
+      Dp.items = List.map base_item v.N.n_rels;
+      preds = v.N.n_preds;
+      group = Some (view_spec v);
+      early_grouping = early;
+      bushy;
+    }
+
+let derived_of_view (v : N.nview) (entry : Dp.entry) =
+  {
+    Dp.covers = List.map fst v.N.n_rels @ [ v.N.n_alias ];
+    access = Dp.A_derived { plan = entry.Dp.plan; out_key = Some v.N.n_keys };
+  }
+
+let view_items cat ~mode ~work_mem ?(bushy = false) (nq : N.nquery) =
+  let early = match mode with `Traditional -> false | `Greedy -> true in
+  List.map
+    (fun v -> derived_of_view v (optimize_view cat ~work_mem ~early ~bushy v))
+    nq.N.views
+  @ List.map base_item nq.N.rels
+
+let optimize cat ~work_mem ~mode ?(bushy = false) (nq : N.nquery) =
+  let early = match mode with `Traditional -> false | `Greedy -> true in
+  let items = view_items cat ~mode ~work_mem ~bushy nq in
+  Dp.optimize cat ~work_mem
+    {
+      Dp.items;
+      preds = nq.N.preds;
+      group = (if nq.N.grouped then Some (top_spec nq) else None);
+      early_grouping = early;
+      bushy;
+    }

@@ -1,0 +1,71 @@
+let dedup_columns cols =
+  List.fold_left
+    (fun acc c -> if List.exists (Schema.column_equal c) acc then acc else acc @ [ c ])
+    [] cols
+
+let rewrite tree =
+  match tree with
+  | Logical.Group ({ input = Logical.Join { left; right; cond }; _ } as g) ->
+    let left_schema = Logical.schema left in
+    let from_left (c : Schema.column) = Schema.mem left_schema c in
+    let ok =
+      List.for_all
+        (fun a ->
+          Aggregate.is_decomposable a
+          && List.for_all from_left (Aggregate.arg_columns a))
+        g.aggs
+    in
+    if not ok then None
+    else begin
+      let needed =
+        List.concat_map Expr.pred_columns cond |> List.filter from_left
+      in
+      let partial_keys =
+        dedup_columns (List.filter from_left g.keys @ needed)
+      in
+      let dec = List.map (Aggregate.decompose ~qual:g.agg_qual) g.aggs in
+      let partial_aggs = List.concat_map (fun d -> d.Aggregate.partials) dec in
+      let combine_aggs = List.concat_map (fun d -> d.Aggregate.combine) dec in
+      let posts = List.filter_map (fun d -> d.Aggregate.post) dec in
+      let g2 =
+        Logical.Group
+          { input = left; agg_qual = g.agg_qual; keys = partial_keys;
+            aggs = partial_aggs; having = [] }
+      in
+      let joined = Logical.Join { left = g2; right; cond } in
+      let g1' =
+        Logical.Group
+          { input = joined; agg_qual = g.agg_qual; keys = g.keys;
+            aggs = combine_aggs;
+            having = (if posts = [] then g.having else []) }
+      in
+      if posts = [] then Some g1'
+      else begin
+        (* Recombine AVG and restore the original output schema, then apply
+           the Having clause over it. *)
+        let key_cols = List.map (fun k -> (Expr.Col k, k)) g.keys in
+        let agg_cols =
+          List.map
+            (fun (a : Aggregate.t) ->
+              let out =
+                Schema.column ~qual:g.agg_qual a.Aggregate.out_name
+                  (Aggregate.result_type a)
+              in
+              match
+                List.find_opt
+                  (fun (_, name) -> String.equal name a.Aggregate.out_name)
+                  posts
+              with
+              | Some (e, _) -> (e, out)
+              | None -> (Expr.Col out, out))
+            g.aggs
+        in
+        let projected = Logical.Project { input = g1'; cols = key_cols @ agg_cols } in
+        match Expr.conjoin g.having with
+        | None -> Some projected
+        | Some p -> Some (Logical.Filter { input = projected; pred = p })
+      end
+    end
+  | Logical.Scan _ | Logical.Filter _ | Logical.Join _ | Logical.Group _
+  | Logical.Project _ ->
+    None

@@ -1,0 +1,21 @@
+(** Simple coalescing grouping as a standalone operator-tree rewrite
+    (paper, Section 4.2 and Figure 2b).
+
+    [rewrite tree] matches
+
+    {v Group g1 (Join [cond] R1 R2) v}
+
+    and, when every aggregate of g1 is decomposable with arguments from R1,
+    inserts a partial group-by under the join:
+
+    {v Group g1' (Join [cond] (Group g2 (R1)) R2) v}
+
+    where g2 groups R1 on g1's R1-side grouping columns plus every R1
+    column the join predicates mention, computing partial aggregates, and
+    g1' coalesces them (SUM of partial sums and counts, MIN of mins, …; AVG
+    is recombined with a final projection).  Unlike invariant grouping, g1
+    is {e not} moved — a new group-by is added, so no key condition on R2 is
+    needed. *)
+
+val rewrite : Logical.t -> Logical.t option
+(** [None] when the shape or decomposability conditions do not hold. *)

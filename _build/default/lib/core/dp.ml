@@ -1,0 +1,591 @@
+type access =
+  | A_base of { alias : string; table : string }
+  | A_derived of { plan : Physical.t; out_key : Schema.column list option }
+
+type item = { covers : string list; access : access }
+
+type input = {
+  items : item list;
+  preds : Expr.pred list;
+  group : Grouping.group_spec option;
+  early_grouping : bool;
+  bushy : bool;
+}
+
+type gtag =
+  | Ungrouped
+  | Grouped_final
+  | Grouped_partial of Grouping.coalesce
+
+type entry = { plan : Physical.t; est : Cost_model.est; tag : gtag }
+
+let tag_kind = function
+  | Ungrouped -> 0
+  | Grouped_final -> 1
+  | Grouped_partial _ -> 2
+
+let key_name (c : Schema.column) = (c.Schema.cqual, c.Schema.cname)
+
+let rec is_prefix small big =
+  match small, big with
+  | [], _ -> true
+  | _, [] -> false
+  | (q, n) :: s, (q', n') :: b ->
+    String.equal q q' && String.equal n n' && is_prefix s b
+
+(* ------------------------------------------------------------------ *)
+
+let finish_partial (spec : Grouping.group_spec) (c : Grouping.coalesce) plan =
+  let having_inline = c.Grouping.post = [] in
+  let g1 =
+    Physical.Hash_group
+      {
+        input = plan;
+        agg_qual = spec.Grouping.gs_qual;
+        keys = spec.Grouping.gs_keys;
+        aggs = c.Grouping.combine_aggs;
+        having = (if having_inline then spec.Grouping.gs_having else []);
+      }
+  in
+  if having_inline then g1
+  else begin
+    (* Recombine (AVG) and restore the original output columns, then filter. *)
+    let key_cols = List.map (fun k -> (Expr.Col k, k)) spec.Grouping.gs_keys in
+    let agg_cols =
+      List.map
+        (fun (a : Aggregate.t) ->
+          let out =
+            Schema.column ~qual:spec.Grouping.gs_qual a.Aggregate.out_name
+              (Aggregate.result_type a)
+          in
+          match
+            List.find_opt
+              (fun (_, name) -> String.equal name a.Aggregate.out_name)
+              c.Grouping.post
+          with
+          | Some (e, _) -> (e, out)
+          | None -> (Expr.Col out, out))
+        spec.Grouping.gs_aggs
+    in
+    let projected = Physical.Project { input = g1; cols = key_cols @ agg_cols } in
+    match spec.Grouping.gs_having with
+    | [] -> projected
+    | having -> Physical.Filter { input = projected; pred = having }
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let optimize cat ~work_mem input =
+  let n = List.length input.items in
+  if n = 0 then invalid_arg "Dp.optimize: no items";
+  if n > 20 then invalid_arg "Dp.optimize: too many items";
+  let items = Array.of_list input.items in
+  let estimate p = Cost_model.estimate cat ~work_mem p in
+  let full_mask = (1 lsl n) - 1 in
+  (* alias -> item bit *)
+  let alias_bit =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri
+      (fun i it -> List.iter (fun a -> Hashtbl.replace tbl a (1 lsl i)) it.covers)
+      items;
+    tbl
+  in
+  let needed_mask p =
+    List.fold_left
+      (fun acc q ->
+        match Hashtbl.find_opt alias_bit q with
+        | Some b -> acc lor b
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Dp.optimize: predicate references unknown alias %s" q))
+      0 (Expr.qualifiers p)
+  in
+  let preds = List.map (fun p -> (p, needed_mask p)) input.preds in
+  let covered_aliases mask =
+    let acc = ref [] in
+    Array.iteri (fun i it -> if mask land (1 lsl i) <> 0 then acc := it.covers @ !acc) items;
+    !acc
+  in
+  let leaf_filters j =
+    (* Constant predicates (no column references) are attached to item 0. *)
+    List.filter_map
+      (fun (p, m) -> if m = 1 lsl j || (m = 0 && j = 0) then Some p else None)
+      preds
+  in
+  let applicable_preds_mask left_mask right_mask =
+    List.filter_map
+      (fun (p, m) ->
+        if
+          m land lnot (left_mask lor right_mask) = 0
+          && m land lnot left_mask <> 0
+          && m land lnot right_mask <> 0
+        then Some p
+        else None)
+      preds
+  in
+  let applicable_preds mask j = applicable_preds_mask mask (1 lsl j) in
+  let remaining_preds mask =
+    List.filter_map
+      (fun (p, m) -> if m land lnot mask <> 0 then Some p else None)
+      preds
+  in
+  let remaining_items mask =
+    let acc = ref [] in
+    Array.iteri
+      (fun i it ->
+        if mask land (1 lsl i) = 0 then begin
+          let key =
+            match it.access with
+            | A_base { alias; table } ->
+              let tbl = Catalog.table_exn cat table in
+              (match tbl.Catalog.primary_key with
+               | [] -> None
+               | pk ->
+                 Some
+                   (List.map
+                      (fun k ->
+                        let idx = Schema.find_exn tbl.Catalog.tschema k in
+                        let col = Schema.get tbl.Catalog.tschema idx in
+                        Schema.column ~qual:alias k col.Schema.cty)
+                      pk))
+            | A_derived d -> d.out_key
+          in
+          acc := { Grouping.li_aliases = it.covers; li_key = key } :: !acc
+        end)
+      items;
+    !acc
+  in
+
+  (* ---- DP table ---- *)
+  let table : (int, entry list) Hashtbl.t = Hashtbl.create 256 in
+  let entries mask = Option.value ~default:[] (Hashtbl.find_opt table mask) in
+  let dominates a b =
+    tag_kind a.tag = tag_kind b.tag
+    && a.est.Cost_model.cost <= b.est.Cost_model.cost
+    && a.est.Cost_model.pages <= b.est.Cost_model.pages
+    && is_prefix (Physical.sorted_on b.plan) (Physical.sorted_on a.plan)
+  in
+  let add_entry mask e =
+    let current = entries mask in
+    if List.exists (fun e' -> dominates e' e) current then ()
+    else begin
+      let kept = List.filter (fun e' -> not (dominates e e')) current in
+      let all =
+        List.sort
+          (fun a b -> Float.compare a.est.Cost_model.cost b.est.Cost_model.cost)
+          (e :: kept)
+      in
+      let rec take k = function
+        | [] -> []
+        | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+      in
+      Search_stats.count_entry ();
+      Hashtbl.replace table mask (take 8 all)
+    end
+  in
+
+  (* ---- single-item access paths ---- *)
+  let extract_bounds alias colname filters =
+    (* Fold constant comparisons on (alias, colname) into range bounds. *)
+    let consumed = ref [] in
+    let lo = ref None and hi = ref None in
+    let tighten_lo (v, incl) =
+      match !lo with
+      | None -> lo := Some (v, incl)
+      | Some (v', _) -> if Value.compare v v' > 0 then lo := Some (v, incl)
+    in
+    let tighten_hi (v, incl) =
+      match !hi with
+      | None -> hi := Some (v, incl)
+      | Some (v', _) -> if Value.compare v v' < 0 then hi := Some (v, incl)
+    in
+    List.iter
+      (fun p ->
+        match p with
+        | Expr.Cmp (op, Expr.Col c, Expr.Const v)
+          when String.equal c.Schema.cqual alias && String.equal c.Schema.cname colname
+          -> (
+          let used = ref true in
+          (match op with
+           | Expr.Eq ->
+             tighten_lo (v, true);
+             tighten_hi (v, true)
+           | Expr.Lt -> tighten_hi (v, false)
+           | Expr.Le -> tighten_hi (v, true)
+           | Expr.Gt -> tighten_lo (v, false)
+           | Expr.Ge -> tighten_lo (v, true)
+           | Expr.Ne -> used := false);
+          if !used then consumed := p :: !consumed)
+        | _ -> ())
+      filters;
+    (!lo, !hi, !consumed)
+  in
+  let base_access_plans alias table filters =
+    let tbl = Catalog.table_exn cat table in
+    let seq = Physical.Seq_scan { alias; table; filter = filters } in
+    let index_plans =
+      List.map
+        (fun (colname, _) ->
+          let lo, hi, consumed = extract_bounds alias colname filters in
+          let residual = List.filter (fun p -> not (List.memq p consumed)) filters in
+          Physical.Index_scan { alias; table; column = colname; lo; hi; filter = residual })
+        tbl.Catalog.indexes
+    in
+    seq :: index_plans
+  in
+  let singleton_plans j =
+    let it = items.(j) in
+    let filters = leaf_filters j in
+    match it.access with
+    | A_base { alias; table } -> base_access_plans alias table filters
+    | A_derived d ->
+      let plan =
+        match filters with
+        | [] -> d.plan
+        | ps -> Physical.Filter { input = d.plan; pred = ps }
+      in
+      [ plan ]
+  in
+
+  (* ---- greedy conservative group-by placement ---- *)
+  let try_place_group mask =
+    match input.group with
+    | None -> ()
+    | Some spec ->
+      if input.early_grouping && mask <> full_mask then begin
+        let cov = covered_aliases mask in
+        let rem_preds = remaining_preds mask in
+        let rem_items = remaining_items mask in
+        let consider e =
+          if tag_kind e.tag <> 0 then None
+          else begin
+            let candidates = ref [] in
+            if
+              Grouping.invariant_final_ok ~spec ~covered_aliases:cov
+                ~remaining_items:rem_items ~remaining_preds:rem_preds
+            then begin
+              Search_stats.count_group_plan ();
+              let plan =
+                Physical.Hash_group
+                  {
+                    input = e.plan;
+                    agg_qual = spec.Grouping.gs_qual;
+                    keys = spec.Grouping.gs_keys;
+                    aggs = spec.Grouping.gs_aggs;
+                    having = spec.Grouping.gs_having;
+                  }
+              in
+              candidates := { plan; est = estimate plan; tag = Grouped_final } :: !candidates
+            end;
+            (match Grouping.coalesce_at ~spec ~covered_aliases:cov ~remaining_preds:rem_preds with
+             | None -> ()
+             | Some c ->
+               Search_stats.count_group_plan ();
+               let plan =
+                 Physical.Hash_group
+                   {
+                     input = e.plan;
+                     agg_qual = spec.Grouping.gs_qual;
+                     keys = c.Grouping.partial_keys;
+                     aggs = c.Grouping.partial_aggs;
+                     having = [];
+                   }
+               in
+               candidates :=
+                 { plan; est = estimate plan; tag = Grouped_partial c } :: !candidates);
+            (* Conservative acceptance: strictly fewer rows, no wider, no
+               more expensive — guarantees downstream cost can only drop. *)
+            let acceptable g =
+              g.est.Cost_model.cost <= e.est.Cost_model.cost
+              && g.est.Cost_model.width <= e.est.Cost_model.width
+              && g.est.Cost_model.rows < e.est.Cost_model.rows
+            in
+            let ok = List.filter acceptable !candidates in
+            match
+              List.sort
+                (fun a b -> Float.compare a.est.Cost_model.rows b.est.Cost_model.rows)
+                ok
+            with
+            | [] -> None
+            | best :: _ -> Some best
+          end
+        in
+        let updated =
+          List.map (fun e -> match consider e with Some g -> g | None -> e) (entries mask)
+        in
+        Hashtbl.replace table mask updated
+      end
+  in
+
+  (* ---- join candidate generation ---- *)
+  let reconstruct_eq (a, b) = Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) in
+  let rescannable plan =
+    match plan with
+    | Physical.Seq_scan _ | Physical.Index_scan _ -> plan
+    | p -> Physical.Materialize { input = p }
+  in
+  let join_candidates ~left_aliases left_entry j right_plan app_preds =
+    let right_aliases = items.(j).covers in
+    let in_aliases aliases (c : Schema.column) =
+      List.exists (String.equal c.Schema.cqual) aliases
+    in
+    let equi, residual =
+      List.fold_left
+        (fun (eq, res) p ->
+          match Expr.as_equijoin p with
+          | Some (a, b)
+            when in_aliases left_aliases a && in_aliases right_aliases b ->
+            (eq @ [ (a, b) ], res)
+          | Some (a, b)
+            when in_aliases left_aliases b && in_aliases right_aliases a ->
+            (eq @ [ (b, a) ], res)
+          | _ -> (eq, res @ [ p ]))
+        ([], []) app_preds
+    in
+    let out = ref [] in
+    let emit plan = out := plan :: !out in
+    (* Block nested loops: always available. *)
+    emit
+      (Physical.Block_nl_join
+         { left = left_entry.plan; right = rescannable right_plan; cond = app_preds });
+    if equi <> [] then begin
+      (* Hash join: build the smaller side. *)
+      let lest = left_entry.est and rest_ = estimate right_plan in
+      let build_side =
+        if rest_.Cost_model.pages <= lest.Cost_model.pages then `Right else `Left
+      in
+      emit
+        (Physical.Hash_join
+           { left = left_entry.plan; right = right_plan; keys = equi; cond = residual;
+             build_side });
+      (* Sort-merge join: reuse existing orders where possible. *)
+      let lkeys = List.map fst equi and rkeys = List.map snd equi in
+      let lsorted =
+        if is_prefix (List.map key_name lkeys) (Physical.sorted_on left_entry.plan)
+        then left_entry.plan
+        else Physical.Sort { input = left_entry.plan; cols = lkeys }
+      in
+      let rsorted =
+        if is_prefix (List.map key_name rkeys) (Physical.sorted_on right_plan)
+        then right_plan
+        else Physical.Sort { input = right_plan; cols = rkeys }
+      in
+      emit
+        (Physical.Merge_join { left = lsorted; right = rsorted; keys = equi; cond = residual });
+      (* Index nested loops into a base right item (generated once, for the
+         sequential-scan variant of the right plan, to avoid duplicates). *)
+      (match items.(j).access, right_plan with
+       | A_base { alias; table }, Physical.Seq_scan _ ->
+         let tbl = Catalog.table_exn cat table in
+         List.iteri
+           (fun i (lcol, rcol) ->
+             if
+               String.equal rcol.Schema.cqual alias
+               && Catalog.index_on tbl rcol.Schema.cname <> None
+             then begin
+               let others =
+                 List.filteri (fun i' _ -> i' <> i) equi
+                 |> List.map reconstruct_eq
+               in
+               let cond = residual @ others @ leaf_filters j in
+               emit
+                 (Physical.Index_nl_join
+                    { left = left_entry.plan; alias; table; column = rcol.Schema.cname;
+                      outer_key = lcol; cond })
+             end)
+           equi
+       | (A_base _ | A_derived _), _ -> ())
+    end;
+    !out
+  in
+
+  (* ---- enumeration ---- *)
+  for j = 0 to n - 1 do
+    List.iter
+      (fun plan -> add_entry (1 lsl j) { plan; est = estimate plan; tag = Ungrouped })
+      (singleton_plans j);
+    try_place_group (1 lsl j)
+  done;
+  for mask = 1 to full_mask do
+    if mask land (mask - 1) <> 0 (* at least two items *) then begin
+      (* Prefer connected extensions; fall back to cross joins. *)
+      let candidates_j =
+        List.filter
+          (fun j ->
+            mask land (1 lsl j) <> 0 && entries (mask lxor (1 lsl j)) <> [])
+          (List.init n (fun i -> i))
+      in
+      let connected_j =
+        List.filter
+          (fun j -> applicable_preds (mask lxor (1 lsl j)) j <> [])
+          candidates_j
+      in
+      let js = if connected_j <> [] then connected_j else candidates_j in
+      List.iter
+        (fun j ->
+          let sub = mask lxor (1 lsl j) in
+          let app = applicable_preds sub j in
+          let left_aliases = covered_aliases sub in
+          List.iter
+            (fun left_entry ->
+              List.iter
+                (fun right_plan ->
+                  List.iter
+                    (fun plan ->
+                      Search_stats.count_join_plan ();
+                      add_entry mask
+                        { plan; est = estimate plan; tag = left_entry.tag })
+                    (join_candidates ~left_aliases left_entry j right_plan app))
+                (singleton_plans j))
+            (entries sub))
+        js;
+      if input.bushy then begin
+        (* Composite (bushy) inner sides: join two multi-item subplans.  The
+           group-by spec may have been applied in at most one side. *)
+        let rec subsets s =
+          if s = 0 then ()
+          else begin
+            let comp = mask lxor s in
+            if
+              s land mask = s && comp <> 0
+              && comp land (comp - 1) <> 0 (* right side has >= 2 items *)
+            then begin
+              let app = applicable_preds_mask s comp in
+              if app <> [] then
+                List.iter
+                  (fun left_entry ->
+                    List.iter
+                      (fun right_entry ->
+                        let tag =
+                          match left_entry.tag, right_entry.tag with
+                          | t, Ungrouped -> Some t
+                          | Ungrouped, t -> Some t
+                          | _, _ -> None
+                        in
+                        match tag with
+                        | None -> ()
+                        | Some tag ->
+                          let left_aliases = covered_aliases s in
+                          let right_aliases = covered_aliases comp in
+                          let in_aliases aliases (c : Schema.column) =
+                            List.exists (String.equal c.Schema.cqual) aliases
+                          in
+                          let equi, residual =
+                            List.fold_left
+                              (fun (eq, res) p ->
+                                match Expr.as_equijoin p with
+                                | Some (a, b)
+                                  when in_aliases left_aliases a
+                                       && in_aliases right_aliases b ->
+                                  (eq @ [ (a, b) ], res)
+                                | Some (a, b)
+                                  when in_aliases left_aliases b
+                                       && in_aliases right_aliases a ->
+                                  (eq @ [ (b, a) ], res)
+                                | _ -> (eq, res @ [ p ]))
+                              ([], []) app
+                          in
+                          let emit plan =
+                            Search_stats.count_join_plan ();
+                            add_entry mask { plan; est = estimate plan; tag }
+                          in
+                          emit
+                            (Physical.Block_nl_join
+                               { left = left_entry.plan;
+                                 right = Physical.Materialize { input = right_entry.plan };
+                                 cond = app });
+                          if equi <> [] then begin
+                            let lest = left_entry.est and rest_ = right_entry.est in
+                            let build_side =
+                              if rest_.Cost_model.pages <= lest.Cost_model.pages
+                              then `Right
+                              else `Left
+                            in
+                            emit
+                              (Physical.Hash_join
+                                 { left = left_entry.plan; right = right_entry.plan;
+                                   keys = equi; cond = residual; build_side });
+                            let lkeys = List.map fst equi
+                            and rkeys = List.map snd equi in
+                            let lsorted =
+                              if
+                                is_prefix (List.map key_name lkeys)
+                                  (Physical.sorted_on left_entry.plan)
+                              then left_entry.plan
+                              else Physical.Sort { input = left_entry.plan; cols = lkeys }
+                            in
+                            let rsorted =
+                              if
+                                is_prefix (List.map key_name rkeys)
+                                  (Physical.sorted_on right_entry.plan)
+                              then right_entry.plan
+                              else
+                                Physical.Sort { input = right_entry.plan; cols = rkeys }
+                            in
+                            emit
+                              (Physical.Merge_join
+                                 { left = lsorted; right = rsorted; keys = equi;
+                                   cond = residual })
+                          end)
+                      (entries comp))
+                  (entries s)
+            end;
+            subsets ((s - 1) land mask)
+          end
+        in
+        subsets ((mask - 1) land mask)
+      end;
+      try_place_group mask
+    end
+  done;
+
+  (* ---- finalize ---- *)
+  let finalize e =
+    match input.group with
+    | None -> [ e ]
+    | Some spec -> (
+      match e.tag with
+      | Grouped_final -> [ e ]
+      | Grouped_partial c ->
+        let plan = finish_partial spec c e.plan in
+        [ { plan; est = estimate plan; tag = Grouped_final } ]
+      | Ungrouped ->
+        let hash =
+          Physical.Hash_group
+            {
+              input = e.plan;
+              agg_qual = spec.Grouping.gs_qual;
+              keys = spec.Grouping.gs_keys;
+              aggs = spec.Grouping.gs_aggs;
+              having = spec.Grouping.gs_having;
+            }
+        in
+        let sorted_input =
+          if
+            is_prefix
+              (List.map key_name spec.Grouping.gs_keys)
+              (Physical.sorted_on e.plan)
+          then e.plan
+          else Physical.Sort { input = e.plan; cols = spec.Grouping.gs_keys }
+        in
+        let sortg =
+          Physical.Sort_group
+            {
+              input = sorted_input;
+              agg_qual = spec.Grouping.gs_qual;
+              keys = spec.Grouping.gs_keys;
+              aggs = spec.Grouping.gs_aggs;
+              having = spec.Grouping.gs_having;
+            }
+        in
+        [
+          { plan = hash; est = estimate hash; tag = Grouped_final };
+          { plan = sortg; est = estimate sortg; tag = Grouped_final };
+        ])
+  in
+  let finals = List.concat_map finalize (entries full_mask) in
+  match
+    List.sort (fun a b -> Float.compare a.est.Cost_model.cost b.est.Cost_model.cost) finals
+  with
+  | [] -> invalid_arg "Dp.optimize: no plan found (disconnected input?)"
+  | best :: _ -> best

@@ -1,0 +1,170 @@
+type group_spec = {
+  gs_qual : string;
+  gs_keys : Schema.column list;
+  gs_aggs : Aggregate.t list;
+  gs_having : Expr.pred list;
+}
+
+type later_item = {
+  li_aliases : string list;
+  li_key : Schema.column list option;
+}
+
+let covered aliases (c : Schema.column) =
+  List.exists (String.equal c.Schema.cqual) aliases
+
+let is_key spec c = List.exists (Schema.column_equal c) spec.gs_keys
+
+(* Equality predicates [kc = oc] in [preds] with [kc] a covered grouping key
+   and [oc] on the given later item. *)
+let key_equalities spec covered_aliases item preds =
+  List.filter_map
+    (fun p ->
+      match Expr.as_equijoin p with
+      | None -> None
+      | Some (a, b) ->
+        let item_side c = List.exists (String.equal c.Schema.cqual) item.li_aliases in
+        if covered covered_aliases a && is_key spec a && item_side b then Some b
+        else if covered covered_aliases b && is_key spec b && item_side a then Some a
+        else None)
+    preds
+
+let invariant_final_ok ~spec ~covered_aliases ~remaining_items ~remaining_preds =
+  let cov = covered covered_aliases in
+  (* Keys and aggregate arguments must be computable over the prefix. *)
+  List.for_all cov spec.gs_keys
+  && List.for_all
+       (fun a -> List.for_all cov (Aggregate.arg_columns a))
+       spec.gs_aggs
+  && List.for_all
+       (fun p ->
+         match Expr.pred_columns p with
+         | cols ->
+           List.for_all (fun c -> (not (cov c)) || is_key spec c) cols)
+       remaining_preds
+  (* Each later item must join N:1: equalities on grouping keys covering one
+     of its declared keys, so later joins only filter or keep whole groups. *)
+  && List.for_all
+       (fun item ->
+         match item.li_key with
+         | None -> false
+         | Some key_cols ->
+           let eqs = key_equalities spec covered_aliases item remaining_preds in
+           key_cols <> []
+           && List.for_all
+                (fun kc -> List.exists (Schema.column_equal kc) eqs)
+                key_cols)
+       remaining_items
+
+type coalesce = {
+  partial_keys : Schema.column list;
+  partial_aggs : Aggregate.t list;
+  combine_aggs : Aggregate.t list;
+  post : (Expr.t * string) list;
+}
+
+let dedup_columns cols =
+  List.fold_left
+    (fun acc c -> if List.exists (Schema.column_equal c) acc then acc else acc @ [ c ])
+    [] cols
+
+let coalesce_at ~spec ~covered_aliases ~remaining_preds =
+  let cov = covered covered_aliases in
+  let args_ok =
+    List.for_all
+      (fun a -> Aggregate.is_decomposable a && List.for_all cov (Aggregate.arg_columns a))
+      spec.gs_aggs
+  in
+  if not args_ok then None
+  else begin
+    let needed_later =
+      List.concat_map Expr.pred_columns remaining_preds |> List.filter cov
+    in
+    let partial_keys =
+      dedup_columns (List.filter cov spec.gs_keys @ needed_later)
+    in
+    let decomposed = List.map (Aggregate.decompose ~qual:spec.gs_qual) spec.gs_aggs in
+    Some
+      {
+        partial_keys;
+        partial_aggs = List.concat_map (fun d -> d.Aggregate.partials) decomposed;
+        combine_aggs = List.concat_map (fun d -> d.Aggregate.combine) decomposed;
+        post = List.filter_map (fun d -> d.Aggregate.post) decomposed;
+      }
+  end
+
+let minimal_invariant_set cat (v : Normalize.nview) =
+  let module N = Normalize in
+  let agg_arg_quals =
+    List.concat_map
+      (fun a -> List.map (fun c -> c.Schema.cqual) (Aggregate.arg_columns a))
+      v.N.n_aggs
+  in
+  let key_quals = List.map (fun (c : Schema.column) -> c.Schema.cqual) v.N.n_keys in
+  let removable current alias table =
+    (* Only predicates still internal to the current set matter. *)
+    let inner_preds =
+      List.filter
+        (fun p ->
+          List.for_all
+            (fun q -> List.exists (String.equal q) current)
+            (Expr.qualifiers p))
+        v.N.n_preds
+    in
+    let tbl = Catalog.table_exn cat table in
+    let pk = tbl.Catalog.primary_key in
+    pk <> []
+    && (not (List.exists (String.equal alias) agg_arg_quals))
+    && (not (List.exists (String.equal alias) key_quals))
+    &&
+    let connecting =
+      List.filter
+        (fun p ->
+          let qs = Expr.qualifiers p in
+          List.exists (String.equal alias) qs
+          && List.exists (fun q -> not (String.equal q alias)) qs)
+        inner_preds
+    in
+    (* Other-side columns of connecting predicates must be grouping keys. *)
+    List.for_all
+      (fun p ->
+        List.for_all
+          (fun (c : Schema.column) ->
+            String.equal c.Schema.cqual alias
+            || List.exists (Schema.column_equal c) v.N.n_keys)
+          (Expr.pred_columns p))
+      connecting
+    &&
+    (* Equalities key-col = alias-col must cover the full primary key. *)
+    let covered_pk =
+      List.filter_map
+        (fun p ->
+          match Expr.as_equijoin p with
+          | Some (a, b)
+            when String.equal b.Schema.cqual alias
+                 && List.exists (Schema.column_equal a) v.N.n_keys ->
+            Some b.Schema.cname
+          | Some (a, b)
+            when String.equal a.Schema.cqual alias
+                 && List.exists (Schema.column_equal b) v.N.n_keys ->
+            Some a.Schema.cname
+          | _ -> None)
+        connecting
+    in
+    List.for_all (fun k -> List.exists (String.equal k) covered_pk) pk
+  in
+  let rec fixpoint current moved =
+    let next =
+      List.find_opt
+        (fun (alias, table) ->
+          removable (List.map fst current) alias table)
+        current
+    in
+    match next with
+    | None -> (List.map fst current, moved)
+    | Some (alias, table) ->
+      fixpoint
+        (List.filter (fun (a, _) -> not (String.equal a alias)) current)
+        (moved @ [ (alias, table) ])
+  in
+  fixpoint v.N.n_rels []

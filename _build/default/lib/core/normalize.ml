@@ -1,0 +1,125 @@
+type nview = {
+  n_alias : string;
+  n_rels : (string * string) list;
+  n_preds : Expr.pred list;
+  n_keys : Schema.column list;
+  n_aggs : Aggregate.t list;
+  n_having : Expr.pred list;
+  n_agg_cols : Schema.column list;
+}
+
+type nquery = {
+  views : nview list;
+  rels : (string * string) list;
+  preds : Expr.pred list;
+  grouped : bool;
+  keys : Schema.column list;
+  aggs : Aggregate.t list;
+  having : Expr.pred list;
+  select : (Expr.t * Schema.column) list;
+  order : Schema.column list;
+  limit : int option;
+}
+
+let normalize cat (q : Block.query) =
+  (match Block.validate cat q with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Normalize: " ^ msg));
+  (* Substitution eliminating key exports of every view. *)
+  let key_map =
+    List.concat_map Block.export_mapping q.Block.q_views
+  in
+  let subst c =
+    List.find_map
+      (fun (exported, underlying) ->
+        if Schema.column_equal exported c then Some underlying else None)
+      key_map
+  in
+  let rw_pred = Expr.subst_columns subst in
+  let rw_expr = Expr.subst_expr_columns subst in
+  let rw_col c = match subst c with Some c' -> c' | None -> c in
+  let views =
+    List.map
+      (fun (v : Block.view) ->
+        {
+          n_alias = v.Block.v_alias;
+          n_rels =
+            List.map (fun (r : Block.rel) -> (r.Block.r_alias, r.Block.r_table)) v.Block.v_rels;
+          n_preds = List.concat_map Expr.conjuncts v.Block.v_preds;
+          n_keys = v.Block.v_keys;
+          n_aggs = v.Block.v_aggs;
+          n_having = List.concat_map Expr.conjuncts v.Block.v_having;
+          n_agg_cols = Block.exported_agg_columns v;
+        })
+      q.Block.q_views
+  in
+  let rw_agg (a : Aggregate.t) =
+    { a with Aggregate.arg = Option.map rw_expr a.Aggregate.arg }
+  in
+  let select =
+    List.map
+      (fun item ->
+        match item with
+        | Block.Sel_col (c, name) ->
+          let c' = rw_col c in
+          (Expr.Col c', Schema.column name c'.Schema.cty)
+        | Block.Sel_agg a ->
+          let ty = Aggregate.result_type a in
+          ( Expr.Col (Schema.column ~qual:"" a.Aggregate.out_name ty),
+            Schema.column a.Aggregate.out_name ty ))
+      q.Block.q_select
+  in
+  {
+    views;
+    rels = List.map (fun (r : Block.rel) -> (r.Block.r_alias, r.Block.r_table)) q.Block.q_rels;
+    preds = List.map rw_pred (List.concat_map Expr.conjuncts q.Block.q_preds);
+    grouped = q.Block.q_grouped;
+    keys = List.map rw_col q.Block.q_keys;
+    aggs = List.map rw_agg q.Block.q_aggs;
+    having = List.map rw_pred (List.concat_map Expr.conjuncts q.Block.q_having);
+    select;
+    order =
+      List.map
+        (fun name ->
+          match
+            List.find_opt (fun (_, c) -> String.equal c.Schema.cname name) select
+          with
+          | Some (_, c) -> c
+          | None -> invalid_arg ("Normalize: unknown ORDER BY column " ^ name))
+        q.Block.q_order;
+    limit = q.Block.q_limit;
+  }
+
+let agg_quals_of_pred nq p =
+  let cols = Expr.pred_columns p in
+  List.filter_map
+    (fun v ->
+      if
+        List.exists
+          (fun c -> List.exists (Schema.column_equal c) v.n_agg_cols)
+          cols
+      then Some v.n_alias
+      else None)
+    nq.views
+  |> List.sort_uniq String.compare
+
+let pred_aliases nq p =
+  let cols = Expr.pred_columns p in
+  let base =
+    List.filter_map
+      (fun (c : Schema.column) ->
+        (* Aggregate-output qualifiers are view aliases, not base aliases. *)
+        if List.exists (fun v -> String.equal v.n_alias c.Schema.cqual) nq.views
+        then None
+        else Some c.Schema.cqual)
+      cols
+  in
+  let via_aggs =
+    List.concat_map
+      (fun valias ->
+        match List.find_opt (fun v -> String.equal v.n_alias valias) nq.views with
+        | Some v -> List.map fst v.n_rels
+        | None -> [])
+      (agg_quals_of_pred nq p)
+  in
+  List.sort_uniq String.compare (base @ via_aggs)

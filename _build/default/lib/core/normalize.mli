@@ -1,0 +1,54 @@
+(** Normalization of a canonical {!Block.query} into the optimizer's
+    internal form.
+
+    Two rewrites happen here:
+
+    - {b Export elimination.}  Inside the optimizer a view's group-by keeps
+      the base identities of its grouping columns (a [Group] node never
+      renames its keys), so every outer reference to a view's exported
+      {e key} column is rewritten to the underlying base column.  This makes
+      pull-up a pure composition problem and lets the selectivity estimator
+      find base-table statistics for predicates that cross block boundaries.
+      References to exported {e aggregate} columns keep the (view alias,
+      output name) identity, which is exactly how the view's group-by labels
+      them.
+
+    - {b Predicate classification.}  Outer conjuncts that mention a view's
+      aggregate outputs are flagged: they cannot be evaluated before that
+      view's group-by, which is the "deferred to the Having clause"
+      condition of the pull-up transformation (Definition 1, item 4). *)
+
+type nview = {
+  n_alias : string;
+  n_rels : (string * string) list;  (** (alias, table) of the view's SPJ part *)
+  n_preds : Expr.pred list;  (** view-local conjuncts *)
+  n_keys : Schema.column list;  (** grouping columns, base identities *)
+  n_aggs : Aggregate.t list;
+  n_having : Expr.pred list;
+  n_agg_cols : Schema.column list;  (** aggregate output columns (alias-qualified) *)
+}
+
+type nquery = {
+  views : nview list;
+  rels : (string * string) list;  (** outer base tables *)
+  preds : Expr.pred list;  (** outer conjuncts, export-eliminated *)
+  grouped : bool;
+  keys : Schema.column list;
+  aggs : Aggregate.t list;
+  having : Expr.pred list;
+  select : (Expr.t * Schema.column) list;  (** final projection *)
+  order : Schema.column list;  (** output columns to sort by *)
+  limit : int option;
+}
+
+val normalize : Catalog.t -> Block.query -> nquery
+(** @raise Invalid_argument when {!Block.validate} fails. *)
+
+val agg_quals_of_pred : nquery -> Expr.pred -> string list
+(** Aliases of the views whose aggregate output columns the predicate
+    mentions (empty = evaluable before any view group-by). *)
+
+val pred_aliases : nquery -> Expr.pred -> string list
+(** All base-relation aliases a predicate touches, where references to a
+    view's aggregate outputs count as touching {e all} of that view's
+    relations. *)

@@ -1,0 +1,58 @@
+type algorithm = Traditional | Greedy_conservative | Paper
+
+type options = {
+  algorithm : algorithm;
+  work_mem : int;
+  paper : Paper_opt.options;
+  predicate_moveround : bool;
+}
+
+let default_options =
+  { algorithm = Paper; work_mem = 32; paper = Paper_opt.default_options;
+    predicate_moveround = true }
+
+type result = {
+  plan : Physical.t;
+  est : Cost_model.est;
+  search : Search_stats.t;
+  report : Paper_opt.report option;
+}
+
+let optimize ?(options = default_options) cat query =
+  Search_stats.reset ();
+  let nq = Normalize.normalize cat query in
+  let nq = if options.predicate_moveround then Predicate_transfer.apply nq else nq in
+  let entry, report =
+    match options.algorithm with
+    | Traditional ->
+      ( Baseline.optimize cat ~work_mem:options.work_mem ~mode:`Traditional
+          ~bushy:options.paper.Paper_opt.bushy nq,
+        None )
+    | Greedy_conservative ->
+      ( Baseline.optimize cat ~work_mem:options.work_mem ~mode:`Greedy
+          ~bushy:options.paper.Paper_opt.bushy nq,
+        None )
+    | Paper ->
+      let r =
+        Paper_opt.optimize cat ~work_mem:options.work_mem ~opts:options.paper nq
+      in
+      (r.Paper_opt.best, Some r)
+  in
+  let plan = Physical.Project { input = entry.Dp.plan; cols = nq.Normalize.select } in
+  let plan =
+    match nq.Normalize.order with
+    | [] -> plan
+    | cols -> Physical.Sort { input = plan; cols }
+  in
+  let plan =
+    match nq.Normalize.limit with
+    | None -> plan
+    | Some count -> Physical.Limit { input = plan; count }
+  in
+  let est = Cost_model.estimate cat ~work_mem:options.work_mem plan in
+  { plan; est; search = Search_stats.snapshot (); report }
+
+let run ?(options = default_options) cat query =
+  let r = optimize ~options cat query in
+  let ctx = Exec_ctx.create ~work_mem:options.work_mem cat in
+  Executor.run_measured ~cold:true ctx r.plan

@@ -1,0 +1,97 @@
+module N = Normalize
+
+let same_col (a : Schema.column) (b : Schema.column) =
+  String.equal a.Schema.cqual b.Schema.cqual && String.equal a.Schema.cname b.Schema.cname
+
+let is_agg_col nq (c : Schema.column) =
+  List.exists
+    (fun v -> List.exists (same_col c) v.N.n_agg_cols)
+    nq.N.views
+
+let all_preds nq = nq.N.preds @ List.concat_map (fun v -> v.N.n_preds) nq.N.views
+
+(* Union-find as a list of classes (queries are small). *)
+let equality_classes nq =
+  let classes : Schema.column list list ref = ref [] in
+  let class_of c = List.find_opt (List.exists (same_col c)) !classes in
+  let add c = if class_of c = None then classes := [ c ] :: !classes in
+  List.iter
+    (fun p ->
+      match Expr.as_equijoin p with
+      | Some (a, b) when (not (is_agg_col nq a)) && not (is_agg_col nq b) ->
+        add a;
+        add b;
+        let ca = Option.get (class_of a) and cb = Option.get (class_of b) in
+        if ca != cb then
+          classes := (ca @ cb) :: List.filter (fun cl -> cl != ca && cl != cb) !classes
+      | _ -> ())
+    (all_preds nq);
+  !classes
+
+(* Constant comparisons eligible for transfer, as (column, rebuild). *)
+let constant_comparisons nq =
+  List.filter_map
+    (fun p ->
+      match p with
+      | Expr.Cmp (op, Expr.Col c, (Expr.Const _ as k)) when not (is_agg_col nq c) ->
+        Some (c, fun c' -> Expr.Cmp (op, Expr.Col c', k))
+      | Expr.Cmp (op, (Expr.Const _ as k), Expr.Col c) when not (is_agg_col nq c) ->
+        Some (c, fun c' -> Expr.Cmp (op, k, Expr.Col c'))
+      | _ -> None)
+    (all_preds nq)
+
+let implied_predicates nq =
+  let classes = equality_classes nq in
+  let existing = all_preds nq in
+  let fresh = ref [] in
+  List.iter
+    (fun (c, rebuild) ->
+      match List.find_opt (List.exists (same_col c)) classes with
+      | None -> ()
+      | Some cls ->
+        List.iter
+          (fun c' ->
+            if not (same_col c c') then begin
+              let p = rebuild c' in
+              if
+                (not (List.mem p existing))
+                && not (List.mem p !fresh)
+              then fresh := p :: !fresh
+            end)
+          cls)
+    (constant_comparisons nq);
+  List.rev !fresh
+
+let apply nq =
+  let fresh = implied_predicates nq in
+  if fresh = [] then nq
+  else begin
+    (* A conjunct whose aliases all belong to one view's relations is moved
+       into that view; others stay in the outer pool. *)
+    let owner p =
+      let quals = Expr.qualifiers p in
+      List.find_opt
+        (fun v ->
+          List.for_all
+            (fun q -> List.exists (fun (a, _) -> String.equal a q) v.N.n_rels)
+            quals)
+        nq.N.views
+    in
+    let for_view, for_outer =
+      List.partition (fun p -> owner p <> None) fresh
+    in
+    let views =
+      List.map
+        (fun v ->
+          let mine =
+            List.filter
+              (fun p -> match owner p with
+                 | Some o -> String.equal o.N.n_alias v.N.n_alias
+                 | None -> false)
+              for_view
+          in
+          { v with N.n_preds = v.N.n_preds @ mine })
+        nq.N.views
+    in
+    { nq with N.views; preds = nq.N.preds @ for_outer }
+  end

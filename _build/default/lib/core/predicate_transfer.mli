@@ -1,0 +1,22 @@
+(** Predicate move-around (Levy–Mumick–Sagiv [LMS94], Mumick et al.
+    [MFPR90]): propagate constant predicates along equality classes across
+    query blocks.
+
+    The paper treats this as the {e existing} inter-block technique that
+    traditional optimizers already apply before optimizing each block
+    locally (Section 1, Section 5.1), so it runs for every algorithm here;
+    disabling it (see {!Optimizer.options}) isolates its contribution.
+
+    Given the normalized query, equality conjuncts — both outer and
+    view-local — induce equivalence classes over base columns; every
+    constant comparison on a class member is replicated onto the other
+    members.  An implied conjunct whose columns all belong to one view's
+    relations is pushed into that view's predicate list (so even the
+    block-at-a-time baseline benefits); the rest join the outer conjunct
+    pool.  Aggregate-output columns never participate: a restriction on an
+    aggregated value is a Having condition, not a movable predicate. *)
+
+val apply : Normalize.nquery -> Normalize.nquery
+
+val implied_predicates : Normalize.nquery -> Expr.pred list
+(** The new conjuncts {!apply} would add (exposed for tests/experiments). *)

@@ -1,0 +1,55 @@
+let rec base_access cat = function
+  | Logical.Scan s -> Some (s.alias, s.table)
+  | Logical.Filter f -> base_access cat f.input
+  | Logical.Join _ | Logical.Group _ | Logical.Project _ -> None
+
+let rewrite cat tree =
+  match tree with
+  | Logical.Group ({ input = Logical.Join { left; right; cond }; _ } as g) -> (
+    match base_access cat right with
+    | None -> None
+    | Some (r2_alias, r2_table) ->
+      let tbl = Catalog.table_exn cat r2_table in
+      let pk = tbl.Catalog.primary_key in
+      let left_schema = Logical.schema left in
+      let from_left (c : Schema.column) = Schema.mem left_schema c in
+      let from_r2 (c : Schema.column) = String.equal c.Schema.cqual r2_alias in
+      let is_key c = List.exists (Schema.column_equal c) g.keys in
+      let conditions_ok =
+        pk <> []
+        && List.for_all from_left g.keys
+        && List.for_all
+             (fun a -> List.for_all from_left (Aggregate.arg_columns a))
+             g.aggs
+        && List.for_all
+             (fun p ->
+               List.for_all
+                 (fun c -> from_r2 c || is_key c)
+                 (Expr.pred_columns p))
+             cond
+        &&
+        let covered_pk =
+          List.filter_map
+            (fun p ->
+              match Expr.as_equijoin p with
+              | Some (a, b) when is_key a && from_r2 b -> Some b.Schema.cname
+              | Some (a, b) when is_key b && from_r2 a -> Some a.Schema.cname
+              | _ -> None)
+            cond
+        in
+        List.for_all (fun k -> List.exists (String.equal k) covered_pk) pk
+      in
+      if not conditions_ok then None
+      else begin
+        let pushed = Logical.Group { g with input = left } in
+        let joined = Logical.Join { left = pushed; right; cond } in
+        (* Output schema of the original: group keys ++ agg cols.  The new
+           tree also carries R2's columns; project them away, restoring the
+           original schema. *)
+        let orig_schema = Logical.schema tree in
+        let cols = List.map (fun c -> (Expr.Col c, c)) (Schema.columns orig_schema) in
+        Some (Logical.Project { input = joined; cols })
+      end)
+  | Logical.Scan _ | Logical.Filter _ | Logical.Join _ | Logical.Group _
+  | Logical.Project _ ->
+    None

@@ -1,0 +1,22 @@
+(** Invariant grouping push-down as a standalone operator-tree rewrite
+    (paper, Section 4.1 and Figure 2a).
+
+    [rewrite cat tree] matches
+
+    {v Group g (Join [cond] R1 R2) v}
+
+    and, when the grouping is invariant with respect to R2, produces
+
+    {v Join [cond] (Group g (R1)) R2 v}
+
+    Applicability (the conditions {!Grouping} also uses inside the
+    optimizer): grouping columns and aggregate arguments all come from R1;
+    every join predicate's R1-side columns are grouping columns; and the
+    equality predicates cover a primary key of R2 on the R2 side, so each
+    group matches at most one R2 row — later joins can only keep or drop
+    whole groups.  The Having clause moves down with the group-by. *)
+
+val rewrite : Catalog.t -> Logical.t -> Logical.t option
+(** [None] when the shape or the invariance conditions do not hold.  The
+    result's output schema equals the input's up to column order, restored
+    with a final projection. *)

@@ -1,0 +1,29 @@
+type t = { join_plans : int; group_plans : int; entries : int; pullups : int }
+
+let join_plans = ref 0
+let group_plans = ref 0
+let entries = ref 0
+let pullups = ref 0
+
+let reset () =
+  join_plans := 0;
+  group_plans := 0;
+  entries := 0;
+  pullups := 0
+
+let snapshot () =
+  {
+    join_plans = !join_plans;
+    group_plans = !group_plans;
+    entries = !entries;
+    pullups = !pullups;
+  }
+
+let count_join_plan () = incr join_plans
+let count_group_plan () = incr group_plans
+let count_entry () = incr entries
+let count_pullup () = incr pullups
+
+let pp ppf t =
+  Format.fprintf ppf "join_plans=%d group_plans=%d entries=%d pullups=%d"
+    t.join_plans t.group_plans t.entries t.pullups

@@ -1,0 +1,19 @@
+(** Search-effort counters, for the "moderate increase in search space"
+    experiment (paper Section 5.2, citing [CS94]). *)
+
+type t = {
+  join_plans : int;    (** joinplan() invocations: candidate joins costed *)
+  group_plans : int;   (** early group-by placements considered *)
+  entries : int;       (** DP table entries retained *)
+  pullups : int;       (** pulled-up view variants Φ(V', W) optimized *)
+}
+
+val reset : unit -> unit
+val snapshot : unit -> t
+
+val count_join_plan : unit -> unit
+val count_group_plan : unit -> unit
+val count_entry : unit -> unit
+val count_pullup : unit -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cost/cost_model.ml: Aggregate Catalog Datatype Expr Float Format Histogram List Option Page Physical Schema Selectivity Stats String

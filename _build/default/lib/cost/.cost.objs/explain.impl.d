@@ -1,0 +1,1 @@
+lib/cost/explain.ml: Cost_model Format List Physical Printf String

@@ -1,0 +1,1 @@
+lib/cost/explain.mli: Catalog Format Physical

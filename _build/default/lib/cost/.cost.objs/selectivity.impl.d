@@ -1,0 +1,1 @@
+lib/cost/selectivity.ml: Catalog Expr Float Histogram List Schema Stats

@@ -1,0 +1,1 @@
+lib/cost/selectivity.mli: Catalog Expr Schema Stats

@@ -1,0 +1,6 @@
+(** Annotated plan rendering: every node with its estimated rows, pages and
+    cumulative IO cost (the EXPLAIN of this engine). *)
+
+val pp : Catalog.t -> work_mem:int -> Format.formatter -> Physical.t -> unit
+
+val to_string : Catalog.t -> work_mem:int -> Physical.t -> string

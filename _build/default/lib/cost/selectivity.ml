@@ -1,0 +1,78 @@
+type env = { cat : Catalog.t; aliases : (string * string) list }
+
+let of_aliases cat aliases = { cat; aliases }
+
+let default_eq = 0.1
+let default_range = 1. /. 3.
+
+let column_stats env (c : Schema.column) =
+  match List.assoc_opt c.Schema.cqual env.aliases with
+  | None -> None
+  | Some table -> (
+    match Catalog.find_table env.cat table with
+    | None -> None
+    | Some tbl -> (
+      try Some (Catalog.column_stats tbl c.Schema.cname) with Not_found -> None))
+
+let ndv env c ~rows =
+  match column_stats env c with
+  | Some s -> Float.min (float_of_int s.Stats.ndv) (Float.max rows 1.)
+  | None -> Float.max 1. (rows /. 10.)
+
+let clamp s = Float.max 1e-9 (Float.min 1. s)
+
+let cmp_sel env op lhs rhs =
+  let open Expr in
+  let col_const op c v =
+    match column_stats env c with
+    | None -> (
+      match op with
+      | Eq -> default_eq
+      | Ne -> 1. -. default_eq
+      | Lt | Le | Gt | Ge -> default_range)
+    | Some s -> (
+      let h = s.Stats.histogram in
+      match op with
+      | Eq -> Histogram.sel_eq h v
+      | Ne -> 1. -. Histogram.sel_eq h v
+      | Lt -> Histogram.sel_range h ~hi:(v, false) ()
+      | Le -> Histogram.sel_range h ~hi:(v, true) ()
+      | Gt -> Histogram.sel_range h ~lo:(v, false) ()
+      | Ge -> Histogram.sel_range h ~lo:(v, true) ())
+  in
+  let flip = function
+    | Eq -> Eq | Ne -> Ne | Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le
+  in
+  match lhs, rhs with
+  | Col a, Col b -> (
+    (* Equi-join selectivity: 1 / max(ndv); other comparisons: default. *)
+    match op with
+    | Eq ->
+      let da =
+        match column_stats env a with Some s -> float_of_int s.Stats.ndv | None -> 10.
+      in
+      let db =
+        match column_stats env b with Some s -> float_of_int s.Stats.ndv | None -> 10.
+      in
+      1. /. Float.max 1. (Float.max da db)
+    | Ne -> 1. -. default_eq
+    | Lt | Le | Gt | Ge -> default_range)
+  | Col c, Const v -> col_const op c v
+  | Const v, Col c -> col_const (flip op) c v
+  | _, _ -> (
+    match op with
+    | Eq -> default_eq
+    | Ne -> 1. -. default_eq
+    | Lt | Le | Gt | Ge -> default_range)
+
+let rec pred env p =
+  let open Expr in
+  match p with
+  | Cmp (op, a, b) -> clamp (cmp_sel env op a b)
+  | And (p, q) -> clamp (pred env p *. pred env q)
+  | Or (p, q) ->
+    let sp = pred env p and sq = pred env q in
+    clamp (sp +. sq -. (sp *. sq))
+  | Not p -> clamp (1. -. pred env p)
+
+let preds env ps = List.fold_left (fun acc p -> acc *. pred env p) 1. ps

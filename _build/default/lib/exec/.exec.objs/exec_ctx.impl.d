@@ -1,0 +1,1 @@
+lib/exec/exec_ctx.ml: Catalog Heap_file List Storage

@@ -1,0 +1,1 @@
+lib/exec/exec_ctx.mli: Catalog Heap_file Schema Storage

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Aggregate Array Btree Buffer_pool Catalog Exec_ctx Expr Hashtbl Heap_file Iter List Option Page Physical Printf Schema Seq Storage Tuple Value Xsort

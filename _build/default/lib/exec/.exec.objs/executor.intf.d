@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Buffer_pool Exec_ctx Iter Physical Relation

@@ -1,0 +1,1 @@
+lib/exec/iter.ml: List Option Relation Schema Seq Tuple

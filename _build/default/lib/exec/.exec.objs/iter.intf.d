@@ -1,0 +1,1 @@
+lib/exec/iter.mli: Relation Schema Seq Tuple

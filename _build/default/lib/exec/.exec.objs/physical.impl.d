@@ -1,0 +1,1 @@
+lib/exec/physical.ml: Aggregate Catalog Expr Format List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/exec/physical.mli: Aggregate Catalog Expr Format Schema Value

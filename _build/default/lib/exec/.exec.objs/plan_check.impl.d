@@ -1,0 +1,1 @@
+lib/exec/plan_check.ml: Aggregate Catalog Expr Format List Physical Schema String

@@ -1,0 +1,1 @@
+lib/exec/plan_check.mli: Catalog Physical

@@ -1,0 +1,1 @@
+lib/exec/xsort.ml: Array Exec_ctx Expr Format Heap_file Iter List Page Schema Tuple

@@ -1,0 +1,1 @@
+lib/exec/xsort.mli: Exec_ctx Iter Schema Tuple

@@ -1,0 +1,26 @@
+type t = {
+  cat : Catalog.t;
+  work_mem : int;
+  mutable temps : Heap_file.t list;
+}
+
+let create ?(work_mem = 32) cat =
+  if work_mem < 3 then invalid_arg "Exec_ctx.create: work_mem < 3";
+  { cat; work_mem; temps = [] }
+
+let catalog t = t.cat
+let work_mem t = t.work_mem
+let storage t = Catalog.storage t.cat
+
+let temp t schema =
+  let h = Storage.create_temp (storage t) schema in
+  t.temps <- h :: t.temps;
+  h
+
+let drop t h =
+  Storage.drop_temp (storage t) h;
+  t.temps <- List.filter (fun h' -> Heap_file.file_id h' <> Heap_file.file_id h) t.temps
+
+let cleanup t =
+  List.iter (fun h -> Storage.drop_temp (storage t) h) t.temps;
+  t.temps <- []

@@ -1,0 +1,25 @@
+(** Execution context: catalog access plus the operator memory budget.
+
+    [work_mem] is the number of buffer-pool pages an operator may use as
+    workspace (sort runs, hash tables, BNL outer blocks).  The cost model
+    uses the same [work_mem] value, so predicted and measured IO agree on
+    when spilling happens. *)
+
+type t
+
+val create : ?work_mem:int -> Catalog.t -> t
+(** Default [work_mem] is 32 pages.
+    @raise Invalid_argument if [work_mem < 3] (BNL and external sort need at
+    least 3 pages). *)
+
+val catalog : t -> Catalog.t
+val work_mem : t -> int
+
+val storage : t -> Storage.t
+
+val temp : t -> Schema.t -> Heap_file.t
+(** Allocate a temp heap file (registered for {!cleanup}). *)
+
+val drop : t -> Heap_file.t -> unit
+val cleanup : t -> unit
+(** Drop any temp files still alive (safety net after failed runs). *)

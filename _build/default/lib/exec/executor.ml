@@ -1,0 +1,489 @@
+module Tuple_key = struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+end
+
+module TH = Hashtbl.Make (Tuple_key)
+
+let compile_preds schema preds =
+  match Expr.conjoin preds with
+  | None -> fun _ -> true
+  | Some p -> Expr.compile_pred schema p
+
+let resolve_all schema cols =
+  Array.of_list (List.map (Expr.resolve_column schema) cols)
+
+let compare_keys a b =
+  let n = Array.length a in
+  let rec loop i =
+    if i >= n then 0
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+(* Argument extractors for a list of aggregates against an input schema. *)
+let agg_arg_fns schema aggs =
+  List.map
+    (fun (a : Aggregate.t) ->
+      match a.Aggregate.arg with
+      | None -> fun _ -> None
+      | Some e ->
+        let f = Expr.compile schema e in
+        fun tup -> Some (f tup))
+    aggs
+
+let init_states aggs = List.map (fun (a : Aggregate.t) -> Aggregate.init a.Aggregate.func) aggs
+
+let step_states states fns tup =
+  List.map2 (fun st f -> Aggregate.step st (f tup)) states fns
+
+let finish_group key states = Tuple.concat key (Array.of_list (List.map Aggregate.finish states))
+
+let rec open_iter ctx plan : Iter.t =
+  let cat = Exec_ctx.catalog ctx in
+  match plan with
+  | Physical.Seq_scan s ->
+    let tbl = Catalog.table_exn cat s.table in
+    let schema = Schema.rename_qualifier tbl.Catalog.tschema s.alias in
+    let it = Iter.of_seq schema (Heap_file.to_seq tbl.Catalog.heap) in
+    if s.filter = [] then it else Iter.filter (compile_preds schema s.filter) it
+  | Physical.Index_scan s ->
+    let tbl = Catalog.table_exn cat s.table in
+    let idx =
+      match Catalog.index_on tbl s.column with
+      | Some i -> i
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Executor: no index on %s.%s" s.table s.column)
+    in
+    let schema = Schema.rename_qualifier tbl.Catalog.tschema s.alias in
+    let rids = Btree.search_range idx ?lo:s.lo ?hi:s.hi () in
+    let fetch rid = Heap_file.get tbl.Catalog.heap rid in
+    let it = Iter.of_seq schema (Seq.map fetch (List.to_seq rids)) in
+    if s.filter = [] then it else Iter.filter (compile_preds schema s.filter) it
+  | Physical.Filter f ->
+    let it = open_iter ctx f.input in
+    Iter.filter (compile_preds it.Iter.schema f.pred) it
+  | Physical.Project p ->
+    let it = open_iter ctx p.input in
+    let fns = List.map (fun (e, _) -> Expr.compile it.Iter.schema e) p.cols in
+    let out_schema = Schema.of_columns (List.map snd p.cols) in
+    Iter.map out_schema
+      (fun tup -> Array.of_list (List.map (fun f -> f tup) fns))
+      it
+  | Physical.Materialize m ->
+    let it = open_iter ctx m.input in
+    let heap = Exec_ctx.temp ctx it.Iter.schema in
+    Iter.iter (fun t -> ignore (Heap_file.append heap t)) it;
+    let out = Iter.of_seq it.Iter.schema (Heap_file.to_seq heap) in
+    { out with Iter.close = (fun () -> out.Iter.close (); Exec_ctx.drop ctx heap) }
+  | Physical.Sort s ->
+    let it = open_iter ctx s.input in
+    Xsort.sort ctx ~compare:(Xsort.by_columns it.Iter.schema s.cols) it
+  | Physical.Limit l ->
+    let it = open_iter ctx l.input in
+    let remaining = ref l.count in
+    let next () =
+      if !remaining <= 0 then None
+      else
+        match it.Iter.next () with
+        | None -> None
+        | Some t ->
+          decr remaining;
+          Some t
+    in
+    { it with Iter.next }
+  | Physical.Block_nl_join j -> bnl_join ctx j.left j.right j.cond
+  | Physical.Index_nl_join j ->
+    index_nl_join ctx ~left:j.left ~alias:j.alias ~table:j.table ~column:j.column
+      ~outer_key:j.outer_key ~cond:j.cond
+  | Physical.Hash_join j ->
+    hash_join ctx ~left:j.left ~right:j.right ~keys:j.keys ~cond:j.cond
+      ~build_side:j.build_side
+  | Physical.Merge_join j ->
+    merge_join ctx ~left:j.left ~right:j.right ~keys:j.keys ~cond:j.cond
+  | Physical.Hash_group g -> hash_group ctx g
+  | Physical.Sort_group g -> sort_group ctx g
+
+(* Block nested-loop join: buffer (work_mem - 1) pages of outer tuples, then
+   rescan the inner once per block.  The inner must be rescannable; a
+   [Materialize] inner is spooled once and re-read per block. *)
+and bnl_join ctx left right cond =
+  let cat = Exec_ctx.catalog ctx in
+  let lit = open_iter ctx left in
+  let rschema = Physical.schema cat right in
+  let out_schema = Schema.append lit.Iter.schema rschema in
+  let keep = compile_preds out_schema cond in
+  let block_rows =
+    let cap = Page.capacity ~row_bytes:(Schema.byte_width lit.Iter.schema) in
+    max 1 ((Exec_ctx.work_mem ctx - 1) * cap)
+  in
+  (* Rescannable inner: spool a Materialize once; otherwise reopen the scan. *)
+  let spooled = ref None in
+  let extra_close = ref (fun () -> ()) in
+  let reopen_right () =
+    match right with
+    | Physical.Materialize m -> (
+      match !spooled with
+      | Some heap -> Iter.of_seq rschema (Heap_file.to_seq heap)
+      | None ->
+        let it = open_iter ctx m.input in
+        let heap = Exec_ctx.temp ctx it.Iter.schema in
+        Iter.iter (fun t -> ignore (Heap_file.append heap t)) it;
+        spooled := Some heap;
+        (extra_close := fun () -> Exec_ctx.drop ctx heap);
+        Iter.of_seq rschema (Heap_file.to_seq heap))
+    | Physical.Seq_scan _ | Physical.Index_scan _ -> open_iter ctx right
+    | _ ->
+      invalid_arg
+        "Executor: BNL inner must be a scan or Materialize (planner bug)"
+  in
+  let block = ref [||] in
+  let bi = ref 0 in
+  let rit : Iter.t option ref = ref None in
+  let rtup = ref None in
+  let exhausted = ref false in
+  let load_block () =
+    let buf = ref [] and n = ref 0 in
+    let rec fill () =
+      if !n < block_rows then
+        match lit.Iter.next () with
+        | None -> ()
+        | Some t ->
+          buf := t :: !buf;
+          incr n;
+          fill ()
+    in
+    fill ();
+    Array.of_list (List.rev !buf)
+  in
+  let rec next () =
+    if !exhausted then None
+    else
+      match !rtup with
+      | Some rt ->
+        if !bi < Array.length !block then begin
+          let lt = (!block).(!bi) in
+          incr bi;
+          let out = Tuple.concat lt rt in
+          if keep out then Some out else next ()
+        end
+        else begin
+          bi := 0;
+          rtup := (match !rit with Some it -> it.Iter.next () | None -> None);
+          next ()
+        end
+      | None -> (
+        (* Inner exhausted (or not started) for the current block. *)
+        (match !rit with
+         | Some it ->
+           it.Iter.close ();
+           rit := None
+         | None -> ());
+        block := load_block ();
+        if Array.length !block = 0 then begin
+          exhausted := true;
+          None
+        end
+        else begin
+          let it = reopen_right () in
+          rit := Some it;
+          rtup := it.Iter.next ();
+          bi := 0;
+          next ()
+        end)
+  in
+  let close () =
+    lit.Iter.close ();
+    (match !rit with Some it -> it.Iter.close () | None -> ());
+    !extra_close ()
+  in
+  { Iter.schema = out_schema; next; close }
+
+and index_nl_join ctx ~left ~alias ~table ~column ~outer_key ~cond =
+  let cat = Exec_ctx.catalog ctx in
+  let lit = open_iter ctx left in
+  let tbl = Catalog.table_exn cat table in
+  let idx =
+    match Catalog.index_on tbl column with
+    | Some i -> i
+    | None ->
+      invalid_arg (Printf.sprintf "Executor: no index on %s.%s" table column)
+  in
+  let rschema = Schema.rename_qualifier tbl.Catalog.tschema alias in
+  let out_schema = Schema.append lit.Iter.schema rschema in
+  let keep = compile_preds out_schema cond in
+  let key_idx = Expr.resolve_column lit.Iter.schema outer_key in
+  let expand lt =
+    let rids = Btree.search_eq idx (Tuple.get lt key_idx) in
+    List.filter_map
+      (fun rid ->
+        let out = Tuple.concat lt (Heap_file.get tbl.Catalog.heap rid) in
+        if keep out then Some out else None)
+      rids
+  in
+  Iter.concat_map_tuples out_schema expand lit
+
+and hash_join ctx ~left ~right ~keys ~cond ~build_side =
+  let lit = open_iter ctx left in
+  let rit = open_iter ctx right in
+  let out_schema = Schema.append lit.Iter.schema rit.Iter.schema in
+  let keep = compile_preds out_schema cond in
+  let lkeys = resolve_all lit.Iter.schema (List.map fst keys) in
+  let rkeys = resolve_all rit.Iter.schema (List.map snd keys) in
+  let build_it, probe_it, build_keys, probe_keys, emit =
+    match build_side with
+    | `Right -> (rit, lit, rkeys, lkeys, fun probe build -> Tuple.concat probe build)
+    | `Left -> (lit, rit, lkeys, rkeys, fun probe build -> Tuple.concat build probe)
+  in
+  let build_rows = Iter.to_list build_it in
+  let build_schema = build_it.Iter.schema in
+  let build_pages =
+    Page.pages_for ~rows:(List.length build_rows)
+      ~row_bytes:(Schema.byte_width build_schema)
+  in
+  let join_in_memory build_rows probe_next emit_results =
+    let table = TH.create 1024 in
+    List.iter
+      (fun bt ->
+        let k = Tuple.project_arr bt build_keys in
+        TH.replace table k (bt :: (Option.value ~default:[] (TH.find_opt table k))))
+      build_rows;
+    let rec drain () =
+      match probe_next () with
+      | None -> ()
+      | Some pt ->
+        let k = Tuple.project_arr pt probe_keys in
+        (match TH.find_opt table k with
+         | None -> ()
+         | Some bts ->
+           List.iter
+             (fun bt ->
+               let out = emit pt bt in
+               if keep out then emit_results out)
+             bts);
+        drain ()
+    in
+    drain ()
+  in
+  if build_pages <= Exec_ctx.work_mem ctx then begin
+    (* In-memory build; stream the probe side. *)
+    let table = TH.create 1024 in
+    List.iter
+      (fun bt ->
+        let k = Tuple.project_arr bt build_keys in
+        TH.replace table k (bt :: (Option.value ~default:[] (TH.find_opt table k))))
+      build_rows;
+    let pending = ref [] in
+    let rec next () =
+      match !pending with
+      | x :: rest ->
+        pending := rest;
+        Some x
+      | [] -> (
+        match probe_it.Iter.next () with
+        | None -> None
+        | Some pt ->
+          let k = Tuple.project_arr pt probe_keys in
+          (match TH.find_opt table k with
+           | None -> ()
+           | Some bts ->
+             pending :=
+               List.filter_map
+                 (fun bt ->
+                   let out = emit pt bt in
+                   if keep out then Some out else None)
+                 bts);
+          next ())
+    in
+    { Iter.schema = out_schema; next; close = probe_it.Iter.close }
+  end
+  else begin
+    (* Grace hash join: partition both sides to temp files, then join each
+       partition pair in memory. *)
+    let work_mem = Exec_ctx.work_mem ctx in
+    let nparts = min 64 (max 2 ((build_pages + work_mem - 2) / (work_mem - 1))) in
+    let part_hash keys_idx t =
+      (Tuple_key.hash (Tuple.project_arr t keys_idx) land max_int) mod nparts
+    in
+    let build_parts =
+      Array.init nparts (fun _ -> Exec_ctx.temp ctx build_schema)
+    in
+    List.iter
+      (fun bt -> ignore (Heap_file.append build_parts.(part_hash build_keys bt) bt))
+      build_rows;
+    let probe_schema = probe_it.Iter.schema in
+    let probe_parts =
+      Array.init nparts (fun _ -> Exec_ctx.temp ctx probe_schema)
+    in
+    Iter.iter
+      (fun pt -> ignore (Heap_file.append probe_parts.(part_hash probe_keys pt) pt))
+      probe_it;
+    let results = ref [] in
+    for p = 0 to nparts - 1 do
+      let build_rows = Iter.to_list (Iter.of_seq build_schema (Heap_file.to_seq build_parts.(p))) in
+      let probe_seq = ref (Heap_file.to_seq probe_parts.(p)) in
+      let probe_next () =
+        match !probe_seq () with
+        | Seq.Nil -> None
+        | Seq.Cons (x, rest) ->
+          probe_seq := rest;
+          Some x
+      in
+      join_in_memory build_rows probe_next (fun out -> results := out :: !results)
+    done;
+    Array.iter (fun h -> Exec_ctx.drop ctx h) build_parts;
+    Array.iter (fun h -> Exec_ctx.drop ctx h) probe_parts;
+    Iter.of_list out_schema (List.rev !results)
+  end
+
+and merge_join ctx ~left ~right ~keys ~cond =
+  let lit = open_iter ctx left in
+  let rit = open_iter ctx right in
+  let out_schema = Schema.append lit.Iter.schema rit.Iter.schema in
+  let keep = compile_preds out_schema cond in
+  let lidx = resolve_all lit.Iter.schema (List.map fst keys) in
+  let ridx = resolve_all rit.Iter.schema (List.map snd keys) in
+  let lt = ref (lit.Iter.next ()) in
+  let rt = ref (rit.Iter.next ()) in
+  let group : (Tuple.t * Tuple.t list) option ref = ref None in
+  let pending = ref [] in
+  let collect_group rk =
+    (* Gather all right tuples whose key equals rk; assumes !rt has key rk. *)
+    let acc = ref [] in
+    let rec loop () =
+      match !rt with
+      | Some r when compare_keys (Tuple.project_arr r ridx) rk = 0 ->
+        acc := r :: !acc;
+        rt := rit.Iter.next ();
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    group := Some (rk, List.rev !acc)
+  in
+  let rec next () =
+    match !pending with
+    | x :: rest ->
+      pending := rest;
+      Some x
+    | [] -> (
+      match !lt with
+      | None -> None
+      | Some l -> (
+        let lk = Tuple.project_arr l lidx in
+        match !group with
+        | Some (gk, gts) when compare_keys lk gk = 0 ->
+          pending :=
+            List.filter_map
+              (fun r ->
+                let out = Tuple.concat l r in
+                if keep out then Some out else None)
+              gts;
+          lt := lit.Iter.next ();
+          next ()
+        | _ -> (
+          match !rt with
+          | None -> None
+          | Some r ->
+            let rk = Tuple.project_arr r ridx in
+            let c = compare_keys lk rk in
+            if c < 0 then begin
+              lt := lit.Iter.next ();
+              next ()
+            end
+            else if c > 0 then begin
+              rt := rit.Iter.next ();
+              next ()
+            end
+            else begin
+              collect_group rk;
+              next ()
+            end)))
+  in
+  let close () =
+    lit.Iter.close ();
+    rit.Iter.close ()
+  in
+  { Iter.schema = out_schema; next; close }
+
+and hash_group ctx (g : Physical.group) =
+  let cat = Exec_ctx.catalog ctx in
+  let it = open_iter ctx g.Physical.input in
+  let in_schema = it.Iter.schema in
+  let out_schema = Physical.schema cat (Physical.Hash_group g) in
+  let key_idx = resolve_all in_schema g.Physical.keys in
+  let fns = agg_arg_fns in_schema g.Physical.aggs in
+  let table = TH.create 256 in
+  let order = ref [] in
+  Iter.iter
+    (fun tup ->
+      let k = Tuple.project_arr tup key_idx in
+      let states =
+        match TH.find_opt table k with
+        | Some s -> s
+        | None ->
+          order := k :: !order;
+          init_states g.Physical.aggs
+      in
+      TH.replace table k (step_states states fns tup))
+    it;
+  let rows = List.rev_map (fun k -> finish_group k (TH.find table k)) !order in
+  let result = Iter.of_list out_schema rows in
+  if g.Physical.having = [] then result
+  else Iter.filter (compile_preds out_schema g.Physical.having) result
+
+and sort_group ctx (g : Physical.group) =
+  let cat = Exec_ctx.catalog ctx in
+  let it = open_iter ctx g.Physical.input in
+  let in_schema = it.Iter.schema in
+  let out_schema = Physical.schema cat (Physical.Sort_group g) in
+  let key_idx = resolve_all in_schema g.Physical.keys in
+  let fns = agg_arg_fns in_schema g.Physical.aggs in
+  let current = ref None in
+  let finished = ref false in
+  let rec next () =
+    if !finished then None
+    else
+      match it.Iter.next () with
+      | None ->
+        finished := true;
+        (match !current with
+         | None -> None
+         | Some (k, states) -> Some (finish_group k states))
+      | Some tup -> (
+        let k = Tuple.project_arr tup key_idx in
+        match !current with
+        | None ->
+          current := Some (k, step_states (init_states g.Physical.aggs) fns tup);
+          next ()
+        | Some (gk, states) ->
+          if compare_keys k gk = 0 then begin
+            current := Some (gk, step_states states fns tup);
+            next ()
+          end
+          else begin
+            current := Some (k, step_states (init_states g.Physical.aggs) fns tup);
+            Some (finish_group gk states)
+          end)
+  in
+  let result = { Iter.schema = out_schema; next; close = it.Iter.close } in
+  if g.Physical.having = [] then result
+  else Iter.filter (compile_preds out_schema g.Physical.having) result
+
+let run ctx plan =
+  let it = open_iter ctx plan in
+  let rel = Iter.to_relation it in
+  Exec_ctx.cleanup ctx;
+  rel
+
+let run_measured ?(cold = true) ctx plan =
+  let st = Exec_ctx.storage ctx in
+  if cold then Buffer_pool.clear (Storage.pool st);
+  Storage.reset_io st;
+  let rel = run ctx plan in
+  (rel, Storage.io_stats st)

@@ -1,0 +1,15 @@
+(** The volcano executor: evaluates physical plans over the paged storage
+    engine, charging every page touch to the buffer pool. *)
+
+val open_iter : Exec_ctx.t -> Physical.t -> Iter.t
+(** Open a plan as a pull iterator.  The caller must drain or close it;
+    temp files are released on close / {!Exec_ctx.cleanup}. *)
+
+val run : Exec_ctx.t -> Physical.t -> Relation.t
+(** Evaluate to a materialized (in-memory) result and clean up temps. *)
+
+val run_measured :
+  ?cold:bool -> Exec_ctx.t -> Physical.t -> Relation.t * Buffer_pool.stats
+(** Like {!run} but resets IO counters first and returns the page IO the
+    run incurred.  [cold] (default true) empties the buffer pool first, so
+    the measurement starts from a cold cache. *)

@@ -1,0 +1,69 @@
+type t = {
+  schema : Schema.t;
+  next : unit -> Tuple.t option;
+  close : unit -> unit;
+}
+
+let of_seq schema seq =
+  let state = ref seq in
+  let next () =
+    match !state () with
+    | Seq.Nil -> None
+    | Seq.Cons (x, rest) ->
+      state := rest;
+      Some x
+  in
+  { schema; next; close = (fun () -> state := Seq.empty) }
+
+let of_list schema l = of_seq schema (List.to_seq l)
+let empty schema = of_list schema []
+
+let map schema f it =
+  { schema; next = (fun () -> Option.map f (it.next ())); close = it.close }
+
+let filter p it =
+  let rec next () =
+    match it.next () with
+    | None -> None
+    | Some tup -> if p tup then Some tup else next ()
+  in
+  { it with next }
+
+let concat_map_tuples schema f it =
+  let pending = ref [] in
+  let rec next () =
+    match !pending with
+    | x :: rest ->
+      pending := rest;
+      Some x
+    | [] -> (
+      match it.next () with
+      | None -> None
+      | Some tup ->
+        pending := f tup;
+        next ())
+  in
+  { schema; next; close = it.close }
+
+let to_list it =
+  let rec loop acc =
+    match it.next () with None -> List.rev acc | Some x -> loop (x :: acc)
+  in
+  let result = loop [] in
+  it.close ();
+  result
+
+let to_relation it =
+  let schema = it.schema in
+  Relation.create schema (to_list it)
+
+let iter f it =
+  let rec loop () =
+    match it.next () with
+    | None -> ()
+    | Some x ->
+      f x;
+      loop ()
+  in
+  loop ();
+  it.close ()

@@ -1,0 +1,25 @@
+(** Volcano-style pull iterators. *)
+
+type t = {
+  schema : Schema.t;
+  next : unit -> Tuple.t option;
+  close : unit -> unit;
+}
+
+val of_seq : Schema.t -> Tuple.t Seq.t -> t
+val of_list : Schema.t -> Tuple.t list -> t
+val empty : Schema.t -> t
+
+val map : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
+val filter : (Tuple.t -> bool) -> t -> t
+
+val concat_map_tuples : Schema.t -> (Tuple.t -> Tuple.t list) -> t -> t
+(** Emit several output tuples per input tuple. *)
+
+val to_list : t -> Tuple.t list
+(** Drain and close. *)
+
+val to_relation : t -> Relation.t
+
+val iter : (Tuple.t -> unit) -> t -> unit
+(** Drain with a callback and close. *)

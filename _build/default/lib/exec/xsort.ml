@@ -1,0 +1,121 @@
+let by_columns schema cols =
+  let idx =
+    Array.of_list
+      (List.map
+         (fun (c : Schema.column) ->
+           match Schema.index_of_column schema c with
+           | Some i -> i
+           | None ->
+             (match Schema.find schema ~qual:c.Schema.cqual c.Schema.cname with
+              | Some i -> i
+              | None ->
+                raise
+                  (Expr.Unresolved_column
+                     (Format.asprintf "sort key %s not in %a"
+                        (Schema.column_to_string c) Schema.pp schema))))
+         cols)
+  in
+  fun a b -> Tuple.compare_at idx a b
+
+(* k-way merge of already-sorted iterators. *)
+let merge_iters schema compare iters =
+  let arr = Array.of_list iters in
+  let heads = Array.map (fun (it : Iter.t) -> it.Iter.next ()) arr in
+  let next () =
+    let best = ref (-1) in
+    Array.iteri
+      (fun i h ->
+        match h with
+        | None -> ()
+        | Some t -> (
+          match !best with
+          | -1 -> best := i
+          | b -> (
+            match heads.(b) with
+            | Some tb -> if compare t tb < 0 then best := i
+            | None -> best := i)))
+      heads;
+    match !best with
+    | -1 -> None
+    | i ->
+      let result = heads.(i) in
+      heads.(i) <- arr.(i).Iter.next ();
+      result
+  in
+  let close () = Array.iter (fun (it : Iter.t) -> it.Iter.close ()) arr in
+  { Iter.schema; next; close }
+
+let sort ctx ~compare (input : Iter.t) =
+  let schema = input.Iter.schema in
+  let work_mem = Exec_ctx.work_mem ctx in
+  let page_cap = Page.capacity ~row_bytes:(Schema.byte_width schema) in
+  let run_rows = max 1 (work_mem * page_cap) in
+  let runs = ref [] in
+  let buffer = ref [] in
+  let buffered = ref 0 in
+  let flush_run () =
+    if !buffered > 0 then begin
+      let sorted = List.sort compare !buffer in
+      let heap = Exec_ctx.temp ctx schema in
+      Heap_file.append_all heap sorted;
+      runs := heap :: !runs;
+      buffer := [];
+      buffered := 0
+    end
+  in
+  let rec consume () =
+    match input.Iter.next () with
+    | None -> ()
+    | Some tup ->
+      buffer := tup :: !buffer;
+      incr buffered;
+      if !buffered >= run_rows then flush_run ();
+      consume ()
+  in
+  consume ();
+  input.Iter.close ();
+  if !runs = [] then
+    (* Fits in memory: no spill. *)
+    Iter.of_list schema (List.sort compare !buffer)
+  else begin
+    flush_run ();
+    let fanin = max 2 (work_mem - 1) in
+    let rec merge_passes runs =
+      if List.length runs <= fanin then runs
+      else begin
+        let rec take n = function
+          | [] -> ([], [])
+          | x :: rest when n > 0 ->
+            let batch, remaining = take (n - 1) rest in
+            (x :: batch, remaining)
+          | l -> ([], l)
+        in
+        let rec pass acc = function
+          | [] -> List.rev acc
+          | runs ->
+            let batch, rest = take fanin runs in
+            let merged =
+              merge_iters schema compare
+                (List.map (fun h -> Iter.of_seq schema (Heap_file.to_seq h)) batch)
+            in
+            let out = Exec_ctx.temp ctx schema in
+            Iter.iter (fun t -> ignore (Heap_file.append out t)) merged;
+            List.iter (fun h -> Exec_ctx.drop ctx h) batch;
+            pass (out :: acc) rest
+        in
+        merge_passes (pass [] runs)
+      end
+    in
+    let final_runs = merge_passes (List.rev !runs) in
+    let merged =
+      merge_iters schema compare
+        (List.map (fun h -> Iter.of_seq schema (Heap_file.to_seq h)) final_runs)
+    in
+    {
+      merged with
+      Iter.close =
+        (fun () ->
+          merged.Iter.close ();
+          List.iter (fun h -> Exec_ctx.drop ctx h) final_runs);
+    }
+  end

@@ -1,0 +1,12 @@
+(** External merge sort.
+
+    If the input fits in [work_mem] pages the sort happens in memory with no
+    extra IO; otherwise sorted runs of [work_mem] pages are spilled to temp
+    files and merged with fan-in [work_mem - 1], exactly the behaviour the
+    cost model prices. *)
+
+val sort : Exec_ctx.t -> compare:(Tuple.t -> Tuple.t -> int) -> Iter.t -> Iter.t
+
+val by_columns : Schema.t -> Schema.column list -> Tuple.t -> Tuple.t -> int
+(** Comparator on the given columns resolved against [schema].
+    @raise Expr.Unresolved_column on a missing column. *)

@@ -1,0 +1,1 @@
+lib/relation/datatype.ml: Format Stdlib

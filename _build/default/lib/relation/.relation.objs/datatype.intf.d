@@ -1,0 +1,1 @@
+lib/relation/datatype.mli: Format

@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array Format List Schema String Tuple Value

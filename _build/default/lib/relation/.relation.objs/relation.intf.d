@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Format Schema Tuple

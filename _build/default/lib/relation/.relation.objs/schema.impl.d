@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Datatype Format List String

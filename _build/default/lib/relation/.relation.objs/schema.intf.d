@@ -1,0 +1,1 @@
+lib/relation/schema.mli: Datatype Format

@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Format List Stdlib String Value

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Datatype Float Format Hashtbl Printf Stdlib

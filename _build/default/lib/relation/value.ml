@@ -1,0 +1,81 @@
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Date of int
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let type_of = function
+  | Int _ -> Datatype.Int
+  | Float _ -> Datatype.Float
+  | String _ -> Datatype.String
+  | Bool _ -> Datatype.Bool
+  | Date _ -> Datatype.Date
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | String s -> s
+  | Bool b -> string_of_bool b
+  | Date d -> Printf.sprintf "date:%d" d
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | String x, String y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Date x, Date y -> Stdlib.compare x y
+  | (Int _ | Float _ | String _ | Bool _ | Date _), _ ->
+    type_error "compare: %s vs %s" (to_string a) (to_string b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int i -> Hashtbl.hash (0, i)
+  | Float f ->
+    (* Hash a float that is integral like the equal Int, so that mixed-type
+       join keys hash consistently with [compare]. *)
+    if Float.is_integer f && Float.abs f < 1e18 then Hashtbl.hash (0, int_of_float f)
+    else Hashtbl.hash (1, f)
+  | String s -> Hashtbl.hash (2, s)
+  | Bool b -> Hashtbl.hash (3, b)
+  | Date d -> Hashtbl.hash (4, d)
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Date d -> float_of_int d
+  | (String _ | Bool _) as v -> type_error "to_float: %s" (to_string v)
+
+let arith name int_op float_op a b =
+  match a, b with
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (float_op (to_float a) (to_float b))
+  | Date x, Int y -> Date (int_op x y)
+  | Date x, Date y -> Int (int_op x y)
+  | (Int _ | Float _ | String _ | Bool _ | Date _), _ ->
+    type_error "%s: %s and %s" name (to_string a) (to_string b)
+
+let add a b = arith "add" ( + ) ( +. ) a b
+let sub a b = arith "sub" ( - ) ( -. ) a b
+let mul a b = arith "mul" ( * ) ( *. ) a b
+
+let div a b =
+  match a, b with
+  | (Int _ | Float _), (Int _ | Float _) ->
+    let d = to_float b in
+    if d = 0. then type_error "div: division by zero" else Float (to_float a /. d)
+  | (Int _ | Float _ | String _ | Bool _ | Date _), _ ->
+    type_error "div: %s and %s" (to_string a) (to_string b)
+
+let min_value a b = if compare a b <= 0 then a else b
+let max_value a b = if compare a b >= 0 then a else b

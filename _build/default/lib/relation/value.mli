@@ -1,0 +1,43 @@
+(** Runtime values.
+
+    A value is a dynamically-tagged scalar.  The database contains no NULLs
+    (paper, Section 2), so there is no null constructor; absence must be
+    modelled at a higher level if ever needed. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+
+exception Type_error of string
+(** Raised by operations applied to values of incompatible types. *)
+
+val type_of : t -> Datatype.t
+
+val compare : t -> t -> int
+(** Total order.  Int and Float compare numerically with each other; values
+    of structurally different types raise {!Type_error} — the binder
+    guarantees well-typed comparisons, so a cross-type comparison signals an
+    engine bug. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Numeric arithmetic.  Int op Int stays Int except [div] which promotes to
+    Float (SQL-92 would keep Int, but Float avoids surprising truncation in
+    AVG-style arithmetic and is what the workloads expect). *)
+
+val to_float : t -> float
+(** Numeric coercion; raises {!Type_error} on strings and bools. *)
+
+val min_value : t -> t -> t
+val max_value : t -> t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

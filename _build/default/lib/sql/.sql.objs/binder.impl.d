@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Aggregate Block Catalog Expr Format List Option Parser Printf Schema Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/sql/binder.mli: Block Catalog Sql_ast

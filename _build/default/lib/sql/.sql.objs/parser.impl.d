@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Aggregate Array Expr Lexer List Printf Sql_ast String

@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Aggregate Buffer Expr List Printf Sql_ast String

@@ -1,0 +1,1 @@
+lib/sql/pretty.mli: Sql_ast

@@ -1,0 +1,1 @@
+lib/sql/sql_ast.ml: Aggregate Expr

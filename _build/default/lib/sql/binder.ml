@@ -1,0 +1,524 @@
+open Sql_ast
+
+exception Bind_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Bind_error s)) fmt
+
+(* ---- scopes ---- *)
+
+type scope = {
+  sc_alias : string;
+  sc_lookup : string -> Schema.column option;
+}
+
+let scope_of_table cat alias table_name =
+  match Catalog.find_table cat table_name with
+  | None -> err "unknown table or view %s" table_name
+  | Some tbl ->
+    let schema = Schema.rename_qualifier tbl.Catalog.tschema alias in
+    {
+      sc_alias = alias;
+      sc_lookup =
+        (fun name ->
+          Option.map (Schema.get schema) (Schema.find schema ~qual:alias name));
+    }
+
+let scope_of_columns alias cols =
+  {
+    sc_alias = alias;
+    sc_lookup =
+      (fun name -> List.assoc_opt name cols);
+  }
+
+let resolve_col scopes qual name =
+  match qual with
+  | Some q -> (
+    match List.find_opt (fun s -> String.equal s.sc_alias q) scopes with
+    | None -> err "unknown alias %s" q
+    | Some s -> (
+      match s.sc_lookup name with
+      | Some c -> c
+      | None -> err "no column %s in %s" name q))
+  | None -> (
+    let hits =
+      List.filter_map
+        (fun s -> Option.map (fun c -> (s.sc_alias, c)) (s.sc_lookup name))
+        scopes
+    in
+    match hits with
+    | [ (_, c) ] -> c
+    | [] -> err "unknown column %s" name
+    | _ :: _ :: _ -> err "ambiguous column %s" name)
+
+let rec bind_expr scopes = function
+  | E_col (q, n) -> Expr.Col (resolve_col scopes q n)
+  | E_int i -> Expr.Const (Value.Int i)
+  | E_float f -> Expr.Const (Value.Float f)
+  | E_string s -> Expr.Const (Value.String s)
+  | E_binop (op, a, b) -> Expr.Binop (op, bind_expr scopes a, bind_expr scopes b)
+
+(* ---- aggregates ---- *)
+
+type agg_acc = {
+  mutable aggs : (agg_call option * Aggregate.t) list;
+      (* source call (for HAVING matching) and the bound aggregate *)
+  mutable counter : int;
+  agg_scopes : scope list;  (* scopes for aggregate arguments *)
+}
+
+let same_call a b =
+  a.afunc = b.afunc
+  &&
+  match a.aarg, b.aarg with
+  | None, None -> true
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let bind_agg acc ?name call =
+  match
+    List.find_opt
+      (fun (src, _) -> match src with Some c -> same_call c call | None -> false)
+      acc.aggs
+  with
+  | Some (_, bound) -> bound
+  | None ->
+    let out_name =
+      match name with
+      | Some n -> n
+      | None ->
+        acc.counter <- acc.counter + 1;
+        Printf.sprintf "agg%d" acc.counter
+    in
+    let arg = Option.map (bind_expr acc.agg_scopes) call.aarg in
+    let bound =
+      match arg with
+      | None -> Aggregate.make call.afunc out_name
+      | Some a -> Aggregate.make call.afunc ~arg:a out_name
+    in
+    acc.aggs <- acc.aggs @ [ (Some call, bound) ];
+    bound
+
+(* ---- conditions ---- *)
+
+(* Bind a condition into conjuncts.  [on_agg] maps an aggregate call to the
+   column carrying its result (HAVING); [on_subquery] flattens a correlated
+   subquery comparison into replacement conjuncts (WHERE). *)
+let rec bind_cond ~scopes ~on_agg ~on_subquery cond : Expr.pred list =
+  match cond with
+  | C_and (a, b) ->
+    bind_cond ~scopes ~on_agg ~on_subquery a
+    @ bind_cond ~scopes ~on_agg ~on_subquery b
+  | c -> [ bind_cond1 ~scopes ~on_agg ~on_subquery c ]
+
+and bind_cond1 ~scopes ~on_agg ~on_subquery cond : Expr.pred =
+  let operand = function
+    | O_expr e -> bind_expr scopes e
+    | O_agg call -> (
+      match on_agg with
+      | Some f -> Expr.Col (f call)
+      | None -> err "aggregate not allowed here")
+    | O_subquery _ -> err "subquery only allowed as a comparison operand in WHERE"
+  in
+  match cond with
+  | C_cmp (op, O_subquery sub, rhs) -> (
+    match on_subquery with
+    | Some f -> f op ~sub ~other:(operand rhs) ~sub_on_left:true
+    | None -> err "subquery not allowed here")
+  | C_cmp (op, lhs, O_subquery sub) -> (
+    match on_subquery with
+    | Some f -> f op ~sub ~other:(operand lhs) ~sub_on_left:false
+    | None -> err "subquery not allowed here")
+  | C_cmp (op, a, b) -> Expr.Cmp (op, operand a, operand b)
+  | C_and (a, b) ->
+    Expr.And
+      ( bind_cond1 ~scopes ~on_agg ~on_subquery a,
+        bind_cond1 ~scopes ~on_agg ~on_subquery b )
+  | C_or (a, b) ->
+    Expr.Or
+      ( bind_cond1 ~scopes ~on_agg ~on_subquery a,
+        bind_cond1 ~scopes ~on_agg ~on_subquery b )
+  | C_not a -> Expr.Not (bind_cond1 ~scopes ~on_agg ~on_subquery a)
+
+(* ---- views ---- *)
+
+(* Bind a view body (single block over base tables, with GROUP BY) as a
+   Block.view instantiated under [outer_alias]. *)
+let bind_aggregate_view cat ~outer_alias ~explicit_cols body =
+  if body.s_group = [] then err "view %s: aggregate view needs GROUP BY" outer_alias;
+  if body.s_distinct then err "view %s: DISTINCT not supported in views" outer_alias;
+  if body.s_order <> [] || body.s_limit <> None then
+    err "view %s: ORDER BY / LIMIT not allowed in a view" outer_alias;
+  let rels =
+    List.map
+      (fun (table, alias) ->
+        let inner = Option.value ~default:table alias in
+        { Block.r_alias = outer_alias ^ "_" ^ inner; r_table = table })
+      body.s_from
+  in
+  (* scopes use the renamed aliases; bare inner aliases resolve via rename *)
+  let scopes =
+    List.map2
+      (fun (table, alias) r ->
+        let inner = Option.value ~default:table alias in
+        let base = scope_of_table cat r.Block.r_alias r.Block.r_table in
+        { base with sc_alias = inner })
+      body.s_from rels
+    @ List.map (fun r -> scope_of_table cat r.Block.r_alias r.Block.r_table) rels
+  in
+  let preds =
+    match body.s_where with
+    | None -> []
+    | Some c -> bind_cond ~scopes ~on_agg:None ~on_subquery:None c
+  in
+  let keys = List.map (fun (q, n) -> resolve_col scopes q n) body.s_group in
+  let acc = { aggs = []; counter = 0; agg_scopes = scopes } in
+  let out_rev = ref [] in
+  List.iteri
+    (fun i item ->
+      let explicit_name =
+        Option.bind explicit_cols (fun cols -> List.nth_opt cols i)
+      in
+      match item with
+      | I_expr (E_col (q, n), alias) ->
+        let c = resolve_col scopes q n in
+        if not (List.exists (Schema.column_equal c) keys) then
+          err "view %s: selected column %s is not a grouping column" outer_alias n;
+        let name =
+          match explicit_name, alias with
+          | Some e, _ -> e
+          | None, Some a -> a
+          | None, None -> n
+        in
+        out_rev := Block.Out_key (c, name) :: !out_rev
+      | I_expr _ -> err "view %s: select list supports columns and aggregates" outer_alias
+      | I_agg (call, alias) ->
+        let name =
+          match explicit_name, alias with
+          | Some e, _ -> Some e
+          | None, Some a -> Some a
+          | None, None -> None
+        in
+        let bound = bind_agg acc ?name call in
+        out_rev := Block.Out_agg bound :: !out_rev)
+    body.s_items;
+  let having =
+    match body.s_having with
+    | None -> []
+    | Some c ->
+      let on_agg call =
+        let bound = bind_agg acc call in
+        Schema.column ~qual:outer_alias bound.Aggregate.out_name
+          (Aggregate.result_type bound)
+      in
+      bind_cond ~scopes ~on_agg:(Some on_agg) ~on_subquery:None c
+  in
+  {
+    Block.v_alias = outer_alias;
+    v_rels = rels;
+    v_preds = preds;
+    v_keys = keys;
+    v_aggs = List.map snd acc.aggs;
+    v_having = having;
+    v_out = List.rev !out_rev;
+  }
+
+(* An SPJ view (no GROUP BY): inlined into the outer block.  Returns the
+   relations and predicates to merge plus a column-mapping scope. *)
+let bind_spj_view cat ~outer_alias ~explicit_cols body =
+  if body.s_having <> None then err "view %s: HAVING without GROUP BY" outer_alias;
+  if body.s_order <> [] || body.s_limit <> None then
+    err "view %s: ORDER BY / LIMIT not allowed in a view" outer_alias;
+  let rels =
+    List.map
+      (fun (table, alias) ->
+        let inner = Option.value ~default:table alias in
+        { Block.r_alias = outer_alias ^ "_" ^ inner; r_table = table })
+      body.s_from
+  in
+  let scopes =
+    List.map2
+      (fun (table, alias) r ->
+        let inner = Option.value ~default:table alias in
+        let base = scope_of_table cat r.Block.r_alias r.Block.r_table in
+        { base with sc_alias = inner })
+      body.s_from rels
+    @ List.map (fun r -> scope_of_table cat r.Block.r_alias r.Block.r_table) rels
+  in
+  let preds =
+    match body.s_where with
+    | None -> []
+    | Some c -> bind_cond ~scopes ~on_agg:None ~on_subquery:None c
+  in
+  let exports =
+    List.mapi
+      (fun i item ->
+        let explicit_name =
+          Option.bind explicit_cols (fun cols -> List.nth_opt cols i)
+        in
+        match item with
+        | I_expr (E_col (q, n), alias) ->
+          let c = resolve_col scopes q n in
+          let name =
+            match explicit_name, alias with
+            | Some e, _ -> e
+            | None, Some a -> a
+            | None, None -> n
+          in
+          (name, c)
+        | I_expr _ | I_agg _ ->
+          err "view %s: SPJ view select list must be plain columns" outer_alias)
+      body.s_items
+  in
+  (rels, preds, scope_of_columns outer_alias exports)
+
+(* ---- the outer block ---- *)
+
+type from_entry =
+  | F_table of Block.rel
+  | F_agg_view of Block.view
+  | F_inlined of Block.rel list * Expr.pred list * scope
+
+let bind ~views cat (sel : select) : Block.query =
+  let sub_counter = ref 0 in
+  let entries =
+    List.map
+      (fun (name, alias) ->
+        let outer_alias = Option.value ~default:name alias in
+        match List.assoc_opt name views with
+        | None ->
+          if Catalog.find_table cat name = None then err "unknown table or view %s" name;
+          F_table { Block.r_alias = outer_alias; r_table = name }
+        | Some (cols, body) ->
+          if body.s_group = [] then
+            let rels, preds, scope =
+              bind_spj_view cat ~outer_alias ~explicit_cols:cols body
+            in
+            F_inlined (rels, preds, scope)
+          else F_agg_view (bind_aggregate_view cat ~outer_alias ~explicit_cols:cols body))
+      sel.s_from
+  in
+  let base_scopes =
+    List.map
+      (function
+        | F_table r -> scope_of_table cat r.Block.r_alias r.Block.r_table
+        | F_agg_view v ->
+          let schema = Block.view_schema v in
+          {
+            sc_alias = v.Block.v_alias;
+            sc_lookup =
+              (fun name ->
+                Option.map (Schema.get schema)
+                  (Schema.find schema ~qual:v.Block.v_alias name));
+          }
+        | F_inlined (_, _, scope) -> scope)
+      entries
+  in
+  let extra_views = ref [] in
+  let extra_preds = ref [] in
+  (* Kim-style flattening of a correlated scalar aggregate subquery. *)
+  let flatten_subquery op ~sub ~other ~sub_on_left =
+    incr sub_counter;
+    let valias = Printf.sprintf "sub%d" !sub_counter in
+    (match sub.s_items with
+     | [ I_agg ({ afunc = Aggregate.Count | Aggregate.Count_star; _ }, _) ] ->
+       err "COUNT subqueries cannot be flattened soundly (count bug); rewrite manually"
+     | [ I_agg _ ] -> ()
+     | _ -> err "subquery must select exactly one aggregate");
+    if sub.s_group <> [] then err "subquery must not have GROUP BY";
+    let inner_rels =
+      List.map
+        (fun (table, alias) ->
+          let inner = Option.value ~default:table alias in
+          { Block.r_alias = valias ^ "_" ^ inner; r_table = table })
+        sub.s_from
+    in
+    let inner_scopes =
+      List.map2
+        (fun (table, alias) r ->
+          let inner = Option.value ~default:table alias in
+          let base = scope_of_table cat r.Block.r_alias r.Block.r_table in
+          { base with sc_alias = inner })
+        sub.s_from inner_rels
+      @ List.map (fun r -> scope_of_table cat r.Block.r_alias r.Block.r_table) inner_rels
+    in
+    (* Inner names shadow outer ones. *)
+    let scopes = inner_scopes @ base_scopes in
+    let conjuncts =
+      match sub.s_where with
+      | None -> []
+      | Some c -> bind_cond ~scopes ~on_agg:None ~on_subquery:None c
+    in
+    let is_inner (c : Schema.column) =
+      List.exists (fun r -> String.equal r.Block.r_alias c.Schema.cqual) inner_rels
+    in
+    let correlated, local =
+      List.partition
+        (fun p -> List.exists (fun c -> not (is_inner c)) (Expr.pred_columns p))
+        conjuncts
+    in
+    let corr_pairs =
+      List.map
+        (fun p ->
+          match Expr.as_equijoin p with
+          | Some (a, b) when is_inner a && not (is_inner b) -> (a, b)
+          | Some (a, b) when is_inner b && not (is_inner a) -> (b, a)
+          | _ ->
+            err "correlated predicate must be an equality inner-column = outer-column")
+        correlated
+    in
+    if sub.s_order <> [] || sub.s_limit <> None then
+      err "subquery: ORDER BY / LIMIT not allowed";
+    let agg =
+      match sub.s_items with
+      | [ I_agg (call, _) ] ->
+        let acc = { aggs = []; counter = 0; agg_scopes = inner_scopes } in
+        bind_agg acc ~name:"agg" call
+      | _ -> assert false
+    in
+    let keys = List.map fst corr_pairs in
+    let out =
+      List.mapi (fun i (k, _) -> Block.Out_key (k, Printf.sprintf "k%d" i)) corr_pairs
+      @ [ Block.Out_agg agg ]
+    in
+    let view =
+      {
+        Block.v_alias = valias;
+        v_rels = inner_rels;
+        v_preds = local;
+        v_keys = keys;
+        v_aggs = [ agg ];
+        v_having = [];
+        v_out = out;
+      }
+    in
+    extra_views := !extra_views @ [ view ];
+    let key_eqs =
+      List.mapi
+        (fun i ((k : Schema.column), outer_col) ->
+          Expr.Cmp
+            ( Expr.Eq,
+              Expr.Col outer_col,
+              Expr.Col (Schema.column ~qual:valias (Printf.sprintf "k%d" i) k.Schema.cty)
+            ))
+        corr_pairs
+    in
+    extra_preds := !extra_preds @ key_eqs;
+    let agg_col =
+      Expr.Col
+        (Schema.column ~qual:valias agg.Aggregate.out_name (Aggregate.result_type agg))
+    in
+    if sub_on_left then Expr.Cmp (op, agg_col, other)
+    else Expr.Cmp (op, other, agg_col)
+  in
+  let preds =
+    match sel.s_where with
+    | None -> []
+    | Some c ->
+      bind_cond ~scopes:base_scopes ~on_agg:None
+        ~on_subquery:(Some flatten_subquery) c
+  in
+  let keys = List.map (fun (q, n) -> resolve_col base_scopes q n) sel.s_group in
+  let acc = { aggs = []; counter = 0; agg_scopes = base_scopes } in
+  let select_rev = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | I_expr (E_col (q, n), alias) ->
+        let c = resolve_col base_scopes q n in
+        let name = Option.value ~default:n alias in
+        select_rev := Block.Sel_col (c, name) :: !select_rev
+      | I_expr _ -> err "select list supports columns and aggregates only"
+      | I_agg (call, alias) ->
+        let bound = bind_agg acc ?name:alias call in
+        select_rev := Block.Sel_agg bound :: !select_rev)
+    sel.s_items;
+  let having =
+    match sel.s_having with
+    | None -> []
+    | Some c ->
+      let on_agg call =
+        let bound = bind_agg acc call in
+        Schema.column ~qual:"" bound.Aggregate.out_name (Aggregate.result_type bound)
+      in
+      bind_cond ~scopes:base_scopes ~on_agg:(Some on_agg) ~on_subquery:None c
+  in
+  (* SELECT DISTINCT c1..cn == GROUP BY c1..cn with no aggregates. *)
+  let keys, distinct_grouped =
+    if not sel.s_distinct then (keys, false)
+    else if keys <> [] || acc.aggs <> [] then
+      err "DISTINCT cannot be combined with GROUP BY or aggregates"
+    else
+      ( List.filter_map
+          (function Block.Sel_col (c, _) -> Some c | Block.Sel_agg _ -> None)
+          (List.rev !select_rev),
+        true )
+  in
+  let grouped = sel.s_group <> [] || acc.aggs <> [] || distinct_grouped in
+  if grouped then
+    List.iter
+      (function
+        | Block.Sel_col (c, _) when not (List.exists (Schema.column_equal c) keys) ->
+          err "selected column %s not in GROUP BY" (Schema.column_to_string c)
+        | Block.Sel_col _ | Block.Sel_agg _ -> ())
+      !select_rev;
+  let inlined_rels =
+    List.concat_map (function F_inlined (rs, _, _) -> rs | F_table _ | F_agg_view _ -> []) entries
+  in
+  let inlined_preds =
+    List.concat_map (function F_inlined (_, ps, _) -> ps | F_table _ | F_agg_view _ -> []) entries
+  in
+  {
+    Block.q_views =
+      List.filter_map (function F_agg_view v -> Some v | F_table _ | F_inlined _ -> None) entries
+      @ !extra_views;
+    q_rels =
+      List.filter_map (function F_table r -> Some r | F_agg_view _ | F_inlined _ -> None) entries
+      @ inlined_rels;
+    q_preds = preds @ inlined_preds @ !extra_preds;
+    q_grouped = grouped;
+    q_keys = keys;
+    q_aggs = List.map snd acc.aggs;
+    q_having = having;
+    q_select = List.rev !select_rev;
+    q_order =
+      (let select = List.rev !select_rev in
+       let out_names =
+         List.map
+           (function
+             | Block.Sel_col (_, n) -> n
+             | Block.Sel_agg a -> a.Aggregate.out_name)
+           select
+       in
+       List.map
+         (fun (qual, name) ->
+           match qual with
+           | None when List.exists (String.equal name) out_names -> name
+           | _ -> (
+             (* Qualified (or non-output) reference: find the select item
+                computing that column. *)
+             let col = resolve_col base_scopes qual name in
+             match
+               List.find_map
+                 (function
+                   | Block.Sel_col (c, n) when Schema.column_equal c col -> Some n
+                   | Block.Sel_col _ | Block.Sel_agg _ -> None)
+                 select
+             with
+             | Some n -> n
+             | None -> err "ORDER BY column %s is not selected" name))
+         sel.s_order);
+    q_limit = sel.s_limit;
+  }
+
+let bind_script cat script =
+  let rec process views = function
+    | [] -> err "script contains no SELECT statement"
+    | [ S_select sel ] -> bind ~views cat sel
+    | S_select _ :: _ -> err "only the final statement may be a SELECT"
+    | S_create_view v :: rest ->
+      if List.mem_assoc v.cv_name views then err "duplicate view %s" v.cv_name;
+      process ((v.cv_name, (v.cv_cols, v.cv_body)) :: views) rest
+  in
+  process [] script
+
+let bind_sql cat src = bind_script cat (Parser.parse_script src)

@@ -1,0 +1,25 @@
+(** The binder: resolves a parsed script against a catalog and lowers it to
+    the canonical multi-block form {!Block.query} (Figure 3).
+
+    Handled here:
+    - name resolution (qualified and bare columns, ambiguity detection);
+    - CREATE VIEW registration; aggregate views referenced in FROM become
+      {!Block.view}s, with their internal aliases renamed
+      ["<outer alias>_<inner alias>"] so aliases stay globally unique;
+    - SPJ views (no GROUP BY) are {e inlined} into the referencing block —
+      the traditional flattening the paper contrasts against;
+    - HAVING aggregate references are matched to select-list aggregates (or
+      added as hidden aggregates);
+    - correlated scalar aggregate subqueries in WHERE are flattened à la
+      Kim [Kim82] into a join with a synthesized aggregate view grouped on
+      the correlation columns (COUNT subqueries are rejected: the classic
+      count bug makes the plain join transformation unsound for them). *)
+
+exception Bind_error of string
+
+val bind_script : Catalog.t -> Sql_ast.script -> Block.query
+(** Process view definitions in order; the last statement must be a SELECT.
+    @raise Bind_error on resolution or well-formedness failures. *)
+
+val bind_sql : Catalog.t -> string -> Block.query
+(** Parse and bind a script given as text. *)

@@ -1,0 +1,153 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "AS"; "AND"; "OR";
+    "ORDER"; "LIMIT"; "BETWEEN"; "IN"; "DISTINCT";
+    "NOT"; "CREATE"; "VIEW"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "ALL";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  while !pos < n do
+    let start = !pos in
+    let c = src.[start] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      while !pos < n && is_ident_char src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (KW upper) start
+      else emit (IDENT word) start
+    end
+    else if is_digit c then begin
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      if !pos < n && src.[!pos] = '.' && !pos + 1 < n && is_digit src.[!pos + 1]
+      then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!pos - start)))) start
+      end
+      else emit (INT (int_of_string (String.sub src start (!pos - start)))) start
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\'' then
+          if !pos + 1 < n && src.[!pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2
+          end
+          else begin
+            closed := true;
+            incr pos
+          end
+        else begin
+          Buffer.add_char buf src.[!pos];
+          incr pos
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", start));
+      emit (STRING (Buffer.contents buf)) start
+    end
+    else begin
+      let two = if start + 1 < n then String.sub src start 2 else "" in
+      match two with
+      | "<>" | "!=" ->
+        emit NE start;
+        pos := start + 2
+      | "<=" ->
+        emit LE start;
+        pos := start + 2
+      | ">=" ->
+        emit GE start;
+        pos := start + 2
+      | _ -> (
+        incr pos;
+        match c with
+        | '(' -> emit LPAREN start
+        | ')' -> emit RPAREN start
+        | ',' -> emit COMMA start
+        | '.' -> emit DOT start
+        | ';' -> emit SEMI start
+        | '*' -> emit STAR start
+        | '+' -> emit PLUS start
+        | '-' -> emit MINUS start
+        | '/' -> emit SLASH start
+        | '=' -> emit EQ start
+        | '<' -> emit LT start
+        | '>' -> emit GT start
+        | c ->
+          raise (Lex_error (Printf.sprintf "unexpected character %C" c, start)))
+    end
+  done;
+  emit EOF n;
+  Array.of_list (List.rev !tokens)
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> "'" ^ s ^ "'"
+  | KW k -> k
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | SEMI -> ";"
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,32 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** upper-cased keyword: SELECT, FROM, ... *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int  (** message, character offset *)
+
+val tokenize : string -> (token * int) array
+(** Tokens with their starting offsets; ends with [EOF].
+    @raise Lex_error on an unrecognized character or unterminated string. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,403 @@
+open Sql_ast
+
+exception Parse_error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let pos_of st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (found %s)" msg (Lexer.token_to_string (peek st)), pos_of st))
+
+let eat st tok =
+  if peek st = tok then advance st
+  else fail st (Printf.sprintf "expected %s" (Lexer.token_to_string tok))
+
+let eat_kw st kw =
+  match peek st with
+  | Lexer.KW k when String.equal k kw -> advance st
+  | _ -> fail st (Printf.sprintf "expected %s" kw)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+let agg_func_of_kw = function
+  | "COUNT" -> Some Aggregate.Count
+  | "SUM" -> Some Aggregate.Sum
+  | "AVG" -> Some Aggregate.Avg
+  | "MIN" -> Some Aggregate.Min
+  | "MAX" -> Some Aggregate.Max
+  | _ -> None
+
+(* ---- expressions ---- *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  match peek st with
+  | Lexer.PLUS ->
+    advance st;
+    E_binop (Expr.Add, lhs, parse_additive st)
+  | Lexer.MINUS ->
+    advance st;
+    E_binop (Expr.Sub, lhs, parse_additive st)
+  | _ -> lhs
+
+and parse_multiplicative st =
+  let lhs = parse_primary st in
+  match peek st with
+  | Lexer.STAR ->
+    advance st;
+    E_binop (Expr.Mul, lhs, parse_multiplicative st)
+  | Lexer.SLASH ->
+    advance st;
+    E_binop (Expr.Div, lhs, parse_multiplicative st)
+  | _ -> lhs
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    E_int i
+  | Lexer.MINUS ->
+    advance st;
+    (match peek st with
+     | Lexer.INT i ->
+       advance st;
+       E_int (-i)
+     | Lexer.FLOAT f ->
+       advance st;
+       E_float (-.f)
+     | _ -> fail st "expected number after unary minus")
+  | Lexer.FLOAT f ->
+    advance st;
+    E_float f
+  | Lexer.STRING s ->
+    advance st;
+    E_string s
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    eat st Lexer.RPAREN;
+    e
+  | Lexer.IDENT q -> (
+    advance st;
+    match peek st with
+    | Lexer.DOT ->
+      advance st;
+      E_col (Some q, ident st)
+    | _ -> E_col (None, q))
+  | _ -> fail st "expected expression"
+
+(* ---- aggregates ---- *)
+
+let parse_agg_call st kw =
+  match agg_func_of_kw kw with
+  | None -> fail st "expected aggregate function"
+  | Some func ->
+    advance st;
+    eat st Lexer.LPAREN;
+    if peek st = Lexer.STAR then begin
+      advance st;
+      eat st Lexer.RPAREN;
+      if func <> Aggregate.Count then fail st "only COUNT accepts *";
+      { afunc = Aggregate.Count_star; aarg = None }
+    end
+    else begin
+      let arg = parse_expr st in
+      eat st Lexer.RPAREN;
+      { afunc = func; aarg = Some arg }
+    end
+
+(* ---- conditions ---- *)
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Expr.Eq
+  | Lexer.NE -> Some Expr.Ne
+  | Lexer.LT -> Some Expr.Lt
+  | Lexer.LE -> Some Expr.Le
+  | Lexer.GT -> Some Expr.Gt
+  | Lexer.GE -> Some Expr.Ge
+  | _ -> None
+
+let rec parse_cond st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match peek st with
+  | Lexer.KW "OR" ->
+    advance st;
+    C_or (lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  match peek st with
+  | Lexer.KW "AND" ->
+    advance st;
+    C_and (lhs, parse_and st)
+  | _ -> lhs
+
+and parse_not st =
+  match peek st with
+  | Lexer.KW "NOT" ->
+    advance st;
+    C_not (parse_not st)
+  | _ -> parse_comparison st
+
+and parse_operand st =
+  match peek st with
+  | Lexer.KW kw when agg_func_of_kw kw <> None -> O_agg (parse_agg_call st kw)
+  | Lexer.LPAREN when is_subquery st -> (
+    advance st;
+    let sub = parse_select_body st in
+    eat st Lexer.RPAREN;
+    O_subquery sub)
+  | _ -> O_expr (parse_expr st)
+
+and is_subquery st =
+  (* lookahead: '(' SELECT *)
+  match fst st.toks.(st.pos + 1) with
+  | Lexer.KW "SELECT" -> true
+  | _ -> false
+
+and parse_comparison st =
+  let comparison () =
+    let lhs = parse_operand st in
+    match peek st with
+    | Lexer.KW "BETWEEN" ->
+      (* e BETWEEN lo AND hi  ==>  e >= lo AND e <= hi *)
+      advance st;
+      let lo = parse_expr st in
+      eat_kw st "AND";
+      let hi = parse_expr st in
+      C_and (C_cmp (Expr.Ge, lhs, O_expr lo), C_cmp (Expr.Le, lhs, O_expr hi))
+    | Lexer.KW "IN" ->
+      (* e IN (v1, .., vn)  ==>  e = v1 OR .. OR e = vn *)
+      advance st;
+      eat st Lexer.LPAREN;
+      let rec values () =
+        let v = parse_expr st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          v :: values ()
+        end
+        else [ v ]
+      in
+      let vs = values () in
+      eat st Lexer.RPAREN;
+      let eqs = List.map (fun v -> C_cmp (Expr.Eq, lhs, O_expr v)) vs in
+      (match eqs with
+       | [] -> fail st "IN needs at least one value"
+       | e :: rest -> List.fold_left (fun acc e' -> C_or (acc, e')) e rest)
+    | _ -> (
+      match cmp_of_token (peek st) with
+      | Some op ->
+        advance st;
+        let rhs = parse_operand st in
+        C_cmp (op, lhs, rhs)
+      | None -> fail st "expected comparison operator")
+  in
+  match peek st with
+  | Lexer.LPAREN when not (is_subquery st) -> (
+    (* '(' is ambiguous: a grouped condition or a parenthesized expression
+       operand.  Try the condition reading first and backtrack. *)
+    let saved = st.pos in
+    match
+      advance st;
+      let c = parse_cond st in
+      eat st Lexer.RPAREN;
+      c
+    with
+    | c -> c
+    | exception Parse_error _ ->
+      st.pos <- saved;
+      comparison ())
+  | _ -> comparison ()
+
+(* ---- select ---- *)
+
+and parse_select_item st =
+  match peek st with
+  | Lexer.KW kw when agg_func_of_kw kw <> None ->
+    let agg = parse_agg_call st kw in
+    I_agg (agg, parse_alias st)
+  | _ ->
+    let e = parse_expr st in
+    I_expr (e, parse_alias st)
+
+and parse_alias st =
+  match peek st with
+  | Lexer.KW "AS" ->
+    advance st;
+    Some (ident st)
+  | Lexer.IDENT a ->
+    advance st;
+    Some a
+  | _ -> None
+
+and parse_select_body st =
+  eat_kw st "SELECT";
+  let s_distinct =
+    match peek st with
+    | Lexer.KW "ALL" ->
+      advance st;
+      false
+    | Lexer.KW "DISTINCT" ->
+      advance st;
+      true
+    | _ -> false
+  in
+  let rec items () =
+    let i = parse_select_item st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      i :: items ()
+    end
+    else [ i ]
+  in
+  let s_items = items () in
+  eat_kw st "FROM";
+  let rec refs () =
+    let name = ident st in
+    let alias = parse_alias st in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      (name, alias) :: refs ()
+    end
+    else [ (name, alias) ]
+  in
+  let s_from = refs () in
+  let s_where =
+    match peek st with
+    | Lexer.KW "WHERE" ->
+      advance st;
+      Some (parse_cond st)
+    | _ -> None
+  in
+  let s_group =
+    match peek st with
+    | Lexer.KW "GROUP" ->
+      advance st;
+      eat_kw st "BY";
+      let rec cols () =
+        let q = ident st in
+        let col =
+          if peek st = Lexer.DOT then begin
+            advance st;
+            (Some q, ident st)
+          end
+          else (None, q)
+        in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          col :: cols ()
+        end
+        else [ col ]
+      in
+      cols ()
+    | _ -> []
+  in
+  let s_having =
+    match peek st with
+    | Lexer.KW "HAVING" ->
+      advance st;
+      Some (parse_cond st)
+    | _ -> None
+  in
+  let s_order =
+    match peek st with
+    | Lexer.KW "ORDER" ->
+      advance st;
+      eat_kw st "BY";
+      let rec cols () =
+        let q = ident st in
+        let col =
+          if peek st = Lexer.DOT then begin
+            advance st;
+            (Some q, ident st)
+          end
+          else (None, q)
+        in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          col :: cols ()
+        end
+        else [ col ]
+      in
+      cols ()
+    | _ -> []
+  in
+  let s_limit =
+    match peek st with
+    | Lexer.KW "LIMIT" -> (
+      advance st;
+      match peek st with
+      | Lexer.INT n when n >= 0 ->
+        advance st;
+        Some n
+      | _ -> fail st "expected non-negative integer after LIMIT")
+    | _ -> None
+  in
+  { s_distinct; s_items; s_from; s_where; s_group; s_having; s_order; s_limit }
+
+let parse_statement st =
+  match peek st with
+  | Lexer.KW "CREATE" ->
+    advance st;
+    eat_kw st "VIEW";
+    let cv_name = ident st in
+    let cv_cols =
+      if peek st = Lexer.LPAREN then begin
+        advance st;
+        let rec cols () =
+          let c = ident st in
+          if peek st = Lexer.COMMA then begin
+            advance st;
+            c :: cols ()
+          end
+          else [ c ]
+        in
+        let cs = cols () in
+        eat st Lexer.RPAREN;
+        Some cs
+      end
+      else None
+    in
+    eat_kw st "AS";
+    let cv_body = parse_select_body st in
+    S_create_view { cv_name; cv_cols; cv_body }
+  | _ -> S_select (parse_select_body st)
+
+let parse_script src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let rec stmts () =
+    if peek st = Lexer.EOF then []
+    else begin
+      let s = parse_statement st in
+      (match peek st with
+       | Lexer.SEMI -> advance st
+       | Lexer.EOF -> ()
+       | _ -> fail st "expected ; or end of input");
+      s :: stmts ()
+    end
+  in
+  stmts ()
+
+let parse_select src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let s = parse_select_body st in
+  (match peek st with
+   | Lexer.SEMI -> advance st
+   | _ -> ());
+  if peek st <> Lexer.EOF then fail st "trailing input";
+  s

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the supported SQL subset:
+
+    {v
+    script    := statement (';' statement)* ';'?
+    statement := CREATE VIEW name ['(' cols ')'] AS select | select
+    select    := SELECT items FROM refs [WHERE cond]
+                 [GROUP BY cols] [HAVING cond]
+    items     := item (',' item);  item := expr [AS name] | agg [AS name]
+    agg       := COUNT '(' '*' ')' | (COUNT|SUM|AVG|MIN|MAX) '(' expr ')'
+    refs      := name [AS? alias] (',' ...)
+    cond      := or-tree of comparisons; operands are expressions,
+                 aggregates (HAVING), or a parenthesized scalar subquery
+                 (WHERE, for nested-query flattening)
+    expr      := arithmetic over columns and literals
+    v} *)
+
+exception Parse_error of string * int  (** message, character offset *)
+
+val parse_script : string -> Sql_ast.script
+val parse_select : string -> Sql_ast.select
+(** @raise Parse_error / Lexer.Lex_error on malformed input. *)

@@ -1,0 +1,106 @@
+open Sql_ast
+
+let binop_str = function
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.Div -> "/"
+
+let cmp_str = function
+  | Expr.Eq -> "="
+  | Expr.Ne -> "<>"
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+
+let rec expr_to_string = function
+  | E_col (None, n) -> n
+  | E_col (Some q, n) -> q ^ "." ^ n
+  | E_int i -> string_of_int i
+  | E_float f -> Printf.sprintf "%g" f
+  | E_string s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  | E_binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op) (expr_to_string b)
+
+let agg_to_string (a : agg_call) =
+  match a.afunc, a.aarg with
+  | Aggregate.Count_star, _ -> "COUNT(*)"
+  | f, Some e ->
+    let name =
+      match f with
+      | Aggregate.Count -> "COUNT"
+      | Aggregate.Sum -> "SUM"
+      | Aggregate.Avg -> "AVG"
+      | Aggregate.Min -> "MIN"
+      | Aggregate.Max -> "MAX"
+      | Aggregate.Udf u -> u.Aggregate.udf_name
+      | Aggregate.Count_star -> assert false
+    in
+    Printf.sprintf "%s(%s)" name (expr_to_string e)
+  | ( Aggregate.Count | Aggregate.Sum | Aggregate.Avg | Aggregate.Min
+    | Aggregate.Max | Aggregate.Udf _ ), None ->
+    assert false
+
+let rec cond_to_string = function
+  | C_cmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (operand_to_string a) (cmp_str op) (operand_to_string b)
+  | C_and (a, b) -> Printf.sprintf "(%s AND %s)" (cond_to_string a) (cond_to_string b)
+  | C_or (a, b) -> Printf.sprintf "(%s OR %s)" (cond_to_string a) (cond_to_string b)
+  | C_not a -> Printf.sprintf "NOT (%s)" (cond_to_string a)
+
+and operand_to_string = function
+  | O_expr e -> expr_to_string e
+  | O_agg a -> agg_to_string a
+  | O_subquery s -> "(" ^ select_to_string s ^ ")"
+
+and select_to_string s =
+  let item = function
+    | I_expr (e, None) -> expr_to_string e
+    | I_expr (e, Some a) -> expr_to_string e ^ " AS " ^ a
+    | I_agg (c, None) -> agg_to_string c
+    | I_agg (c, Some a) -> agg_to_string c ^ " AS " ^ a
+  in
+  let from = function
+    | t, None -> t
+    | t, Some a -> t ^ " " ^ a
+  in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  if s.s_distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf (String.concat ", " (List.map item s.s_items));
+  Buffer.add_string buf " FROM ";
+  Buffer.add_string buf (String.concat ", " (List.map from s.s_from));
+  (match s.s_where with
+   | None -> ()
+   | Some c -> Buffer.add_string buf (" WHERE " ^ cond_to_string c));
+  (match s.s_group with
+   | [] -> ()
+   | cols ->
+     let col = function None, n -> n | Some q, n -> q ^ "." ^ n in
+     Buffer.add_string buf (" GROUP BY " ^ String.concat ", " (List.map col cols)));
+  (match s.s_having with
+   | None -> ()
+   | Some c -> Buffer.add_string buf (" HAVING " ^ cond_to_string c));
+  (match s.s_order with
+   | [] -> ()
+   | cols ->
+     let col = function None, n -> n | Some q, n -> q ^ "." ^ n in
+     Buffer.add_string buf (" ORDER BY " ^ String.concat ", " (List.map col cols)));
+  (match s.s_limit with
+   | None -> ()
+   | Some n -> Buffer.add_string buf (" LIMIT " ^ string_of_int n));
+  Buffer.contents buf
+
+let statement_to_string = function
+  | S_select s -> select_to_string s
+  | S_create_view v ->
+    let cols =
+      match v.cv_cols with
+      | None -> ""
+      | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+    in
+    Printf.sprintf "CREATE VIEW %s%s AS %s" v.cv_name cols (select_to_string v.cv_body)
+
+let script_to_string script =
+  String.concat ";\n" (List.map statement_to_string script)

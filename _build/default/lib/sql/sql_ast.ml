@@ -1,0 +1,52 @@
+(* Abstract syntax of the supported SQL subset: single-block SELECTs with
+   GROUP BY / HAVING, CREATE VIEW, and correlated scalar aggregate
+   subqueries in WHERE (for Kim-style unnesting).  Shared type definitions:
+   opened by the parser, pretty-printer and binder. *)
+
+type sexpr =
+  | E_col of string option * string  (* optional qualifier, column *)
+  | E_int of int
+  | E_float of float
+  | E_string of string
+  | E_binop of Expr.binop * sexpr * sexpr
+
+type agg_call = {
+  afunc : Aggregate.func;
+  aarg : sexpr option;  (* None only for COUNT star *)
+}
+
+type operand =
+  | O_expr of sexpr
+  | O_agg of agg_call        (* aggregate reference, only valid in HAVING *)
+  | O_subquery of select     (* scalar subquery, only valid in WHERE *)
+
+and cond =
+  | C_cmp of Expr.cmp * operand * operand
+  | C_and of cond * cond
+  | C_or of cond * cond
+  | C_not of cond
+
+and select_item =
+  | I_expr of sexpr * string option  (* expression, optional AS alias *)
+  | I_agg of agg_call * string option
+
+and select = {
+  s_distinct : bool;
+  s_items : select_item list;
+  s_from : (string * string option) list;  (* table-or-view, optional alias *)
+  s_where : cond option;
+  s_group : (string option * string) list;
+  s_having : cond option;
+  s_order : (string option * string) list;  (* ORDER BY columns, ascending *)
+  s_limit : int option;
+}
+
+type statement =
+  | S_select of select
+  | S_create_view of {
+      cv_name : string;
+      cv_cols : string list option;  (* optional explicit column names *)
+      cv_body : select;
+    }
+
+type script = statement list

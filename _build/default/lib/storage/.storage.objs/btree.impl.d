@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Buffer_pool Format List Page Value

@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Array Buffer_pool List Page Relation Schema Seq Tuple

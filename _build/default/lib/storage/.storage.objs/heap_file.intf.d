@@ -1,0 +1,1 @@
+lib/storage/heap_file.mli: Buffer_pool Page Relation Schema Seq Tuple

@@ -1,0 +1,1 @@
+lib/storage/storage.ml: Btree Buffer_pool Heap_file Tuple

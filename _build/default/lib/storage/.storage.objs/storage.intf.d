@@ -1,0 +1,1 @@
+lib/storage/storage.mli: Btree Buffer_pool Heap_file Relation Schema

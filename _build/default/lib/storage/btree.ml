@@ -1,0 +1,252 @@
+type bound = Value.t * bool
+
+type entry = { key : Value.t; mutable rids : Page.rid list }
+
+type node = Leaf of leaf | Internal of internal
+
+and leaf = {
+  mutable entries : entry array;  (* sorted by key, distinct *)
+  mutable next : leaf option;
+  lpage : int;
+}
+
+and internal = {
+  mutable keys : Value.t array;  (* separators; length = #children - 1 *)
+  mutable children : node array;
+  ipage : int;
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  file_id : int;
+  order : int;
+  mutable root : node;
+  mutable next_page : int;
+  mutable nkeys : int;
+  mutable nentries : int;
+}
+
+let default_order = Page.size / 16
+
+let fresh_page t =
+  let p = t.next_page in
+  t.next_page <- p + 1;
+  Buffer_pool.alloc t.pool ~file:t.file_id ~page:p;
+  p
+
+let create ~pool ~file_id ?(order = default_order) () =
+  if order < 4 then invalid_arg "Btree.create: order < 4";
+  let t =
+    { pool; file_id; order; root = Leaf { entries = [||]; next = None; lpage = 0 };
+      next_page = 0; nkeys = 0; nentries = 0 }
+  in
+  let p = fresh_page t in
+  t.root <- Leaf { entries = [||]; next = None; lpage = p };
+  t
+
+let page_of = function Leaf l -> l.lpage | Internal n -> n.ipage
+
+let read_node t n = Buffer_pool.read t.pool ~file:t.file_id ~page:(page_of n)
+let write_node t n = Buffer_pool.write t.pool ~file:t.file_id ~page:(page_of n)
+
+(* Index of the child to descend into for [key]: first separator > key. *)
+let child_index keys key =
+  let n = Array.length keys in
+  let rec loop i = if i >= n || Value.compare key keys.(i) < 0 then i else loop (i + 1) in
+  loop 0
+
+(* Position of [key] in sorted [entries]: Ok i if present, Error i for the
+   insertion point. *)
+let leaf_position entries key =
+  let lo = ref 0 and hi = ref (Array.length entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare entries.(mid).key key < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo < Array.length entries && Value.compare entries.(!lo).key key = 0 then
+    Ok !lo
+  else Error !lo
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+(* Insert into the subtree rooted at [node]; return the (separator, right
+   sibling) produced if the node split. *)
+let rec insert_node t node key rid =
+  read_node t node;
+  match node with
+  | Leaf l -> begin
+    match leaf_position l.entries key with
+    | Ok i ->
+      l.entries.(i).rids <- rid :: l.entries.(i).rids;
+      t.nentries <- t.nentries + 1;
+      write_node t node;
+      None
+    | Error i ->
+      l.entries <- array_insert l.entries i { key; rids = [ rid ] };
+      t.nkeys <- t.nkeys + 1;
+      t.nentries <- t.nentries + 1;
+      write_node t node;
+      if Array.length l.entries <= t.order then None
+      else begin
+        let n = Array.length l.entries in
+        let mid = n / 2 in
+        let right_entries = Array.sub l.entries mid (n - mid) in
+        let right =
+          { entries = right_entries; next = l.next; lpage = fresh_page t }
+        in
+        l.entries <- Array.sub l.entries 0 mid;
+        l.next <- Some right;
+        write_node t node;
+        Some (right_entries.(0).key, Leaf right)
+      end
+  end
+  | Internal nd -> begin
+    let ci = child_index nd.keys key in
+    match insert_node t nd.children.(ci) key rid with
+    | None -> None
+    | Some (sep, right_child) ->
+      nd.keys <- array_insert nd.keys ci sep;
+      nd.children <- array_insert nd.children (ci + 1) right_child;
+      write_node t node;
+      if Array.length nd.children <= t.order then None
+      else begin
+        let m = Array.length nd.keys in
+        let h = m / 2 in
+        let sep_up = nd.keys.(h) in
+        let right =
+          {
+            keys = Array.sub nd.keys (h + 1) (m - h - 1);
+            children = Array.sub nd.children (h + 1) (m - h);
+            ipage = fresh_page t;
+          }
+        in
+        nd.keys <- Array.sub nd.keys 0 h;
+        nd.children <- Array.sub nd.children 0 (h + 1);
+        write_node t node;
+        Some (sep_up, Internal right)
+      end
+  end
+
+let insert t key rid =
+  match insert_node t t.root key rid with
+  | None -> ()
+  | Some (sep, right) ->
+    let root =
+      { keys = [| sep |]; children = [| t.root; right |]; ipage = fresh_page t }
+    in
+    t.root <- Internal root
+
+let rec descend_to_leaf t node key =
+  read_node t node;
+  match node with
+  | Leaf l -> l
+  | Internal nd -> descend_to_leaf t nd.children.(child_index nd.keys key) key
+
+let rec leftmost_leaf t node =
+  read_node t node;
+  match node with
+  | Leaf l -> l
+  | Internal nd -> leftmost_leaf t nd.children.(0)
+
+let search_eq t key =
+  let l = descend_to_leaf t t.root key in
+  match leaf_position l.entries key with
+  | Ok i -> l.entries.(i).rids
+  | Error _ -> []
+
+let above_lo lo key =
+  match lo with
+  | None -> true
+  | Some (v, incl) ->
+    let c = Value.compare key v in
+    if incl then c >= 0 else c > 0
+
+let below_hi hi key =
+  match hi with
+  | None -> true
+  | Some (v, incl) ->
+    let c = Value.compare key v in
+    if incl then c <= 0 else c < 0
+
+let search_range t ?lo ?hi () =
+  let start =
+    match lo with
+    | None -> leftmost_leaf t t.root
+    | Some (v, _) -> descend_to_leaf t t.root v
+  in
+  let acc = ref [] in
+  let rec walk leaf_opt =
+    match leaf_opt with
+    | None -> ()
+    | Some l ->
+      Buffer_pool.read t.pool ~file:t.file_id ~page:l.lpage;
+      let stop = ref false in
+      Array.iter
+        (fun e ->
+          if not !stop then
+            if not (below_hi hi e.key) then stop := true
+            else if above_lo lo e.key then
+              acc := List.rev_append e.rids !acc)
+        l.entries;
+      if not !stop then walk l.next
+  in
+  walk (Some start);
+  List.rev !acc
+
+let height t =
+  let rec go node acc =
+    match node with Leaf _ -> acc | Internal nd -> go nd.children.(0) (acc + 1)
+  in
+  go t.root 1
+
+let npages t = t.next_page
+let nentries t = t.nentries
+let nkeys t = t.nkeys
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let rec check node lo hi depth =
+    (match node with
+     | Leaf l ->
+       let n = Array.length l.entries in
+       for i = 0 to n - 1 do
+         let k = l.entries.(i).key in
+         if i > 0 && Value.compare l.entries.(i - 1).key k >= 0 then
+           fail "leaf keys not strictly sorted at page %d" l.lpage;
+         (match lo with
+          | Some v when Value.compare k v < 0 ->
+            fail "leaf key below separator at page %d" l.lpage
+          | _ -> ());
+         (match hi with
+          | Some v when Value.compare k v >= 0 ->
+            fail "leaf key not below separator at page %d" l.lpage
+          | _ -> ());
+         if l.entries.(i).rids = [] then fail "empty rid list at page %d" l.lpage
+       done;
+       [ depth ]
+     | Internal nd ->
+       let m = Array.length nd.keys in
+       if Array.length nd.children <> m + 1 then
+         fail "children/keys arity mismatch at page %d" nd.ipage;
+       if Array.length nd.children > t.order then
+         fail "internal overflow at page %d" nd.ipage;
+       for i = 1 to m - 1 do
+         if Value.compare nd.keys.(i - 1) nd.keys.(i) >= 0 then
+           fail "separators not sorted at page %d" nd.ipage
+       done;
+       List.concat
+         (List.mapi
+            (fun i child ->
+              let lo' = if i = 0 then lo else Some nd.keys.(i - 1) in
+              let hi' = if i = m then hi else Some nd.keys.(i) in
+              check child lo' hi' (depth + 1))
+            (Array.to_list nd.children)))
+  in
+  let depths = check t.root None None 1 in
+  match depths with
+  | [] -> ()
+  | d :: rest ->
+    if not (List.for_all (fun x -> x = d) rest) then
+      fail "leaves at unequal depths"

@@ -1,0 +1,43 @@
+(** B+-tree secondary indexes over a single column.
+
+    Keys are {!Value.t}; duplicates are allowed (an entry maps a key to the
+    rids of all tuples carrying it).  Nodes occupy pages of a dedicated file
+    id, and every node visited by a lookup or range scan is accessed through
+    the buffer pool, so index traversals are charged real page IO just like
+    heap scans. *)
+
+type t
+
+type bound = Value.t * bool
+(** A range endpoint: the value and whether it is inclusive. *)
+
+val create : pool:Buffer_pool.t -> file_id:int -> ?order:int -> unit -> t
+(** [create ~pool ~file_id ~order ()] makes an empty tree.  [order] is the
+    maximum number of entries in a leaf and of children in an internal node;
+    it defaults to the number of (key, pointer) pairs fitting a page.
+    @raise Invalid_argument if [order < 4]. *)
+
+val insert : t -> Value.t -> Page.rid -> unit
+
+val search_eq : t -> Value.t -> Page.rid list
+(** Rids of all tuples with exactly this key (storage order not guaranteed). *)
+
+val search_range : t -> ?lo:bound -> ?hi:bound -> unit -> Page.rid list
+(** Rids of all tuples with key in the given (possibly half-open) range, in
+    ascending key order. *)
+
+val height : t -> int
+(** Levels from root to leaf (1 for a tree that is a single leaf). *)
+
+val npages : t -> int
+(** Number of node pages allocated. *)
+
+val nentries : t -> int
+(** Total number of rids stored. *)
+
+val nkeys : t -> int
+(** Number of distinct keys stored. *)
+
+val check_invariants : t -> unit
+(** Validate sortedness, separator and fill invariants; raises
+    [Failure] describing the first violation (used by tests). *)

@@ -1,0 +1,127 @@
+type key = int * int
+
+type frame = {
+  key : key;
+  mutable dirty : bool;
+  mutable prev : frame option;
+  mutable next : frame option;
+}
+
+type stats = { reads : int; writes : int; hits : int }
+
+type t = {
+  capacity : int;
+  table : (key, frame) Hashtbl.t;
+  mutable head : frame option;  (* most recently used *)
+  mutable tail : frame option;  (* least recently used *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+}
+
+let create ~frames =
+  if frames < 1 then invalid_arg "Buffer_pool.create: frames < 1";
+  {
+    capacity = frames;
+    table = Hashtbl.create (2 * frames);
+    head = None;
+    tail = None;
+    reads = 0;
+    writes = 0;
+    hits = 0;
+  }
+
+let frames t = t.capacity
+
+let unlink t f =
+  (match f.prev with Some p -> p.next <- f.next | None -> t.head <- f.next);
+  (match f.next with Some n -> n.prev <- f.prev | None -> t.tail <- f.prev);
+  f.prev <- None;
+  f.next <- None
+
+let push_front t f =
+  f.next <- t.head;
+  f.prev <- None;
+  (match t.head with Some h -> h.prev <- Some f | None -> t.tail <- Some f);
+  t.head <- Some f
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some f ->
+    unlink t f;
+    Hashtbl.remove t.table f.key;
+    if f.dirty then t.writes <- t.writes + 1
+
+let insert t key ~dirty =
+  if Hashtbl.length t.table >= t.capacity then evict_lru t;
+  let f = { key; dirty; prev = None; next = None } in
+  Hashtbl.replace t.table key f;
+  push_front t f
+
+let touch t key ~dirty =
+  match Hashtbl.find_opt t.table key with
+  | Some f ->
+    t.hits <- t.hits + 1;
+    if dirty then f.dirty <- true;
+    unlink t f;
+    push_front t f;
+    true
+  | None -> false
+
+let read t ~file ~page =
+  let key = (file, page) in
+  if not (touch t key ~dirty:false) then begin
+    t.reads <- t.reads + 1;
+    insert t key ~dirty:false
+  end
+
+let write t ~file ~page =
+  let key = (file, page) in
+  if not (touch t key ~dirty:true) then begin
+    t.reads <- t.reads + 1;
+    insert t key ~dirty:true
+  end
+
+let alloc t ~file ~page =
+  let key = (file, page) in
+  if not (touch t key ~dirty:true) then insert t key ~dirty:true
+
+let drop_file t ~file =
+  let doomed =
+    Hashtbl.fold (fun (f, p) fr acc -> if f = file then (fr, p) :: acc else acc)
+      t.table []
+  in
+  List.iter
+    (fun (fr, _p) ->
+      unlink t fr;
+      Hashtbl.remove t.table fr.key)
+    doomed
+
+let flush_all t =
+  Hashtbl.iter
+    (fun _ f ->
+      if f.dirty then begin
+        f.dirty <- false;
+        t.writes <- t.writes + 1
+      end)
+    t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let stats t = { reads = t.reads; writes = t.writes; hits = t.hits }
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.hits <- 0
+
+let io_total t = t.reads + t.writes
+
+let resident t ~file ~page = Hashtbl.mem t.table (file, page)
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "reads=%d writes=%d hits=%d" s.reads s.writes s.hits

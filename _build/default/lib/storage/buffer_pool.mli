@@ -1,0 +1,52 @@
+(** LRU buffer pool with physical-IO accounting.
+
+    Every page access in the engine goes through a pool.  The pool does not
+    hold page contents (those live in the heap files); it tracks *residency*:
+    which (file, page) frames are cached, which are dirty, and how many
+    physical reads and writes have occurred.  A miss on {!read} counts a
+    physical read; evicting a dirty frame, or {!flush_all}, counts a physical
+    write per dirty page. *)
+
+type t
+
+type stats = {
+  reads : int;    (** physical page reads (misses) *)
+  writes : int;   (** physical page writes (dirty evictions + flushes) *)
+  hits : int;     (** accesses served from the pool *)
+}
+
+val create : frames:int -> t
+(** [create ~frames] makes a pool holding at most [frames] pages.
+    @raise Invalid_argument if [frames < 1]. *)
+
+val frames : t -> int
+
+val read : t -> file:int -> page:int -> unit
+(** Access an existing page for reading; loads it (counting a physical read)
+    if absent. *)
+
+val write : t -> file:int -> page:int -> unit
+(** Access an existing page for writing: like {!read} but marks the frame
+    dirty. *)
+
+val alloc : t -> file:int -> page:int -> unit
+(** Register a freshly-allocated page: resident and dirty, no read counted. *)
+
+val drop_file : t -> file:int -> unit
+(** Discard all frames of [file] without writing them back (temp-file
+    deletion). *)
+
+val flush_all : t -> unit
+(** Write back every dirty frame (each counts one physical write). *)
+
+val clear : t -> unit
+(** Empty the pool without counting any IO (simulates a cold cache before a
+    measured run). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val io_total : t -> int
+(** [reads + writes] — the cost-model's objective. *)
+
+val resident : t -> file:int -> page:int -> bool
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,85 @@
+type t = {
+  pool : Buffer_pool.t;
+  file_id : int;
+  schema : Schema.t;
+  page_capacity : int;
+  mutable data : Tuple.t array;  (* growable; row i lives on page i/capacity *)
+  mutable nrows : int;
+}
+
+let create ~pool ~file_id schema =
+  {
+    pool;
+    file_id;
+    schema;
+    page_capacity = Page.capacity ~row_bytes:(Schema.byte_width schema);
+    data = [||];
+    nrows = 0;
+  }
+
+let schema t = t.schema
+let file_id t = t.file_id
+let page_capacity t = t.page_capacity
+let nrows t = t.nrows
+
+let npages t =
+  if t.nrows = 0 then 0 else ((t.nrows - 1) / t.page_capacity) + 1
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.nrows >= cap then begin
+    let cap' = max 64 (2 * cap) in
+    let data' = Array.make cap' [||] in
+    Array.blit t.data 0 data' 0 cap;
+    t.data <- data'
+  end
+
+let append t tup =
+  grow t;
+  let page = t.nrows / t.page_capacity in
+  let slot = t.nrows mod t.page_capacity in
+  if slot = 0 then Buffer_pool.alloc t.pool ~file:t.file_id ~page
+  else Buffer_pool.write t.pool ~file:t.file_id ~page;
+  t.data.(t.nrows) <- tup;
+  t.nrows <- t.nrows + 1;
+  { Page.page; slot }
+
+let append_all t tuples = List.iter (fun tup -> ignore (append t tup)) tuples
+
+let get t (rid : Page.rid) =
+  let idx = (rid.page * t.page_capacity) + rid.slot in
+  if idx < 0 || idx >= t.nrows || rid.slot >= t.page_capacity then
+    invalid_arg "Heap_file.get: rid out of range";
+  Buffer_pool.read t.pool ~file:t.file_id ~page:rid.page;
+  t.data.(idx)
+
+let scan t f =
+  for i = 0 to t.nrows - 1 do
+    let page = i / t.page_capacity in
+    let slot = i mod t.page_capacity in
+    if slot = 0 then Buffer_pool.read t.pool ~file:t.file_id ~page;
+    f { Page.page; slot } t.data.(i)
+  done
+
+let to_seq t =
+  let rec from i () =
+    if i >= t.nrows then Seq.Nil
+    else begin
+      if i mod t.page_capacity = 0 then
+        Buffer_pool.read t.pool ~file:t.file_id ~page:(i / t.page_capacity);
+      Seq.Cons (t.data.(i), from (i + 1))
+    end
+  in
+  from 0
+
+let of_relation ~pool ~file_id rel =
+  let t = create ~pool ~file_id (Relation.schema rel) in
+  append_all t (Relation.tuples rel);
+  t
+
+let to_relation t =
+  let acc = ref [] in
+  scan t (fun _rid tup -> acc := tup :: !acc);
+  Relation.create t.schema (List.rev !acc)
+
+let drop t = Buffer_pool.drop_file t.pool ~file:t.file_id

@@ -1,0 +1,37 @@
+(** Heap files: unordered paged storage of tuples.
+
+    A heap file owns a file id within a {!Buffer_pool} and stores tuples in
+    fixed-capacity pages (capacity derived from the schema's byte width).
+    Every page touched by {!append}, {!get} or the scanning functions is
+    routed through the pool, so scans of a table cost [npages] physical reads
+    when cold and zero when resident. *)
+
+type t
+
+val create : pool:Buffer_pool.t -> file_id:int -> Schema.t -> t
+val schema : t -> Schema.t
+val file_id : t -> int
+val page_capacity : t -> int
+
+val append : t -> Tuple.t -> Page.rid
+val append_all : t -> Tuple.t list -> unit
+
+val nrows : t -> int
+val npages : t -> int
+
+val get : t -> Page.rid -> Tuple.t
+(** Fetch one tuple by rid (one page access).
+    @raise Invalid_argument on an out-of-range rid. *)
+
+val scan : t -> (Page.rid -> Tuple.t -> unit) -> unit
+(** Full scan in storage order, accessing each page once. *)
+
+val to_seq : t -> Tuple.t Seq.t
+(** Lazy full scan; page accesses are charged as the sequence is consumed. *)
+
+val of_relation : pool:Buffer_pool.t -> file_id:int -> Relation.t -> t
+val to_relation : t -> Relation.t
+
+val drop : t -> unit
+(** Discard the file's frames from the pool without write-back (used for
+    temporaries). *)

@@ -1,0 +1,30 @@
+type t = { pool : Buffer_pool.t; mutable next_file : int }
+
+let create ?(frames = 256) () = { pool = Buffer_pool.create ~frames; next_file = 0 }
+
+let pool t = t.pool
+
+let fresh_file t =
+  let id = t.next_file in
+  t.next_file <- id + 1;
+  id
+
+let create_heap t schema = Heap_file.create ~pool:t.pool ~file_id:(fresh_file t) schema
+
+let load_relation t rel =
+  Heap_file.of_relation ~pool:t.pool ~file_id:(fresh_file t) rel
+
+let create_index t ?order () =
+  Btree.create ~pool:t.pool ~file_id:(fresh_file t) ?order ()
+
+let build_index t heap ~column =
+  let idx = create_index t () in
+  Heap_file.scan heap (fun rid tup -> Btree.insert idx (Tuple.get tup column) rid);
+  idx
+
+let create_temp = create_heap
+
+let drop_temp _t heap = Heap_file.drop heap
+
+let io_stats t = Buffer_pool.stats t.pool
+let reset_io t = Buffer_pool.reset_stats t.pool

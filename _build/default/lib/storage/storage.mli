@@ -1,0 +1,34 @@
+(** Storage manager: one buffer pool, file-id allocation, temp files.
+
+    All heap files and indexes of a database instance share one pool so that
+    measured IO reflects cross-operator cache effects (e.g. a small dimension
+    table staying resident across a nested-loop join). *)
+
+type t
+
+val create : ?frames:int -> unit -> t
+(** [create ~frames ()] builds a manager whose pool holds [frames] pages
+    (default 256). *)
+
+val pool : t -> Buffer_pool.t
+
+val create_heap : t -> Schema.t -> Heap_file.t
+(** Allocate a fresh file id and an empty heap file for it. *)
+
+val load_relation : t -> Relation.t -> Heap_file.t
+
+val create_index : t -> ?order:int -> unit -> Btree.t
+(** Allocate a fresh file id holding a new (empty) B+-tree. *)
+
+val build_index : t -> Heap_file.t -> column:int -> Btree.t
+(** Index column [column] of every tuple currently in the heap file. *)
+
+val create_temp : t -> Schema.t -> Heap_file.t
+(** A temp heap file (spill partition, sort run, materialized intermediate).
+    Its page IO is charged like any other file. *)
+
+val drop_temp : t -> Heap_file.t -> unit
+(** Release a temp file's frames without write-back. *)
+
+val io_stats : t -> Buffer_pool.stats
+val reset_io : t -> unit

@@ -1,0 +1,1 @@
+lib/workload/chain.ml: Aggregate Array Block Catalog Datatype Expr List Printf Rng Schema Tuple Value

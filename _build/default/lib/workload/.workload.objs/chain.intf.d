@@ -1,0 +1,1 @@
+lib/workload/chain.mli: Block Catalog

@@ -1,0 +1,1 @@
+lib/workload/emp_dept.ml: Aggregate Block Catalog Datatype Expr List Printf Rng Schema Tuple Value

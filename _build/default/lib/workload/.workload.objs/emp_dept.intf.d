@@ -1,0 +1,1 @@
+lib/workload/emp_dept.mli: Block Catalog

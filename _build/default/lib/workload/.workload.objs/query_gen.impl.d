@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Aggregate Block Catalog Datatype Expr List Printf Rng Schema Stats String Value

@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Block Catalog Rng

@@ -1,0 +1,1 @@
+lib/workload/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/workload/star.mli: Block Catalog

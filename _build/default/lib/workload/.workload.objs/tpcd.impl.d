@@ -1,0 +1,1 @@
+lib/workload/tpcd.ml: Aggregate Block Catalog Datatype Expr List Rng Schema Tuple Value

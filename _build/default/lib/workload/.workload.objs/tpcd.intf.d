@@ -1,0 +1,1 @@
+lib/workload/tpcd.mli: Block Catalog

@@ -1,0 +1,119 @@
+let table_name i = Printf.sprintf "t%d" i
+
+let load ?(rows = 1000) ?(fanout = 2) ?(seed = 5) ~n () =
+  if n < 2 then invalid_arg "Chain.load: n < 2";
+  let rng = Rng.create ~seed in
+  let cat = Catalog.create ~frames:256 () in
+  let sizes =
+    Array.init n (fun i ->
+        max 20 (int_of_float (float_of_int rows /. (float_of_int fanout ** float_of_int i))))
+  in
+  for i = 0 to n - 1 do
+    let size = sizes.(i) in
+    let rows_i =
+      List.init size (fun r ->
+          let fk =
+            if i = 0 then Value.Int 0 else Value.Int (Rng.int rng sizes.(i - 1))
+          in
+          Tuple.make [ Value.Int r; fk; Value.Int (Rng.in_range rng 0 1000) ])
+    in
+    ignore
+      (Catalog.add_table cat ~name:(table_name i)
+         ~columns:[ ("k", Datatype.Int); ("fk", Datatype.Int); ("v", Datatype.Int) ]
+         ~pk:[ "k" ] ~index:[ "fk" ] rows_i)
+  done;
+  for i = 1 to n - 1 do
+    Catalog.add_foreign_key cat
+      ~from:(table_name i, "fk")
+      ~refs:(table_name (i - 1), "k")
+  done;
+  cat
+
+let col ~qual name = Schema.column ~qual name Datatype.Int
+
+(* Join predicate t{i}.fk = t{i-1}.k using the given aliases. *)
+let link_pred a_prev a_cur =
+  Expr.Cmp (Expr.Eq, Expr.Col (col ~qual:a_cur "fk"), Expr.Col (col ~qual:a_prev "k"))
+
+let chain_query ~view_size ~n =
+  if view_size < 1 || view_size >= n then invalid_arg "Chain.chain_query: bad view_size";
+  let valias i = Printf.sprintf "a%d" i in
+  let inner_aliases = List.init view_size valias in
+  let inner_rels =
+    List.mapi (fun i a -> { Block.r_alias = a; r_table = table_name i }) inner_aliases
+  in
+  let inner_preds =
+    List.init (view_size - 1) (fun i -> link_pred (valias i) (valias (i + 1)))
+  in
+  (* Group the view on the key of its last table, summing t0.v. *)
+  let gkey = col ~qual:(valias (view_size - 1)) "k" in
+  let total = Aggregate.make Aggregate.Sum ~arg:(Expr.Col (col ~qual:"a0" "v")) "total" in
+  let view =
+    {
+      Block.v_alias = "vw";
+      v_rels = inner_rels;
+      v_preds = inner_preds;
+      v_keys = [ gkey ];
+      v_aggs = [ total ];
+      v_having = [];
+      v_out = [ Block.Out_key (gkey, "gk"); Block.Out_agg total ];
+    }
+  in
+  let outer_aliases = List.init (n - view_size) (fun i -> valias (view_size + i)) in
+  let outer_rels =
+    List.mapi
+      (fun i a -> { Block.r_alias = a; r_table = table_name (view_size + i) })
+      outer_aliases
+  in
+  let boundary =
+    Expr.Cmp
+      ( Expr.Eq,
+        Expr.Col (col ~qual:(valias view_size) "fk"),
+        Expr.Col (Schema.column ~qual:"vw" "gk" Datatype.Int) )
+  in
+  let outer_links =
+    List.init
+      (n - view_size - 1)
+      (fun i -> link_pred (valias (view_size + i)) (valias (view_size + i + 1)))
+  in
+  let last = valias (n - 1) in
+  let filter =
+    Expr.Cmp (Expr.Lt, Expr.Col (col ~qual:last "v"), Expr.int 500)
+  in
+  {
+    Block.q_views = [ view ];
+    q_rels = outer_rels;
+    q_preds = (boundary :: outer_links) @ [ filter ];
+    q_grouped = false;
+    q_keys = [];
+    q_aggs = [];
+    q_having = [];
+    q_select =
+      [
+        Block.Sel_col (col ~qual:last "k", "k");
+        Block.Sel_col (Schema.column ~qual:"vw" "total" Datatype.Int, "total");
+      ];
+    q_order = [];
+    q_limit = None;
+  }
+
+let flat_query ~n =
+  let valias i = Printf.sprintf "a%d" i in
+  let rels =
+    List.init n (fun i -> { Block.r_alias = valias i; r_table = table_name i })
+  in
+  let links = List.init (n - 1) (fun i -> link_pred (valias i) (valias (i + 1))) in
+  let key = col ~qual:(valias (n - 1)) "k" in
+  let total = Aggregate.make Aggregate.Sum ~arg:(Expr.Col (col ~qual:"a0" "v")) "total" in
+  {
+    Block.q_views = [];
+    q_rels = rels;
+    q_preds = links;
+    q_grouped = true;
+    q_keys = [ key ];
+    q_aggs = [ total ];
+    q_having = [];
+    q_select = [ Block.Sel_col (key, "k"); Block.Sel_agg total ];
+    q_order = [];
+    q_limit = None;
+  }

@@ -1,0 +1,18 @@
+(** Synthetic chain schemas for search-space experiments: tables
+    [t0 .. t{n-1}] where [t{i}] has a primary key [k], a foreign key [fk]
+    into [t{i-1}], and a value column [v].  Queries over a chain give a
+    join-ordering problem of controllable size. *)
+
+val load : ?rows:int -> ?fanout:int -> ?seed:int -> n:int -> unit -> Catalog.t
+(** [load ~n ()] builds an [n]-table chain; [t0] has [rows] rows (default
+    1000) and each further table [rows / fanout^i], at least 20. *)
+
+val chain_query : view_size:int -> n:int -> Block.query
+(** A query over an [n]-chain whose aggregate view spans the first
+    [view_size] tables (grouped by the view's boundary foreign key, summing
+    [t0.v]) joined with the remaining tables, filtered on the last table.
+    Requires [1 <= view_size < n]. *)
+
+val flat_query : n:int -> Block.query
+(** A single-block grouped query joining the whole chain (no views):
+    group by [t{n-1}.k], SUM of [t0.v]. *)

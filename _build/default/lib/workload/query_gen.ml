@@ -1,0 +1,229 @@
+let numeric_columns (tbl : Catalog.table) =
+  List.filter_map
+    (fun (c : Schema.column) ->
+      match c.Schema.cty with
+      | Datatype.Int -> Some c.Schema.cname
+      | Datatype.Float | Datatype.Date | Datatype.String | Datatype.Bool -> None)
+    (Schema.columns tbl.Catalog.tschema)
+
+let col_of cat table alias name =
+  let tbl = Catalog.table_exn cat table in
+  let i = Schema.find_exn tbl.Catalog.tschema name in
+  let c = Schema.get tbl.Catalog.tschema i in
+  Schema.column ~qual:alias name c.Schema.cty
+
+(* A random range predicate on a numeric column, with the constant drawn
+   between the column's observed min and max, skewed toward the selective
+   end: decision-support filters are usually selective, and the interesting
+   optimizer trade-offs (pull-up!) live there. *)
+let random_filter rng cat table alias =
+  let tbl = Catalog.table_exn cat table in
+  match numeric_columns tbl with
+  | [] -> None
+  | cols ->
+    let cname = Rng.pick rng cols in
+    let stats = Catalog.column_stats tbl cname in
+    let lo = Value.to_float stats.Stats.vmin and hi = Value.to_float stats.Stats.vmax in
+    if hi <= lo then None
+    else begin
+      let u = Rng.float rng in
+      let q = u ** 2.5 in
+      let op = Rng.pick rng [ Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ] in
+      let quantile = match op with Expr.Lt | Expr.Le -> q | _ -> 1. -. q in
+      let v = lo +. (quantile *. (hi -. lo)) in
+      Some
+        (Expr.Cmp
+           (op, Expr.Col (col_of cat table alias cname), Expr.Const (Value.Int (int_of_float v))))
+    end
+
+let random_agg rng cat table alias idx =
+  let tbl = Catalog.table_exn cat table in
+  let name = Printf.sprintf "a%d" idx in
+  match numeric_columns tbl with
+  | [] -> Aggregate.make Aggregate.Count_star name
+  | cols ->
+    let cname = Rng.pick rng cols in
+    let arg = Expr.Col (col_of cat table alias cname) in
+    (match Rng.pick rng [ `Sum; `Avg; `Min; `Max; `Count ] with
+     | `Sum -> Aggregate.make Aggregate.Sum ~arg name
+     | `Avg -> Aggregate.make Aggregate.Avg ~arg name
+     | `Min -> Aggregate.make Aggregate.Min ~arg name
+     | `Max -> Aggregate.make Aggregate.Max ~arg name
+     | `Count -> Aggregate.make Aggregate.Count_star name)
+
+(* A view grouped by [fk]'s source column, over either the FK source alone
+   or (rich mode) the source joined with the target of a second FK of the
+   same table — whose removability then depends on whether its join column
+   is also a grouping key, exercising the minimal-invariant-set logic. *)
+let build_view ~rich rng cat (fk : Catalog.foreign_key) idx =
+  let valias = Printf.sprintf "v%d" idx in
+  let inner = Printf.sprintf "%s_t" valias in
+  let key = col_of cat fk.Catalog.fk_table inner fk.Catalog.fk_column in
+  let other_fks =
+    List.filter
+      (fun (f : Catalog.foreign_key) ->
+        String.equal f.Catalog.fk_table fk.Catalog.fk_table
+        && not (String.equal f.Catalog.fk_column fk.Catalog.fk_column))
+      (Catalog.foreign_keys cat)
+  in
+  let second =
+    if rich && other_fks <> [] && Rng.bool rng then Some (Rng.pick rng other_fks)
+    else None
+  in
+  let rels, join_preds, extra_key =
+    match second with
+    | None -> ([ { Block.r_alias = inner; r_table = fk.Catalog.fk_table } ], [], None)
+    | Some f2 ->
+      let dim = Printf.sprintf "%s_d" valias in
+      let p =
+        Expr.Cmp
+          ( Expr.Eq,
+            Expr.Col (col_of cat f2.Catalog.fk_table inner f2.Catalog.fk_column),
+            Expr.Col (col_of cat f2.Catalog.pk_table dim f2.Catalog.pk_column) )
+      in
+      let extra =
+        (* Sometimes also group by the second join column, making the dimension
+           removable by invariant grouping. *)
+        if Rng.bool rng then
+          Some (col_of cat f2.Catalog.fk_table inner f2.Catalog.fk_column)
+        else None
+      in
+      ( [ { Block.r_alias = inner; r_table = fk.Catalog.fk_table };
+          { Block.r_alias = dim; r_table = f2.Catalog.pk_table } ],
+        [ p ],
+        extra )
+  in
+  let naggs = if rich then 1 + Rng.int rng 2 else 1 in
+  let aggs =
+    List.init naggs (fun i -> random_agg rng cat fk.Catalog.fk_table inner ((idx * 10) + i))
+  in
+  let filters =
+    match random_filter rng cat fk.Catalog.fk_table inner with
+    | Some p when Rng.bool rng -> [ p ]
+    | _ -> []
+  in
+  let first_agg = List.hd aggs in
+  let having =
+    if rich && Rng.int rng 3 = 0 then
+      [
+        Expr.Cmp
+          ( Rng.pick rng [ Expr.Gt; Expr.Lt ],
+            Expr.Col
+              (Schema.column ~qual:valias first_agg.Aggregate.out_name
+                 (Aggregate.result_type first_agg)),
+            Expr.Const (Value.Int (Rng.in_range rng 0 2000)) );
+      ]
+    else []
+  in
+  let keys = key :: (match extra_key with Some k -> [ k ] | None -> []) in
+  let out =
+    List.mapi (fun i k -> Block.Out_key (k, Printf.sprintf "k%d" i)) keys
+    @ List.map (fun a -> Block.Out_agg a) aggs
+  in
+  ( {
+      Block.v_alias = valias;
+      v_rels = rels;
+      v_preds = join_preds @ filters;
+      v_keys = keys;
+      v_aggs = aggs;
+      v_having = having;
+      v_out = out;
+    },
+    key )
+
+let generate ?(complexity = `Rich) rng cat =
+  let rich = complexity = `Rich in
+  let fks = Catalog.foreign_keys cat in
+  if fks = [] then invalid_arg "Query_gen.generate: catalog has no foreign keys";
+  let nviews = 1 + Rng.int rng 2 in
+  (* All views hang off the same foreign-key edge (with independent shapes)
+     so the outer block needs a single base relation — the generator must
+     never emit cross joins, whose results are unbounded. *)
+  let shared_fk = Rng.pick rng fks in
+  let views_and_keys = List.init nviews (build_view ~rich rng cat shared_fk) in
+  let outer_rel = { Block.r_alias = "r0"; r_table = shared_fk.Catalog.pk_table } in
+  let join_preds =
+    List.map
+      (fun (view, _) ->
+        Expr.Cmp
+          ( Expr.Eq,
+            Expr.Col
+              (col_of cat shared_fk.Catalog.pk_table "r0" shared_fk.Catalog.pk_column),
+            Expr.Col (Schema.column ~qual:view.Block.v_alias "k0" Datatype.Int) ))
+      views_and_keys
+  in
+  (* Maybe a predicate over a view's aggregate output. *)
+  let agg_preds =
+    List.filter_map
+      (fun (view, _) ->
+        if Rng.bool rng then begin
+          let agg = List.hd view.Block.v_aggs in
+          let acol =
+            Schema.column ~qual:view.Block.v_alias agg.Aggregate.out_name
+              (Aggregate.result_type agg)
+          in
+          let const = Expr.Const (Value.Int (Rng.in_range rng 0 5000)) in
+          Some (Expr.Cmp (Rng.pick rng [ Expr.Gt; Expr.Lt ], Expr.Col acol, const))
+        end
+        else None)
+      views_and_keys
+  in
+  let outer_filter =
+    if Rng.int rng 4 < 3 then
+      random_filter rng cat outer_rel.Block.r_table outer_rel.Block.r_alias
+    else None
+  in
+  let views = List.map fst views_and_keys in
+  let preds =
+    join_preds @ agg_preds @ (match outer_filter with Some p -> [ p ] | None -> [])
+  in
+  let grouped = Rng.int rng 3 = 0 in
+  let tbl = Catalog.table_exn cat outer_rel.Block.r_table in
+  if grouped then begin
+    let key_name =
+      match numeric_columns tbl with
+      | [] -> List.hd tbl.Catalog.primary_key
+      | cols -> Rng.pick rng cols
+    in
+    let key = col_of cat outer_rel.Block.r_table outer_rel.Block.r_alias key_name in
+    let top_agg =
+      match numeric_columns tbl with
+      | [] -> Aggregate.make Aggregate.Count_star "t0"
+      | cols ->
+        Aggregate.make Aggregate.Sum
+          ~arg:(Expr.Col (col_of cat outer_rel.Block.r_table outer_rel.Block.r_alias (Rng.pick rng cols)))
+          "t0"
+    in
+    {
+      Block.q_views = views;
+      q_rels = [ outer_rel ];
+      q_preds = preds;
+      q_grouped = true;
+      q_keys = [ key ];
+      q_aggs = [ top_agg ];
+      q_having = [];
+      q_select = [ Block.Sel_col (key, "k"); Block.Sel_agg top_agg ];
+      q_order = [];
+      q_limit = None;
+    }
+  end
+  else begin
+    let sel_name =
+      match tbl.Catalog.primary_key with
+      | pk :: _ -> pk
+      | [] -> (Schema.get tbl.Catalog.tschema 0).Schema.cname
+    in
+    let sel_col = col_of cat outer_rel.Block.r_table outer_rel.Block.r_alias sel_name in
+    {
+      Block.q_views = views;
+      q_rels = [ outer_rel ];
+      q_preds = preds;
+      q_grouped = false;
+      q_keys = [];
+      q_aggs = [];
+      q_having = [];
+      q_select = [ Block.Sel_col (sel_col, "c0") ];
+      q_order = [];
+      q_limit = None;
+    }
+  end

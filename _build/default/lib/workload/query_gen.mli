@@ -1,0 +1,20 @@
+(** Random generator of well-formed aggregate-view queries over a catalog.
+
+    Used by the "never worse than traditional" experiment (E6) and by the
+    optimizer's differential fuzz tests.  Every generated query joins one
+    or two aggregate views with a base table along declared foreign-key
+    edges (so grouping columns and join predicates line up and results stay
+    bounded — no cross joins), with random range filters whose constants
+    are drawn from the actual column statistics, skewed toward the
+    selective end.
+
+    With [`Rich] complexity, views may span two relations (the FK source
+    joined with a second FK's target inside the view — giving the minimal
+    invariant set computation real work), carry several aggregates of mixed
+    functions, a HAVING clause, and the outer block may add its own GROUP
+    BY. *)
+
+val generate :
+  ?complexity:[ `Simple | `Rich ] -> Rng.t -> Catalog.t -> Block.query
+(** Default [`Rich].
+    @raise Invalid_argument if the catalog declares no foreign keys. *)

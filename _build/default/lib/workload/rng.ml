@@ -1,0 +1,45 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_u64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1) (Int64.of_int bound))
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Rng.in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_u64 t) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = int t 2 = 0
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let zipf t ~n ~theta =
+  if theta <= 0. then int t n
+  else begin
+    (* Inverse-CDF sampling over the (truncated) zipfian weights. *)
+    let weights = Array.init n (fun i -> 1. /. ((float_of_int (i + 1)) ** theta)) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    let target = float t *. total in
+    let rec walk i acc =
+      if i >= n - 1 then i
+      else
+        let acc = acc +. weights.(i) in
+        if acc >= target then i else walk (i + 1) acc
+    in
+    walk 0 0.
+  end

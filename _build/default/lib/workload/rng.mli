@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every workload is generated from an explicit seed so that experiments
+    and property tests are exactly reproducible. *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipf-distributed rank in [0, n) with skew [theta] (0 = uniform). *)

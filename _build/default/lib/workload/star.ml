@@ -1,0 +1,144 @@
+type params = {
+  days : int;
+  products : int;
+  stores : int;
+  rows_per_day : int;
+  seed : int;
+  frames : int;
+}
+
+let default_params =
+  { days = 90; products = 400; stores = 20; rows_per_day = 150; seed = 77; frames = 256 }
+
+let load ?(params = default_params) () =
+  let rng = Rng.create ~seed:params.seed in
+  let cat = Catalog.create ~frames:params.frames () in
+  let dates =
+    List.init params.days (fun d ->
+        Tuple.make [ Value.Int d; Value.Int (d / 30); Value.Int (2026 + (d / 360)) ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"dates"
+       ~columns:[ ("day", Datatype.Int); ("month", Datatype.Int); ("year", Datatype.Int) ]
+       ~pk:[ "day" ] dates);
+  let products =
+    List.init params.products (fun p ->
+        Tuple.make
+          [ Value.Int p; Value.Int (Rng.int rng 12); Value.Int (Rng.in_range rng 5 500) ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"product"
+       ~columns:
+         [ ("prod", Datatype.Int); ("category", Datatype.Int); ("price", Datatype.Int) ]
+       ~pk:[ "prod" ] ~index:[ "category" ] products);
+  let stores =
+    List.init params.stores (fun s ->
+        Tuple.make [ Value.Int s; Value.Int (Rng.int rng 5) ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"store"
+       ~columns:[ ("store", Datatype.Int); ("region", Datatype.Int) ]
+       ~pk:[ "store" ] stores);
+  let nrows = params.days * params.rows_per_day in
+  let sales =
+    List.init nrows (fun i ->
+        let qty = Rng.in_range rng 1 20 in
+        Tuple.make
+          [
+            Value.Int i;
+            Value.Int (Rng.zipf rng ~n:params.days ~theta:0.3);
+            Value.Int (Rng.zipf rng ~n:params.products ~theta:0.8);
+            Value.Int (Rng.int rng params.stores);
+            Value.Int qty;
+            Value.Int (qty * Rng.in_range rng 5 500);
+          ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"sales"
+       ~columns:
+         [ ("sk", Datatype.Int); ("day", Datatype.Int); ("prod", Datatype.Int);
+           ("store", Datatype.Int); ("qty", Datatype.Int); ("amount", Datatype.Int) ]
+       ~pk:[ "sk" ] ~index:[ "day"; "prod"; "store" ] ~cluster:"prod" sales);
+  Catalog.add_foreign_key cat ~from:("sales", "day") ~refs:("dates", "day");
+  Catalog.add_foreign_key cat ~from:("sales", "prod") ~refs:("product", "prod");
+  Catalog.add_foreign_key cat ~from:("sales", "store") ~refs:("store", "store");
+  cat
+
+let icol ~qual name = Schema.column ~qual name Datatype.Int
+
+let q_category_revenue ?(category = 3) () =
+  let revenue =
+    Aggregate.make Aggregate.Sum ~arg:(Expr.Col (icol ~qual:"f" "amount")) "revenue"
+  in
+  {
+    Block.q_views = [];
+    q_rels =
+      [
+        { Block.r_alias = "f"; r_table = "sales" };
+        { Block.r_alias = "d"; r_table = "dates" };
+        { Block.r_alias = "p"; r_table = "product" };
+      ];
+    q_preds =
+      [
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"f" "day"), Expr.Col (icol ~qual:"d" "day"));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"f" "prod"), Expr.Col (icol ~qual:"p" "prod"));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"p" "category"), Expr.int category);
+      ];
+    q_grouped = true;
+    q_keys = [ icol ~qual:"d" "month" ];
+    q_aggs = [ revenue ];
+    q_having = [];
+    q_select =
+      [ Block.Sel_col (icol ~qual:"d" "month", "month"); Block.Sel_agg revenue ];
+    q_order = [ "month" ];
+    q_limit = None;
+  }
+
+let q_above_average_products ?(region = 2) () =
+  let avg_qty =
+    Aggregate.make Aggregate.Avg ~arg:(Expr.Col (icol ~qual:"f2" "qty")) "avgqty"
+  in
+  let view =
+    {
+      Block.v_alias = "v";
+      v_rels = [ { Block.r_alias = "f2"; r_table = "sales" } ];
+      v_preds = [];
+      v_keys = [ icol ~qual:"f2" "prod" ];
+      v_aggs = [ avg_qty ];
+      v_having = [];
+      v_out = [ Block.Out_key (icol ~qual:"f2" "prod", "prod"); Block.Out_agg avg_qty ];
+    }
+  in
+  {
+    Block.q_views = [ view ];
+    q_rels =
+      [
+        { Block.r_alias = "f"; r_table = "sales" };
+        { Block.r_alias = "s"; r_table = "store" };
+      ];
+    q_preds =
+      [
+        Expr.Cmp
+          (Expr.Eq, Expr.Col (icol ~qual:"f" "store"), Expr.Col (icol ~qual:"s" "store"));
+        Expr.Cmp
+          (Expr.Eq, Expr.Col (icol ~qual:"f" "prod"),
+           Expr.Col (Schema.column ~qual:"v" "prod" Datatype.Int));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"s" "region"), Expr.int region);
+        Expr.Cmp
+          ( Expr.Gt,
+            Expr.Col (icol ~qual:"f" "qty"),
+            Expr.Col (Schema.column ~qual:"v" "avgqty" Datatype.Float) );
+      ];
+    q_grouped = false;
+    q_keys = [];
+    q_aggs = [];
+    q_having = [];
+    q_select =
+      [
+        Block.Sel_col (icol ~qual:"f" "sk", "sk");
+        Block.Sel_col (icol ~qual:"f" "prod", "prod");
+        Block.Sel_col (icol ~qual:"f" "qty", "qty");
+      ];
+    q_order = [];
+    q_limit = None;
+  }

@@ -1,0 +1,33 @@
+(** A star-schema data-warehouse workload (the setting of Gupta, Harinarayan
+    & Quass [GHQ95], which the paper cites as concurrent work on
+    aggregate-query processing): one fact table with foreign keys into
+    several dimensions.
+
+    - [sales(sk PK, day -> dates.day, prod -> product.prod,
+      store -> store.store, qty, amount)], clustered on [prod]
+    - [dates(day PK, month, year)]
+    - [product(prod PK, category, price)]
+    - [store(store PK, region)] *)
+
+type params = {
+  days : int;
+  products : int;
+  stores : int;
+  rows_per_day : int;
+  seed : int;
+  frames : int;
+}
+
+val default_params : params
+val load : ?params:params -> unit -> Catalog.t
+
+val q_category_revenue : ?category:int -> unit -> Block.query
+(** Revenue by month for one product category: a grouped join of the fact
+    table with two dimensions — the invariant-grouping showcase (both
+    dimension joins are N:1 on dimension keys). *)
+
+val q_above_average_products : ?region:int -> unit -> Block.query
+(** Products whose sales quantity in one region exceeds their overall
+    average quantity per sale: a join of the fact table with an aggregate
+    view over the fact table itself (pull-up territory: the view is grouped
+    by [prod] and the fact table is clustered on it). *)

@@ -1,0 +1,265 @@
+type params = {
+  customers : int;
+  orders_per_customer : int;
+  lines_per_order : int;
+  parts : int;
+  suppliers : int;
+  nations : int;
+  seed : int;
+  frames : int;
+}
+
+let default_params =
+  {
+    customers = 300;
+    orders_per_customer = 5;
+    lines_per_order = 4;
+    parts = 200;
+    suppliers = 50;
+    nations = 10;
+    seed = 1234;
+    frames = 256;
+  }
+
+let load ?(params = default_params) () =
+  let rng = Rng.create ~seed:params.seed in
+  let cat = Catalog.create ~frames:params.frames () in
+  let customers =
+    List.init params.customers (fun i ->
+        Tuple.make
+          [
+            Value.Int i;
+            Value.Int (Rng.int rng params.nations);
+            Value.Int (Rng.in_range rng 0 10_000);
+            Value.String (Rng.pick rng [ "BUILDING"; "AUTO"; "MACHINERY" ]);
+          ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"customer"
+       ~columns:
+         [ ("ck", Datatype.Int); ("nation", Datatype.Int);
+           ("acctbal", Datatype.Int); ("mkt", Datatype.String) ]
+       ~pk:[ "ck" ] ~index:[ "nation" ] customers);
+  let norders = params.customers * params.orders_per_customer in
+  let orders =
+    List.init norders (fun i ->
+        Tuple.make
+          [
+            Value.Int i;
+            Value.Int (Rng.int rng params.customers);
+            Value.Date (Rng.in_range rng 8000 11000);
+            Value.Int (Rng.in_range rng 100 50_000);
+          ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"orders"
+       ~columns:
+         [ ("ok", Datatype.Int); ("ck", Datatype.Int); ("odate", Datatype.Date);
+           ("totalprice", Datatype.Int) ]
+       ~pk:[ "ok" ] ~index:[ "ck" ] ~cluster:"ck" orders);
+  let nlines = norders * params.lines_per_order in
+  let lineitems =
+    List.init nlines (fun i ->
+        Tuple.make
+          [
+            Value.Int i;
+            Value.Int (Rng.int rng norders);
+            Value.Int (Rng.int rng params.parts);
+            Value.Int (Rng.in_range rng 1 50);
+            Value.Int (Rng.in_range rng 100 10_000);
+            Value.Float (float_of_int (Rng.in_range rng 0 10) /. 100.);
+          ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"lineitem"
+       ~columns:
+         [ ("lk", Datatype.Int); ("ok", Datatype.Int); ("pk", Datatype.Int);
+           ("qty", Datatype.Int); ("price", Datatype.Int);
+           ("discount", Datatype.Float) ]
+       ~pk:[ "lk" ] ~index:[ "ok"; "pk" ] ~cluster:"ok" lineitems);
+  let part_rows =
+    List.init params.parts (fun i ->
+        Tuple.make
+          [
+            Value.Int i;
+            Value.Int (Rng.int rng 5);
+            Value.Int (Rng.in_range rng 1 50);
+            Value.Int (Rng.in_range rng 900 2000);
+          ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"part"
+       ~columns:
+         [ ("pk", Datatype.Int); ("brand", Datatype.Int); ("size", Datatype.Int);
+           ("retail", Datatype.Int) ]
+       ~pk:[ "pk" ] part_rows);
+  let supplier_rows =
+    List.init params.suppliers (fun i ->
+        Tuple.make
+          [
+            Value.Int i;
+            Value.Int (Rng.int rng params.nations);
+            Value.Int (Rng.in_range rng 0 10_000);
+          ])
+  in
+  ignore
+    (Catalog.add_table cat ~name:"supplier"
+       ~columns:
+         [ ("sk", Datatype.Int); ("nation", Datatype.Int); ("acctbal", Datatype.Int) ]
+       ~pk:[ "sk" ] supplier_rows);
+  Catalog.add_foreign_key cat ~from:("orders", "ck") ~refs:("customer", "ck");
+  Catalog.add_foreign_key cat ~from:("lineitem", "ok") ~refs:("orders", "ok");
+  Catalog.add_foreign_key cat ~from:("lineitem", "pk") ~refs:("part", "pk");
+  cat
+
+let icol ~qual name = Schema.column ~qual name Datatype.Int
+
+let q_big_spenders ?(nation = 3) () =
+  let avg_order =
+    Aggregate.make Aggregate.Avg ~arg:(Expr.Col (icol ~qual:"o" "totalprice")) "avgval"
+  in
+  let view =
+    {
+      Block.v_alias = "v";
+      v_rels = [ { Block.r_alias = "o"; r_table = "orders" } ];
+      v_preds = [];
+      v_keys = [ icol ~qual:"o" "ck" ];
+      v_aggs = [ avg_order ];
+      v_having = [];
+      v_out = [ Block.Out_key (icol ~qual:"o" "ck", "ck"); Block.Out_agg avg_order ];
+    }
+  in
+  {
+    Block.q_views = [ view ];
+    q_rels = [ { Block.r_alias = "c"; r_table = "customer" } ];
+    q_preds =
+      [
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"c" "ck"), Expr.Col (icol ~qual:"v" "ck"));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"c" "nation"), Expr.int nation);
+        Expr.Cmp
+          ( Expr.Lt,
+            Expr.Col (icol ~qual:"c" "acctbal"),
+            Expr.Col (Schema.column ~qual:"v" "avgval" Datatype.Float) );
+      ];
+    q_grouped = false;
+    q_keys = [];
+    q_aggs = [];
+    q_having = [];
+    q_select =
+      [
+        Block.Sel_col (icol ~qual:"c" "ck", "ck");
+        Block.Sel_col (icol ~qual:"c" "acctbal", "acctbal");
+      ];
+    q_order = [];
+    q_limit = None;
+  }
+
+let q_small_quantity_parts ?(brand = 2) ?(factor = 0.5) () =
+  let avg_qty =
+    Aggregate.make Aggregate.Avg ~arg:(Expr.Col (icol ~qual:"l2" "qty")) "avgqty"
+  in
+  let view =
+    {
+      Block.v_alias = "v";
+      v_rels = [ { Block.r_alias = "l2"; r_table = "lineitem" } ];
+      v_preds = [];
+      v_keys = [ icol ~qual:"l2" "pk" ];
+      v_aggs = [ avg_qty ];
+      v_having = [];
+      v_out = [ Block.Out_key (icol ~qual:"l2" "pk", "pk"); Block.Out_agg avg_qty ];
+    }
+  in
+  let total =
+    Aggregate.make Aggregate.Sum ~arg:(Expr.Col (icol ~qual:"l" "price")) "total"
+  in
+  {
+    Block.q_views = [ view ];
+    q_rels =
+      [
+        { Block.r_alias = "l"; r_table = "lineitem" };
+        { Block.r_alias = "p"; r_table = "part" };
+      ];
+    q_preds =
+      [
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"l" "pk"), Expr.Col (icol ~qual:"p" "pk"));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"p" "pk"), Expr.Col (icol ~qual:"v" "pk"));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"p" "brand"), Expr.int brand);
+        Expr.Cmp
+          ( Expr.Lt,
+            Expr.Col (icol ~qual:"l" "qty"),
+            Expr.Binop
+              ( Expr.Mul,
+                Expr.flt factor,
+                Expr.Col (Schema.column ~qual:"v" "avgqty" Datatype.Float) ) );
+      ];
+    q_grouped = true;
+    q_keys = [];
+    q_aggs = [ total ];
+    q_having = [];
+    q_select = [ Block.Sel_agg total ];
+    q_order = [];
+    q_limit = None;
+  }
+
+let q_two_views () =
+  let order_value =
+    Aggregate.make Aggregate.Sum ~arg:(Expr.Col (icol ~qual:"o2" "totalprice")) "ordval"
+  in
+  let v1 =
+    {
+      Block.v_alias = "v1";
+      v_rels = [ { Block.r_alias = "o2"; r_table = "orders" } ];
+      v_preds = [];
+      v_keys = [ icol ~qual:"o2" "ck" ];
+      v_aggs = [ order_value ];
+      v_having = [];
+      v_out = [ Block.Out_key (icol ~qual:"o2" "ck", "ck"); Block.Out_agg order_value ];
+    }
+  in
+  let line_rev =
+    Aggregate.make Aggregate.Sum ~arg:(Expr.Col (icol ~qual:"l2" "price")) "linerev"
+  in
+  let v2 =
+    {
+      Block.v_alias = "v2";
+      v_rels = [ { Block.r_alias = "l2"; r_table = "lineitem" } ];
+      v_preds = [];
+      v_keys = [ icol ~qual:"l2" "ok" ];
+      v_aggs = [ line_rev ];
+      v_having = [];
+      v_out = [ Block.Out_key (icol ~qual:"l2" "ok", "ok"); Block.Out_agg line_rev ];
+    }
+  in
+  {
+    Block.q_views = [ v1; v2 ];
+    q_rels =
+      [
+        { Block.r_alias = "c"; r_table = "customer" };
+        { Block.r_alias = "o"; r_table = "orders" };
+      ];
+    q_preds =
+      [
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"c" "ck"), Expr.Col (icol ~qual:"o" "ck"));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"c" "ck"), Expr.Col (icol ~qual:"v1" "ck"));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"o" "ok"), Expr.Col (icol ~qual:"v2" "ok"));
+        Expr.Cmp (Expr.Eq, Expr.Col (icol ~qual:"c" "nation"), Expr.int 1);
+        Expr.Cmp
+          ( Expr.Gt,
+            Expr.Col (Schema.column ~qual:"v2" "linerev" Datatype.Int),
+            Expr.Binop
+              ( Expr.Mul,
+                Expr.flt 0.1,
+                Expr.Col (Schema.column ~qual:"v1" "ordval" Datatype.Int) ) );
+      ];
+    q_grouped = false;
+    q_keys = [];
+    q_aggs = [];
+    q_having = [];
+    q_select =
+      [
+        Block.Sel_col (icol ~qual:"c" "ck", "ck");
+        Block.Sel_col (icol ~qual:"o" "ok", "ok");
+      ];
+    q_order = [];
+    q_limit = None;
+  }

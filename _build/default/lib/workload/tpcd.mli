@@ -1,0 +1,40 @@
+(** A scaled-down TPC-D-like decision-support schema — the workload family
+    the paper motivates with ("e.g., see TPC-D benchmark", Section 1):
+
+    - [customer(ck PK, nation, acctbal, mkt)]
+    - [orders(ok PK, ck -> customer, odate, totalprice)]
+    - [lineitem(lk PK, ok -> orders, pk -> part, qty, price, discount)],
+      clustered on [ok]
+    - [part(pk PK, brand, size, retail)]
+    - [supplier(sk PK, nation, acctbal)]
+
+    plus canonical queries with aggregate views over it. *)
+
+type params = {
+  customers : int;
+  orders_per_customer : int;
+  lines_per_order : int;
+  parts : int;
+  suppliers : int;
+  nations : int;
+  seed : int;
+  frames : int;
+}
+
+val default_params : params
+val load : ?params:params -> unit -> Catalog.t
+
+val q_big_spenders : ?nation:int -> unit -> Block.query
+(** Customers of a nation whose account balance is below their own average
+    order value: a join of [customer] with an aggregate view over [orders]
+    (Example 1's shape on the decision-support schema). *)
+
+val q_small_quantity_parts : ?brand:int -> ?factor:float -> unit -> Block.query
+(** TPC-D Q17's shape: revenue of lineitems whose quantity is below
+    [factor] times the average quantity for their part, restricted to a
+    brand — a join of [lineitem], [part] and an aggregate view over
+    [lineitem], topped by a scalar aggregate. *)
+
+val q_two_views : unit -> Block.query
+(** A two-aggregate-view query (Figure 5's shape): per-customer order value
+    and per-order line revenue views joined with the base tables. *)

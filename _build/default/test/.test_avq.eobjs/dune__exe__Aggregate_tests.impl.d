@@ -1,0 +1,1 @@
+test/aggregate_tests.ml: Aggregate Alcotest Block Datatype Emp_dept Expr List Optimizer QCheck QCheck_alcotest Relation Schema Tuple Value

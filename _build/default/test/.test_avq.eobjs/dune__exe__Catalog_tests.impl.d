@@ -1,0 +1,1 @@
+test/catalog_tests.ml: Alcotest Catalog Datatype Heap_file List Relation Schema Stats Tuple Value

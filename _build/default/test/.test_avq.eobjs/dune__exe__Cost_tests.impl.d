@@ -1,0 +1,1 @@
+test/cost_tests.ml: Aggregate Alcotest Buffer_pool Cost_model Datatype Emp_dept Exec_ctx Executor Expr Float Histogram List Physical Printf QCheck QCheck_alcotest Schema Value

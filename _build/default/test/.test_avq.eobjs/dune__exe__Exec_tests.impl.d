@@ -1,0 +1,1 @@
+test/exec_tests.ml: Aggregate Alcotest Buffer_pool Catalog Datatype Exec_ctx Executor Expr Iter List Logical Option Physical Printf QCheck QCheck_alcotest Relation Rng Schema Storage Tuple Value

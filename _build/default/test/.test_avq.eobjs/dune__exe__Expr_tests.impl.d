@@ -1,0 +1,1 @@
+test/expr_tests.ml: Alcotest Datatype Expr List Option QCheck QCheck_alcotest Schema Tuple Value

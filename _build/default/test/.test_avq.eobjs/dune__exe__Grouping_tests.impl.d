@@ -1,0 +1,1 @@
+test/grouping_tests.ml: Aggregate Alcotest Datatype Expr Grouping List Schema

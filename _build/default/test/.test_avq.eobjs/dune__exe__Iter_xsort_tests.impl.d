@@ -1,0 +1,1 @@
+test/iter_xsort_tests.ml: Alcotest Catalog Datatype Exec_ctx Executor Expr Iter List Physical Relation Schema Tuple Value Xsort

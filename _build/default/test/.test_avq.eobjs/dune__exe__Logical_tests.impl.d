@@ -1,0 +1,1 @@
+test/logical_tests.ml: Aggregate Alcotest Catalog Datatype Expr List Logical Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/moveround_tests.ml: Alcotest Block Cost_model Datatype Emp_dept Expr List Logical Normalize Optimizer Predicate_transfer Printf Relation Schema String

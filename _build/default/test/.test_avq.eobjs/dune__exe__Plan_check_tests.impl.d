@@ -1,0 +1,1 @@
+test/plan_check_tests.ml: Alcotest Datatype Emp_dept Expr List Optimizer Physical Plan_check Query_gen Result Rng Schema Tpcd

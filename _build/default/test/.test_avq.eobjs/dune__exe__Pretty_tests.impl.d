@@ -1,0 +1,1 @@
+test/pretty_tests.ml: Alcotest Array Lexer List Parser Pretty

@@ -1,0 +1,1 @@
+test/relation_tests.ml: Alcotest Datatype List QCheck QCheck_alcotest Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/smoke.ml: Alcotest Block Buffer_pool Cost_model Emp_dept Logical Optimizer Printf Relation

@@ -1,0 +1,1 @@
+test/sql_tests.ml: Alcotest Binder Block Emp_dept Lexer List Logical Optimizer Parser Relation Tuple Value

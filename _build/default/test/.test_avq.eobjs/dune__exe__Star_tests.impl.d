@@ -1,0 +1,1 @@
+test/star_tests.ml: Alcotest Block Cost_model List Normalize Optimizer Printf Relation Star Tuple Value

@@ -1,0 +1,1 @@
+test/storage_tests.ml: Alcotest Btree Buffer_pool Datatype Heap_file Int List Map Page QCheck QCheck_alcotest Schema Tuple Value

@@ -1,0 +1,1 @@
+test/workload_tests.ml: Alcotest Block Chain Cost_model Exec_ctx Executor List Logical Optimizer Plan_check Query_gen Relation Rng Star Tpcd

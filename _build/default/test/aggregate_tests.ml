@@ -1,0 +1,232 @@
+(* Aggregate function tests: runtime folding, merge (decomposability
+   witness), and the partial/combine decomposition used by simple
+   coalescing. *)
+
+let fold_values func values =
+  let st = List.fold_left (fun st v -> Aggregate.step st (Some v)) (Aggregate.init func) values in
+  Aggregate.finish st
+
+let direct () =
+  let ints l = List.map (fun i -> Value.Int i) l in
+  Alcotest.(check string) "sum" "10" (Value.to_string (fold_values Aggregate.Sum (ints [ 1; 2; 3; 4 ])));
+  Alcotest.(check string) "min" "-5" (Value.to_string (fold_values Aggregate.Min (ints [ 1; -5; 3 ])));
+  Alcotest.(check string) "max" "3" (Value.to_string (fold_values Aggregate.Max (ints [ 1; -5; 3 ])));
+  Alcotest.(check string) "avg" "2.5" (Value.to_string (fold_values Aggregate.Avg (ints [ 1; 2; 3; 4 ])));
+  let st = List.fold_left (fun st () -> Aggregate.step st None) (Aggregate.init Aggregate.Count_star) [ (); (); () ] in
+  Alcotest.(check string) "count star" "3" (Value.to_string (Aggregate.finish st))
+
+let empty_group () =
+  match Aggregate.finish (Aggregate.init Aggregate.Sum) with
+  | exception Invalid_argument _ -> ()
+  | v -> Alcotest.failf "empty SUM should fail, got %s" (Value.to_string v)
+
+let funcs = [ Aggregate.Sum; Aggregate.Min; Aggregate.Max; Aggregate.Avg ]
+
+let prop_merge_is_split =
+  (* Splitting a value list at any point and merging the two states equals
+     folding the whole list: the decomposability property. *)
+  QCheck.Test.make ~name:"merge (fold xs) (fold ys) = fold (xs @ ys)" ~count:300
+    (QCheck.triple
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 30) (QCheck.int_range (-100) 100))
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 30) (QCheck.int_range (-100) 100))
+       (QCheck.int_range 0 3))
+    (fun (xs, ys, fidx) ->
+      let func = List.nth funcs fidx in
+      let fold l =
+        List.fold_left
+          (fun st v -> Aggregate.step st (Some (Value.Int v)))
+          (Aggregate.init func) l
+      in
+      let merged = Aggregate.finish (Aggregate.merge (fold xs) (fold ys)) in
+      let whole = Aggregate.finish (fold (xs @ ys)) in
+      Value.compare merged whole = 0)
+
+(* Decompose: run partials on two sub-groups, then combine — must equal the
+   direct aggregate over the union (each sub-group plays the role of a
+   partial group that agrees on the grouping columns). *)
+let check_decompose func (xs, ys) =
+  let arg_col = Schema.column ~qual:"t" "x" Datatype.Int in
+  let agg =
+    match func with
+    | Aggregate.Count_star -> Aggregate.make Aggregate.Count_star "out"
+    | f -> Aggregate.make f ~arg:(Expr.Col arg_col) "out"
+  in
+  let d = Aggregate.decompose ~qual:"g" agg in
+  let schema = Schema.of_columns [ arg_col ] in
+  let run_partials values =
+    List.map
+      (fun (p : Aggregate.t) ->
+        let f =
+          match p.Aggregate.arg with
+          | None -> fun _ -> None
+          | Some e ->
+            let g = Expr.compile schema e in
+            fun t -> Some (g t)
+        in
+        List.fold_left
+          (fun st v -> Aggregate.step st (f (Tuple.make [ Value.Int v ])))
+          (Aggregate.init p.Aggregate.func)
+          values
+        |> Aggregate.finish)
+      d.Aggregate.partials
+  in
+  (* feed both partial rows into the combining aggregates *)
+  let partial_schema =
+    Schema.of_columns
+      (List.map
+         (fun (p : Aggregate.t) ->
+           Schema.column ~qual:"g" p.Aggregate.out_name (Aggregate.result_type p))
+         d.Aggregate.partials)
+  in
+  let combined =
+    List.map
+      (fun (c : Aggregate.t) ->
+        let f =
+          match c.Aggregate.arg with
+          | Some e -> Expr.compile partial_schema e
+          | None -> fun _ -> Value.Int 1
+        in
+        List.fold_left
+          (fun st row -> Aggregate.step st (Some (f (Tuple.make row))))
+          (Aggregate.init c.Aggregate.func)
+          [ run_partials xs; run_partials ys ]
+        |> Aggregate.finish)
+      d.Aggregate.combine
+  in
+  let combine_schema =
+    Schema.of_columns
+      (List.map
+         (fun (c : Aggregate.t) ->
+           Schema.column ~qual:"g" c.Aggregate.out_name (Aggregate.result_type c))
+         d.Aggregate.combine)
+  in
+  let final =
+    match d.Aggregate.post with
+    | None -> List.hd combined
+    | Some (e, _) -> Expr.compile combine_schema e (Tuple.make combined)
+  in
+  let direct =
+    let f st v =
+      match func with
+      | Aggregate.Count_star -> Aggregate.step st None
+      | _ -> Aggregate.step st (Some (Value.Int v))
+    in
+    Aggregate.finish (List.fold_left f (Aggregate.init func) (xs @ ys))
+  in
+  Value.compare final direct = 0
+
+let prop_decompose =
+  QCheck.Test.make ~name:"decompose: partials + combine (+post) = direct" ~count:200
+    (QCheck.triple
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 20) (QCheck.int_range (-50) 50))
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 20) (QCheck.int_range (-50) 50))
+       (QCheck.int_range 0 4))
+    (fun (xs, ys, fidx) ->
+      let func =
+        List.nth
+          [ Aggregate.Sum; Aggregate.Min; Aggregate.Max; Aggregate.Avg; Aggregate.Count_star ]
+          fidx
+      in
+      check_decompose func (xs, ys))
+
+let result_types () =
+  let c = Schema.column ~qual:"t" "x" Datatype.Int in
+  let mk f = Aggregate.make f ~arg:(Expr.Col c) "o" in
+  Alcotest.(check bool) "sum int" true
+    (Datatype.equal (Aggregate.result_type (mk Aggregate.Sum)) Datatype.Int);
+  Alcotest.(check bool) "avg float" true
+    (Datatype.equal (Aggregate.result_type (mk Aggregate.Avg)) Datatype.Float);
+  Alcotest.(check bool) "count int" true
+    (Datatype.equal (Aggregate.result_type (Aggregate.make Aggregate.Count_star "o")) Datatype.Int);
+  Alcotest.check_raises "count star with arg"
+    (Invalid_argument "Aggregate.make: COUNT(*) takes no argument") (fun () ->
+      ignore (Aggregate.make Aggregate.Count_star ~arg:(Expr.Col c) "o"));
+  Alcotest.check_raises "sum without arg"
+    (Invalid_argument "Aggregate.make: missing argument") (fun () ->
+      ignore (Aggregate.make Aggregate.Sum "o"))
+
+let tests =
+  [
+    Alcotest.test_case "direct folding" `Quick direct;
+    Alcotest.test_case "empty group rejected" `Quick empty_group;
+    QCheck_alcotest.to_alcotest prop_merge_is_split;
+    QCheck_alcotest.to_alcotest prop_decompose;
+    Alcotest.test_case "result types and arity checks" `Quick result_types;
+  ]
+
+(* ---- user-defined aggregates (paper: "built-in or user-defined") ---- *)
+
+let stddev_direct () =
+  let arg = Expr.Col (Schema.column ~qual:"t" "x" Datatype.Int) in
+  let sd = Aggregate.stddev ~arg "sd" in
+  let st =
+    List.fold_left
+      (fun st v -> Aggregate.step st (Some (Value.Int v)))
+      (Aggregate.init sd.Aggregate.func) [ 2; 4; 4; 4; 5; 5; 7; 9 ]
+  in
+  (match Aggregate.finish st with
+   | Value.Float f -> Alcotest.(check (float 0.0001)) "population stddev" 2.0 f
+   | v -> Alcotest.failf "expected float, got %s" (Value.to_string v));
+  Alcotest.(check bool) "not decomposable" false (Aggregate.is_decomposable sd);
+  (match Aggregate.decompose ~qual:"g" sd with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "decompose must refuse UDFs")
+
+let stddev_in_query () =
+  (* A view computing stddev per department: pull-up must still work, and
+     coalescing must be silently skipped (non-decomposable). *)
+  let cat =
+    Emp_dept.load ~params:{ Emp_dept.default_params with emps = 800; depts = 20 } ()
+  in
+  let c ~q n = Schema.column ~qual:q n Datatype.Int in
+  let sd = Aggregate.stddev ~arg:(Expr.Col (c ~q:"e2" "sal")) "sd" in
+  let view =
+    {
+      Block.v_alias = "b";
+      v_rels = [ { Block.r_alias = "e2"; r_table = "emp" } ];
+      v_preds = [];
+      v_keys = [ c ~q:"e2" "dno" ];
+      v_aggs = [ sd ];
+      v_having = [];
+      v_out = [ Block.Out_key (c ~q:"e2" "dno", "dno"); Block.Out_agg sd ];
+    }
+  in
+  let q =
+    {
+      Block.q_views = [ view ];
+      q_rels = [ { Block.r_alias = "e1"; r_table = "emp" } ];
+      q_preds =
+        [
+          Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e1" "dno"), Expr.Col (c ~q:"b" "dno"));
+          Expr.Cmp (Expr.Lt, Expr.Col (c ~q:"e1" "age"), Expr.int 25);
+          Expr.Cmp
+            ( Expr.Gt,
+              Expr.Col (c ~q:"e1" "sal"),
+              Expr.Binop
+                ( Expr.Mul,
+                  Expr.flt 1.5,
+                  Expr.Col (Schema.column ~qual:"b" "sd" Datatype.Float) ) );
+        ];
+      q_grouped = false;
+      q_keys = [];
+      q_aggs = [];
+      q_having = [];
+      q_select = [ Block.Sel_col (c ~q:"e1" "eno", "eno") ];
+      q_order = [];
+      q_limit = None;
+    }
+  in
+  let expected = Block.reference_eval cat q in
+  List.iter
+    (fun algorithm ->
+      let options = { Optimizer.default_options with algorithm } in
+      let got, _ = Optimizer.run ~options cat q in
+      Alcotest.(check bool) "stddev view query" true
+        (Relation.multiset_equal expected got))
+    [ Optimizer.Traditional; Optimizer.Greedy_conservative; Optimizer.Paper ]
+
+let udf_tests =
+  [
+    Alcotest.test_case "stddev UDF folding and gating" `Quick stddev_direct;
+    Alcotest.test_case "stddev view across all algorithms" `Quick stddev_in_query;
+  ]

@@ -1,0 +1,164 @@
+(* Cost model and estimation tests: histogram selectivities, the Cardenas
+   formula, plan-aware group counts, and estimate/measured agreement on
+   basic operators. *)
+
+let histogram_props () =
+  let values = List.init 1000 (fun i -> Value.Int (i mod 100)) in
+  let h = Histogram.build values in
+  Alcotest.(check int) "count" 1000 (Histogram.count h);
+  Alcotest.(check int) "ndv" 100 (Histogram.ndv h);
+  let full = Histogram.sel_range h () in
+  Alcotest.(check bool) "full range ~1" true (full > 0.99 && full <= 1.0);
+  let half = Histogram.sel_range h ~hi:(Value.Int 49, true) () in
+  Alcotest.(check bool) (Printf.sprintf "half range ~0.5 (%.3f)" half) true
+    (half > 0.4 && half < 0.6);
+  let eq = Histogram.sel_eq h (Value.Int 50) in
+  Alcotest.(check bool) (Printf.sprintf "point ~1/100 (%.4f)" eq) true
+    (eq > 0.005 && eq < 0.02);
+  Alcotest.(check (float 0.0001)) "below min" 0.0
+    (Histogram.sel_eq h (Value.Int (-5)))
+
+let prop_histogram_monotone =
+  QCheck.Test.make ~name:"sel_range is monotone in the upper bound" ~count:100
+    (QCheck.pair (QCheck.int_range 0 99) (QCheck.int_range 0 99))
+    (fun (a, b) ->
+      let values = List.init 500 (fun i -> Value.Int (i mod 100)) in
+      let h = Histogram.build values in
+      let lo = min a b and hi = max a b in
+      Histogram.sel_range h ~hi:(Value.Int lo, true) ()
+      <= Histogram.sel_range h ~hi:(Value.Int hi, true) () +. 1e-9)
+
+let cardenas_props () =
+  Alcotest.(check (float 0.001)) "no rows" 0. (Cost_model.cardenas ~n:0. ~d:10.);
+  Alcotest.(check (float 0.001)) "one group" 1. (Cost_model.cardenas ~n:50. ~d:1.);
+  let g = Cost_model.cardenas ~n:1000. ~d:10. in
+  Alcotest.(check bool) "saturates to d" true (g > 9.99 && g <= 10.);
+  let few = Cost_model.cardenas ~n:5. ~d:1000. in
+  Alcotest.(check bool) "few rows ~ n" true (few > 4.9 && few <= 5.)
+
+let scan_cost_exact () =
+  let cat = Emp_dept.load ~params:{ Emp_dept.default_params with emps = 10_000 } () in
+  let plan = Physical.Seq_scan { alias = "e"; table = "emp"; filter = [] } in
+  let est = Cost_model.estimate cat ~work_mem:32 plan in
+  let ctx = Exec_ctx.create cat in
+  let _, io = Executor.run_measured ctx plan in
+  Alcotest.(check int) "seq scan cost = pages" io.Buffer_pool.reads
+    (int_of_float est.Cost_model.cost);
+  Alcotest.(check int) "rows exact" 10_000 (int_of_float est.Cost_model.rows)
+
+let filter_reduces_rows () =
+  let cat = Emp_dept.load () in
+  let base = Physical.Seq_scan { alias = "e"; table = "emp"; filter = [] } in
+  let filtered =
+    Physical.Seq_scan
+      { alias = "e"; table = "emp";
+        filter =
+          [ Expr.Cmp (Expr.Lt, Expr.Col (Schema.column ~qual:"e" "age" Datatype.Int), Expr.int 30) ] }
+  in
+  let eb = Cost_model.estimate cat ~work_mem:32 base in
+  let ef = Cost_model.estimate cat ~work_mem:32 filtered in
+  Alcotest.(check bool) "filter reduces estimated rows" true
+    (ef.Cost_model.rows < eb.Cost_model.rows);
+  Alcotest.(check (float 0.001)) "same scan cost" eb.Cost_model.cost ef.Cost_model.cost
+
+let sort_spill_formula () =
+  (* Sorting more pages than work_mem must charge 2*pages*passes, and the
+     executor must actually incur comparable temp IO. *)
+  let cat = Emp_dept.load ~params:{ Emp_dept.default_params with emps = 30_000 } () in
+  let scan = Physical.Seq_scan { alias = "e"; table = "emp"; filter = [] } in
+  let plan =
+    Physical.Sort { input = scan; cols = [ Schema.column ~qual:"e" "sal" Datatype.Int ] }
+  in
+  let est = Cost_model.estimate cat ~work_mem:8 plan in
+  let scan_est = Cost_model.estimate cat ~work_mem:8 scan in
+  Alcotest.(check bool) "spill charged" true
+    (est.Cost_model.cost > scan_est.Cost_model.cost);
+  let ctx = Exec_ctx.create ~work_mem:8 cat in
+  let _, io = Executor.run_measured ctx plan in
+  let measured = float_of_int (io.Buffer_pool.reads + io.Buffer_pool.writes) in
+  let rel_err = Float.abs (est.Cost_model.cost -. measured) /. measured in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate within 40%% of measured (est %.0f vs %.0f)"
+       est.Cost_model.cost measured)
+    true (rel_err < 0.4)
+
+let group_estimate_fd_aware () =
+  let cat = Emp_dept.load ~params:{ Emp_dept.default_params with emps = 20_000; depts = 50 } () in
+  let e col = Schema.column ~qual:"e" col Datatype.Int in
+  let scan = Physical.Seq_scan { alias = "e"; table = "emp"; filter = [] } in
+  (* Grouping by the PK plus other columns = one group per row. *)
+  let plan keys =
+    Physical.Hash_group
+      { input = scan; agg_qual = "g"; keys;
+        aggs = [ Aggregate.make Aggregate.Count_star "n" ]; having = [] }
+  in
+  let by_pk = Cost_model.estimate cat ~work_mem:32 (plan [ e "eno"; e "sal"; e "age" ]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "PK grouping = input rows (%.0f)" by_pk.Cost_model.rows)
+    true
+    (Float.abs (by_pk.Cost_model.rows -. 20_000.) < 200.);
+  let by_dno = Cost_model.estimate cat ~work_mem:32 (plan [ e "dno" ]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "dno grouping ~ depts (%.0f)" by_dno.Cost_model.rows)
+    true
+    (by_dno.Cost_model.rows > 40. && by_dno.Cost_model.rows < 60.)
+
+let group_estimate_join_classes () =
+  (* Grouping the join emp x dept by both join columns must count one
+     attribute, not the square. *)
+  let cat = Emp_dept.load ~params:{ Emp_dept.default_params with emps = 20_000; depts = 50 } () in
+  let e col = Schema.column ~qual:"e" col Datatype.Int in
+  let d col = Schema.column ~qual:"d" col Datatype.Int in
+  let join =
+    Physical.Hash_join
+      {
+        left = Physical.Seq_scan { alias = "e"; table = "emp"; filter = [] };
+        right = Physical.Seq_scan { alias = "d"; table = "dept"; filter = [] };
+        keys = [ (e "dno", d "dno") ];
+        cond = [];
+        build_side = `Right;
+      }
+  in
+  let plan =
+    Physical.Hash_group
+      { input = join; agg_qual = "g"; keys = [ e "dno"; d "dno" ];
+        aggs = [ Aggregate.make Aggregate.Count_star "n" ]; having = [] }
+  in
+  let est = Cost_model.estimate cat ~work_mem:32 plan in
+  Alcotest.(check bool)
+    (Printf.sprintf "join-equal keys counted once (%.0f)" est.Cost_model.rows)
+    true
+    (est.Cost_model.rows < 100.)
+
+let hash_join_spill_charged () =
+  let cat = Emp_dept.load ~params:{ Emp_dept.default_params with emps = 30_000 } () in
+  let e col = Schema.column ~qual:"e1" col Datatype.Int in
+  let f col = Schema.column ~qual:"e2" col Datatype.Int in
+  let join build_side =
+    Physical.Hash_join
+      {
+        left = Physical.Seq_scan { alias = "e1"; table = "emp"; filter = [] };
+        right = Physical.Seq_scan { alias = "e2"; table = "emp"; filter = [] };
+        keys = [ (e "dno", f "dno") ];
+        cond = [];
+        build_side;
+      }
+  in
+  let small = Cost_model.estimate cat ~work_mem:500 (join `Right) in
+  let spill = Cost_model.estimate cat ~work_mem:8 (join `Right) in
+  Alcotest.(check bool) "spill costs more" true
+    (spill.Cost_model.cost > small.Cost_model.cost +. 100.)
+
+let tests =
+  [
+    Alcotest.test_case "histogram selectivities" `Quick histogram_props;
+    QCheck_alcotest.to_alcotest prop_histogram_monotone;
+    Alcotest.test_case "cardenas formula" `Quick cardenas_props;
+    Alcotest.test_case "seq scan cost exact" `Quick scan_cost_exact;
+    Alcotest.test_case "filter selectivity" `Quick filter_reduces_rows;
+    Alcotest.test_case "sort spill estimate vs measured" `Quick sort_spill_formula;
+    Alcotest.test_case "group estimate: FD-aware" `Quick group_estimate_fd_aware;
+    Alcotest.test_case "group estimate: join equivalence classes" `Quick
+      group_estimate_join_classes;
+    Alcotest.test_case "hash join spill charged" `Quick hash_join_spill_charged;
+  ]

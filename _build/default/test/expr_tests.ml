@@ -1,0 +1,113 @@
+(* Expression and predicate tests: compilation, static analysis,
+   substitution and comparison semantics. *)
+
+let schema =
+  Schema.of_columns
+    [
+      Schema.column ~qual:"t" "a" Datatype.Int;
+      Schema.column ~qual:"t" "b" Datatype.Int;
+      Schema.column ~qual:"u" "c" Datatype.Float;
+    ]
+
+let tup a b c = Tuple.make [ Value.Int a; Value.Int b; Value.Float c ]
+
+let ca = Schema.column ~qual:"t" "a" Datatype.Int
+let cb = Schema.column ~qual:"t" "b" Datatype.Int
+let cc = Schema.column ~qual:"u" "c" Datatype.Float
+
+let eval_expr () =
+  let e = Expr.Binop (Expr.Add, Expr.Col ca, Expr.Binop (Expr.Mul, Expr.Col cb, Expr.int 3)) in
+  let f = Expr.compile schema e in
+  Alcotest.(check string) "a + b*3" "11" (Value.to_string (f (tup 2 3 0.)));
+  let d = Expr.compile schema (Expr.Binop (Expr.Div, Expr.Col ca, Expr.Col cb)) in
+  Alcotest.(check string) "div promotes" "2.5" (Value.to_string (d (tup 5 2 0.)))
+
+let eval_pred () =
+  let p =
+    Expr.And
+      ( Expr.Cmp (Expr.Gt, Expr.Col ca, Expr.int 1),
+        Expr.Or
+          ( Expr.Cmp (Expr.Le, Expr.Col cb, Expr.int 0),
+            Expr.Not (Expr.Cmp (Expr.Eq, Expr.Col cc, Expr.flt 1.0)) ) )
+  in
+  let f = Expr.compile_pred schema p in
+  Alcotest.(check bool) "true branch" true (f (tup 2 5 2.0));
+  Alcotest.(check bool) "false: a too small" false (f (tup 1 5 2.0));
+  Alcotest.(check bool) "false: both disjuncts fail" false (f (tup 2 5 1.0))
+
+let unresolved () =
+  let ghost = Expr.Col (Schema.column ~qual:"x" "nope" Datatype.Int) in
+  match Expr.compile schema ghost (tup 0 0 0.) with
+  | exception Expr.Unresolved_column _ -> ()
+  | v -> Alcotest.failf "expected Unresolved_column, got %s" (Value.to_string v)
+
+let conjuncts_roundtrip =
+  let pred_gen =
+    QCheck.Gen.(
+      let leaf =
+        map (fun i -> Expr.Cmp (Expr.Eq, Expr.Col ca, Expr.int i)) (int_range 0 9)
+      in
+      fix
+        (fun self n ->
+          if n = 0 then leaf
+          else
+            frequency
+              [
+                (2, leaf);
+                (3, map2 (fun a b -> Expr.And (a, b)) (self (n - 1)) (self (n - 1)));
+                (1, map2 (fun a b -> Expr.Or (a, b)) (self (n - 1)) (self (n - 1)));
+              ])
+        3)
+  in
+  QCheck.Test.make ~name:"conjoin (conjuncts p) semantically equals p" ~count:200
+    (QCheck.make ~print:Expr.pred_to_string pred_gen)
+    (fun p ->
+      let q = Option.get (Expr.conjoin (Expr.conjuncts p)) in
+      let fp = Expr.compile_pred schema p and fq = Expr.compile_pred schema q in
+      List.for_all
+        (fun a -> fp (tup a (10 - a) 0.) = fq (tup a (10 - a) 0.))
+        [ 0; 1; 2; 5; 9 ])
+
+let analysis () =
+  let p =
+    Expr.And
+      ( Expr.Cmp (Expr.Eq, Expr.Col ca, Expr.Col cc),
+        Expr.Cmp (Expr.Lt, Expr.Col cb, Expr.int 5) )
+  in
+  Alcotest.(check (list string)) "qualifiers" [ "t"; "u" ] (Expr.qualifiers p);
+  Alcotest.(check int) "columns" 3 (List.length (Expr.pred_columns p));
+  (match Expr.as_equijoin (Expr.Cmp (Expr.Eq, Expr.Col ca, Expr.Col cc)) with
+   | Some (a, b) ->
+     Alcotest.(check string) "equijoin lhs" "t.a" (Schema.column_to_string a);
+     Alcotest.(check string) "equijoin rhs" "u.c" (Schema.column_to_string b)
+   | None -> Alcotest.fail "expected equijoin");
+  Alcotest.(check bool) "same-qual eq is not a join" true
+    (Expr.as_equijoin (Expr.Cmp (Expr.Eq, Expr.Col ca, Expr.Col cb)) = None)
+
+let substitution () =
+  let p = Expr.Cmp (Expr.Gt, Expr.Col ca, Expr.Col cb) in
+  let q =
+    Expr.subst_columns
+      (fun c -> if Schema.column_equal c ca then Some cc else None)
+      p
+  in
+  Alcotest.(check string) "substituted" "u.c > t.b" (Expr.pred_to_string q)
+
+let types () =
+  Alcotest.(check bool) "int+int" true
+    (Datatype.equal (Expr.type_of (Expr.Binop (Expr.Add, Expr.Col ca, Expr.Col cb))) Datatype.Int);
+  Alcotest.(check bool) "div is float" true
+    (Datatype.equal (Expr.type_of (Expr.Binop (Expr.Div, Expr.Col ca, Expr.Col cb))) Datatype.Float);
+  Alcotest.(check bool) "mixed is float" true
+    (Datatype.equal (Expr.type_of (Expr.Binop (Expr.Add, Expr.Col ca, Expr.Col cc))) Datatype.Float)
+
+let tests =
+  [
+    Alcotest.test_case "expression evaluation" `Quick eval_expr;
+    Alcotest.test_case "predicate evaluation" `Quick eval_pred;
+    Alcotest.test_case "unresolved column" `Quick unresolved;
+    QCheck_alcotest.to_alcotest conjuncts_roundtrip;
+    Alcotest.test_case "static analysis" `Quick analysis;
+    Alcotest.test_case "column substitution" `Quick substitution;
+    Alcotest.test_case "type inference" `Quick types;
+  ]

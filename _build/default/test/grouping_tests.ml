@@ -1,0 +1,117 @@
+(* Unit tests for the group-by placement legality checks (Grouping), which
+   the DP's greedy conservative heuristic relies on. *)
+
+let c ~q n = Schema.column ~qual:q n Datatype.Int
+
+let spec ?(keys = [ c ~q:"e" "dno" ]) ?(having = []) () =
+  {
+    Grouping.gs_qual = "g";
+    gs_keys = keys;
+    gs_aggs = [ Aggregate.make Aggregate.Sum ~arg:(Expr.Col (c ~q:"e" "sal")) "s" ];
+    gs_having = having;
+  }
+
+let dept_item =
+  { Grouping.li_aliases = [ "d" ]; li_key = Some [ c ~q:"d" "dno" ] }
+
+let join_pred = Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e" "dno"), Expr.Col (c ~q:"d" "dno"))
+
+let invariant_ok_basic () =
+  Alcotest.(check bool) "classic Example 2 placement" true
+    (Grouping.invariant_final_ok ~spec:(spec ()) ~covered_aliases:[ "e" ]
+       ~remaining_items:[ dept_item ] ~remaining_preds:[ join_pred ])
+
+let invariant_needs_keys_covered () =
+  Alcotest.(check bool) "keys not covered -> refuse" false
+    (Grouping.invariant_final_ok
+       ~spec:(spec ~keys:[ c ~q:"x" "k" ] ())
+       ~covered_aliases:[ "e" ] ~remaining_items:[ dept_item ]
+       ~remaining_preds:[ join_pred ])
+
+let invariant_needs_item_key () =
+  let keyless = { Grouping.li_aliases = [ "d" ]; li_key = None } in
+  Alcotest.(check bool) "no key on later item -> refuse" false
+    (Grouping.invariant_final_ok ~spec:(spec ()) ~covered_aliases:[ "e" ]
+       ~remaining_items:[ keyless ] ~remaining_preds:[ join_pred ])
+
+let invariant_needs_key_equality () =
+  (* join on a non-grouping column of the prefix *)
+  let bad_pred =
+    Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e" "sal"), Expr.Col (c ~q:"d" "dno"))
+  in
+  Alcotest.(check bool) "non-key-side join column -> refuse" false
+    (Grouping.invariant_final_ok ~spec:(spec ()) ~covered_aliases:[ "e" ]
+       ~remaining_items:[ dept_item ] ~remaining_preds:[ bad_pred ])
+
+let invariant_rejects_agg_args_elsewhere () =
+  let s =
+    {
+      Grouping.gs_qual = "g";
+      gs_keys = [ c ~q:"e" "dno" ];
+      gs_aggs = [ Aggregate.make Aggregate.Sum ~arg:(Expr.Col (c ~q:"d" "budget")) "s" ];
+      gs_having = [];
+    }
+  in
+  Alcotest.(check bool) "aggregate argument outside prefix -> refuse" false
+    (Grouping.invariant_final_ok ~spec:s ~covered_aliases:[ "e" ]
+       ~remaining_items:[ dept_item ] ~remaining_preds:[ join_pred ])
+
+let coalesce_spec_contents () =
+  match
+    Grouping.coalesce_at ~spec:(spec ()) ~covered_aliases:[ "e" ]
+      ~remaining_preds:[ join_pred ]
+  with
+  | None -> Alcotest.fail "coalesce must apply"
+  | Some cl ->
+    (* partial keys = covered grouping keys + covered columns of remaining
+       predicates, deduplicated (e.dno plays both roles here) *)
+    Alcotest.(check int) "partial keys deduplicated" 1
+      (List.length cl.Grouping.partial_keys);
+    Alcotest.(check int) "one partial per SUM" 1 (List.length cl.Grouping.partial_aggs);
+    Alcotest.(check int) "one combiner" 1 (List.length cl.Grouping.combine_aggs);
+    Alcotest.(check int) "no post for SUM" 0 (List.length cl.Grouping.post)
+
+let coalesce_avg_has_post () =
+  let s =
+    {
+      Grouping.gs_qual = "g";
+      gs_keys = [ c ~q:"e" "dno" ];
+      gs_aggs = [ Aggregate.make Aggregate.Avg ~arg:(Expr.Col (c ~q:"e" "sal")) "m" ];
+      gs_having = [];
+    }
+  in
+  match
+    Grouping.coalesce_at ~spec:s ~covered_aliases:[ "e" ] ~remaining_preds:[]
+  with
+  | None -> Alcotest.fail "coalesce must apply"
+  | Some cl ->
+    Alcotest.(check int) "AVG decomposes into sum+count" 2
+      (List.length cl.Grouping.partial_aggs);
+    Alcotest.(check int) "AVG recombination expression" 1 (List.length cl.Grouping.post)
+
+let coalesce_refuses_foreign_args () =
+  let s =
+    {
+      Grouping.gs_qual = "g";
+      gs_keys = [ c ~q:"e" "dno" ];
+      gs_aggs = [ Aggregate.make Aggregate.Sum ~arg:(Expr.Col (c ~q:"d" "budget")) "s" ];
+      gs_having = [];
+    }
+  in
+  Alcotest.(check bool) "args outside prefix -> None" true
+    (Grouping.coalesce_at ~spec:s ~covered_aliases:[ "e" ] ~remaining_preds:[] = None)
+
+let tests =
+  [
+    Alcotest.test_case "invariant placement: classic case" `Quick invariant_ok_basic;
+    Alcotest.test_case "invariant: keys must be covered" `Quick invariant_needs_keys_covered;
+    Alcotest.test_case "invariant: later item needs a key" `Quick invariant_needs_item_key;
+    Alcotest.test_case "invariant: join must be on grouping keys" `Quick
+      invariant_needs_key_equality;
+    Alcotest.test_case "invariant: aggregate args must be covered" `Quick
+      invariant_rejects_agg_args_elsewhere;
+    Alcotest.test_case "coalesce: partial/combine structure" `Quick coalesce_spec_contents;
+    Alcotest.test_case "coalesce: AVG needs a post expression" `Quick coalesce_avg_has_post;
+    Alcotest.test_case "coalesce: foreign aggregate args refused" `Quick
+      coalesce_refuses_foreign_args;
+  ]

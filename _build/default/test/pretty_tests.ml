@@ -1,0 +1,51 @@
+(* SQL pretty-printer: parse (print (parse s)) must equal parse s. *)
+
+let samples =
+  [
+    "SELECT e1.eno AS eno FROM emp e1 WHERE e1.age < 22";
+    "SELECT e.dno, AVG(e.sal) AS a FROM emp e GROUP BY e.dno HAVING AVG(e.sal) > 3 AND COUNT(*) > 2";
+    "SELECT a.x FROM t a, u b WHERE a.k = b.k AND (a.v > 1 OR NOT b.w <= 2)";
+    "SELECT MIN(e.sal) AS m FROM emp e WHERE e.name = 'o''brien'";
+    "SELECT e.sal AS s FROM emp e WHERE e.sal > (SELECT AVG(x.sal) FROM emp x WHERE x.dno = e.dno)";
+    "SELECT a.v AS v FROM t a WHERE a.v * 2 + 1 >= a.w / 3 - 4";
+    "CREATE VIEW v (k, s) AS SELECT e.dno, SUM(e.sal) FROM emp e GROUP BY e.dno; SELECT v.k AS k FROM v";
+  ]
+
+let roundtrip () =
+  List.iter
+    (fun src ->
+      let ast = Parser.parse_script src in
+      let printed = Pretty.script_to_string ast in
+      let reparsed =
+        try Parser.parse_script printed
+        with Parser.Parse_error (m, off) ->
+          Alcotest.failf "reparse failed at %d (%s) for:\n%s" off m printed
+      in
+      if ast <> reparsed then
+        Alcotest.failf "roundtrip mismatch:\noriginal: %s\nprinted:  %s" src printed)
+    samples
+
+let lexer_errors () =
+  let expect_fail s =
+    match Lexer.tokenize s with
+    | exception Lexer.Lex_error _ -> ()
+    | _ -> Alcotest.failf "expected lex error for %S" s
+  in
+  expect_fail "SELECT 'unterminated";
+  expect_fail "SELECT #"
+
+let lexer_features () =
+  let toks = Lexer.tokenize "select X -- comment\n <> 'a''b' 3.5" in
+  let kinds = Array.to_list (Array.map fst toks) in
+  Alcotest.(check bool) "keyword case-insensitive" true
+    (List.mem (Lexer.KW "SELECT") kinds);
+  Alcotest.(check bool) "comment skipped + ne" true (List.mem Lexer.NE kinds);
+  Alcotest.(check bool) "escaped quote" true (List.mem (Lexer.STRING "a'b") kinds);
+  Alcotest.(check bool) "float" true (List.mem (Lexer.FLOAT 3.5) kinds)
+
+let tests =
+  [
+    Alcotest.test_case "parse/print round trips" `Quick roundtrip;
+    Alcotest.test_case "lexer error cases" `Quick lexer_errors;
+    Alcotest.test_case "lexer features" `Quick lexer_features;
+  ]

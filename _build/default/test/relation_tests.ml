@@ -1,0 +1,124 @@
+(* Unit and property tests for the relation substrate: values, schemas,
+   tuples, in-memory relations. *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_range (-1000) 1000);
+        map (fun f -> Value.Float f) (float_bound_inclusive 1000.);
+        map (fun s -> Value.String s) (string_size ~gen:(char_range 'a' 'z') (return 5));
+        map (fun b -> Value.Bool b) bool;
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let same_kind a b =
+  match a, b with
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) -> true
+  | Value.String _, Value.String _ | Value.Bool _, Value.Bool _ -> true
+  | Value.Date _, Value.Date _ -> true
+  | _ -> false
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"Value.compare antisymmetric" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      QCheck.assume (same_kind a b);
+      Value.compare a b = -Value.compare b a)
+
+let prop_compare_refl =
+  QCheck.Test.make ~name:"Value.compare reflexive & hash consistent" ~count:500
+    value_arb (fun v -> Value.compare v v = 0 && Value.hash v = Value.hash v)
+
+let prop_hash_eq =
+  QCheck.Test.make ~name:"equal values hash equally (int/float mix)" ~count:200
+    QCheck.(int_range (-100) 100) (fun i ->
+      Value.equal (Value.Int i) (Value.Float (float_of_int i))
+      && Value.hash (Value.Int i) = Value.hash (Value.Float (float_of_int i)))
+
+let prop_minmax =
+  QCheck.Test.make ~name:"min/max consistent with compare" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      QCheck.assume (same_kind a b);
+      Value.compare (Value.min_value a b) (Value.max_value a b) <= 0)
+
+let arithmetic () =
+  Alcotest.(check string) "int add" "7" (Value.to_string (Value.add (Value.Int 3) (Value.Int 4)));
+  Alcotest.(check string) "mixed mul" "7.5"
+    (Value.to_string (Value.mul (Value.Int 3) (Value.Float 2.5)));
+  Alcotest.(check string) "int div is float" "1.5"
+    (Value.to_string (Value.div (Value.Int 3) (Value.Int 2)));
+  Alcotest.(check string) "date minus int" "date:5"
+    (Value.to_string (Value.sub (Value.Date 7) (Value.Int 2)));
+  Alcotest.check_raises "div by zero" (Value.Type_error "div: division by zero")
+    (fun () -> ignore (Value.div (Value.Int 1) (Value.Int 0)));
+  (match Value.add (Value.String "a") (Value.Int 1) with
+   | exception Value.Type_error _ -> ()
+   | v -> Alcotest.failf "string+int should fail, got %s" (Value.to_string v))
+
+let schema_fixture () =
+  Schema.of_columns
+    [
+      Schema.column ~qual:"e" "dno" Datatype.Int;
+      Schema.column ~qual:"e" "sal" Datatype.Int;
+      Schema.column ~qual:"d" "dno" Datatype.Int;
+      Schema.column ~qual:"d" "name" Datatype.String;
+    ]
+
+let schema_lookup () =
+  let s = schema_fixture () in
+  Alcotest.(check (option int)) "qualified" (Some 2) (Schema.find s ~qual:"d" "dno");
+  Alcotest.(check (option int)) "unqualified unique" (Some 3) (Schema.find s "name");
+  Alcotest.check_raises "ambiguous" (Schema.Ambiguous "dno") (fun () ->
+      ignore (Schema.find s "dno"));
+  Alcotest.(check (option int)) "missing" None (Schema.find s ~qual:"e" "name");
+  Alcotest.(check int) "arity" 4 (Schema.arity s)
+
+let schema_ops () =
+  let s = schema_fixture () in
+  let p = Schema.project s [ 3; 0 ] in
+  Alcotest.(check int) "project arity" 2 (Schema.arity p);
+  Alcotest.(check string) "project order" "d.name"
+    (Schema.column_to_string (Schema.get p 0));
+  let a = Schema.append p p in
+  Alcotest.(check int) "append arity" 4 (Schema.arity a);
+  let r = Schema.rename_qualifier s "x" in
+  Alcotest.(check (option int)) "renamed" (Some 0) (Schema.find r ~qual:"x" "dno" |> fun o -> o);
+  Alcotest.(check bool) "byte width positive" true (Schema.byte_width s > 0)
+
+let tuple_ops () =
+  let t = Tuple.make [ Value.Int 1; Value.String "x"; Value.Int 3 ] in
+  Alcotest.(check int) "arity" 3 (Tuple.arity t);
+  Alcotest.(check string) "project" "[3; 1]"
+    (Tuple.to_string (Tuple.project t [ 2; 0 ]));
+  let u = Tuple.concat t t in
+  Alcotest.(check int) "concat" 6 (Tuple.arity u);
+  Alcotest.(check int) "compare equal" 0 (Tuple.compare t t);
+  Alcotest.(check bool) "compare_at picks columns" true
+    (Tuple.compare_at [| 0 |] t (Tuple.make [ Value.Int 2; Value.Int 0; Value.Int 0 ]) < 0)
+
+let relation_multiset () =
+  let s = Schema.of_columns [ Schema.column "a" Datatype.Int ] in
+  let mk l = Relation.create s (List.map (fun i -> Tuple.make [ Value.Int i ]) l) in
+  Alcotest.(check bool) "permutation equal" true
+    (Relation.multiset_equal (mk [ 1; 2; 2; 3 ]) (mk [ 3; 2; 1; 2 ]));
+  Alcotest.(check bool) "multiplicity matters" false
+    (Relation.multiset_equal (mk [ 1; 2; 2 ]) (mk [ 1; 1; 2 ]));
+  Alcotest.(check bool) "cardinality differs" false
+    (Relation.multiset_equal (mk [ 1 ]) (mk [ 1; 1 ]));
+  let sorted = Relation.sort_by [| 0 |] (mk [ 3; 1; 2 ]) in
+  Alcotest.(check string) "sort_by" "[1]"
+    (Tuple.to_string (List.hd (Relation.tuples sorted)))
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_compare_antisym;
+    QCheck_alcotest.to_alcotest prop_compare_refl;
+    QCheck_alcotest.to_alcotest prop_hash_eq;
+    QCheck_alcotest.to_alcotest prop_minmax;
+    Alcotest.test_case "value arithmetic" `Quick arithmetic;
+    Alcotest.test_case "schema lookup" `Quick schema_lookup;
+    Alcotest.test_case "schema project/append/rename" `Quick schema_ops;
+    Alcotest.test_case "tuple operations" `Quick tuple_ops;
+    Alcotest.test_case "relation multiset equality" `Quick relation_multiset;
+  ]

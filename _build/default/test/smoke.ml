@@ -1,0 +1,49 @@
+(* End-to-end smoke: Example 1 under all three algorithms must match the
+   reference interpreter. *)
+
+let small_params =
+  { Emp_dept.default_params with emps = 800; depts = 20; frames = 64 }
+
+let check_algo algo () =
+  let cat = Emp_dept.load ~params:small_params () in
+  let q = Emp_dept.example1 () in
+  let expected = Logical.eval cat (Block.query_logical cat q) in
+  let options = { Optimizer.default_options with algorithm = algo } in
+  let result, io = Optimizer.run ~options cat q in
+  Alcotest.(check bool)
+    (Printf.sprintf "result matches reference (io reads=%d writes=%d)"
+       io.Buffer_pool.reads io.Buffer_pool.writes)
+    true
+    (Relation.multiset_equal expected result)
+
+let check_example2 algo () =
+  let cat = Emp_dept.load ~params:small_params () in
+  let q = Emp_dept.example2 () in
+  let expected = Logical.eval cat (Block.query_logical cat q) in
+  let options = { Optimizer.default_options with algorithm = algo } in
+  let result, _io = Optimizer.run ~options cat q in
+  Alcotest.(check bool) "example2 matches reference" true
+    (Relation.multiset_equal expected result)
+
+let guarantee () =
+  let cat = Emp_dept.load ~params:small_params () in
+  let q = Emp_dept.example1 () in
+  let cost algo =
+    let options = { Optimizer.default_options with algorithm = algo } in
+    (Optimizer.optimize ~options cat q).Optimizer.est.Cost_model.cost
+  in
+  let trad = cost Optimizer.Traditional in
+  let paper = cost Optimizer.Paper in
+  Alcotest.(check bool)
+    (Printf.sprintf "paper (%.1f) <= traditional (%.1f)" paper trad)
+    true (paper <= trad +. 1e-6)
+
+let tests =
+  [
+    Alcotest.test_case "example1 traditional" `Quick (check_algo Optimizer.Traditional);
+    Alcotest.test_case "example1 greedy" `Quick (check_algo Optimizer.Greedy_conservative);
+    Alcotest.test_case "example1 paper" `Quick (check_algo Optimizer.Paper);
+    Alcotest.test_case "example2 traditional" `Quick (check_example2 Optimizer.Traditional);
+    Alcotest.test_case "example2 paper" `Quick (check_example2 Optimizer.Paper);
+    Alcotest.test_case "never worse than traditional" `Quick guarantee;
+  ]

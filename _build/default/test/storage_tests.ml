@@ -1,0 +1,192 @@
+(* Storage engine tests: buffer pool LRU accounting, heap files, B+-trees
+   (checked against a Map-based model), page geometry. *)
+
+let page_geometry () =
+  Alcotest.(check int) "capacity floor" 1 (Page.capacity ~row_bytes:10_000);
+  Alcotest.(check int) "capacity" (4096 / 16) (Page.capacity ~row_bytes:16);
+  Alcotest.(check int) "pages_for empty" 0 (Page.pages_for ~rows:0 ~row_bytes:16);
+  Alcotest.(check int) "pages_for exact" 2 (Page.pages_for ~rows:512 ~row_bytes:16);
+  Alcotest.(check int) "pages_for round up" 3 (Page.pages_for ~rows:513 ~row_bytes:16)
+
+let pool_lru () =
+  let pool = Buffer_pool.create ~frames:2 in
+  Buffer_pool.read pool ~file:0 ~page:0;
+  Buffer_pool.read pool ~file:0 ~page:1;
+  Buffer_pool.read pool ~file:0 ~page:0;
+  (* page 1 is LRU; reading page 2 evicts it *)
+  Buffer_pool.read pool ~file:0 ~page:2;
+  Buffer_pool.read pool ~file:0 ~page:0;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "reads (misses)" 3 s.Buffer_pool.reads;
+  Alcotest.(check int) "hits" 2 s.Buffer_pool.hits;
+  Buffer_pool.read pool ~file:0 ~page:1;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "evicted page re-read" 4 s.Buffer_pool.reads
+
+let pool_dirty_writes () =
+  let pool = Buffer_pool.create ~frames:2 in
+  Buffer_pool.write pool ~file:1 ~page:0;
+  Buffer_pool.write pool ~file:1 ~page:1;
+  Buffer_pool.read pool ~file:1 ~page:2;
+  (* evicts dirty page 0 -> one physical write *)
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "dirty eviction writes" 1 s.Buffer_pool.writes;
+  Buffer_pool.flush_all pool;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "flush writes remaining dirty" 2 s.Buffer_pool.writes;
+  Buffer_pool.flush_all pool;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "flush is idempotent" 2 s.Buffer_pool.writes
+
+let pool_alloc_and_drop () =
+  let pool = Buffer_pool.create ~frames:4 in
+  Buffer_pool.alloc pool ~file:3 ~page:0;
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "alloc reads nothing" 0 s.Buffer_pool.reads;
+  Alcotest.(check bool) "resident" true (Buffer_pool.resident pool ~file:3 ~page:0);
+  Buffer_pool.drop_file pool ~file:3;
+  Alcotest.(check bool) "dropped" false (Buffer_pool.resident pool ~file:3 ~page:0);
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "drop writes nothing" 0 s.Buffer_pool.writes
+
+let heap_schema =
+  Schema.of_columns
+    [ Schema.column ~qual:"t" "k" Datatype.Int; Schema.column ~qual:"t" "v" Datatype.Int ]
+
+let heap_roundtrip () =
+  let pool = Buffer_pool.create ~frames:64 in
+  let h = Heap_file.create ~pool ~file_id:0 heap_schema in
+  let n = 1000 in
+  let rids =
+    List.init n (fun i -> Heap_file.append h (Tuple.make [ Value.Int i; Value.Int (i * i) ]))
+  in
+  Alcotest.(check int) "nrows" n (Heap_file.nrows h);
+  Alcotest.(check bool) "multiple pages" true (Heap_file.npages h > 1);
+  List.iteri
+    (fun i rid ->
+      let t = Heap_file.get h rid in
+      if Value.compare (Tuple.get t 0) (Value.Int i) <> 0 then
+        Alcotest.failf "rid %d roundtrip failed" i)
+    rids;
+  let count = ref 0 in
+  Heap_file.scan h (fun _ _ -> incr count);
+  Alcotest.(check int) "scan count" n !count;
+  Alcotest.check_raises "bad rid"
+    (Invalid_argument "Heap_file.get: rid out of range") (fun () ->
+      ignore (Heap_file.get h { Page.page = 9999; slot = 0 }))
+
+let heap_scan_io () =
+  (* A cold scan reads exactly npages; a second scan hits the pool. *)
+  let pool = Buffer_pool.create ~frames:256 in
+  let h = Heap_file.create ~pool ~file_id:0 heap_schema in
+  for i = 0 to 2999 do
+    ignore (Heap_file.append h (Tuple.make [ Value.Int i; Value.Int 0 ]))
+  done;
+  Buffer_pool.clear pool;
+  Buffer_pool.reset_stats pool;
+  Heap_file.scan h (fun _ _ -> ());
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "cold scan reads = npages" (Heap_file.npages h) s.Buffer_pool.reads;
+  Heap_file.scan h (fun _ _ -> ());
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "warm scan adds no reads" (Heap_file.npages h) s.Buffer_pool.reads
+
+(* ---- B+-tree vs a sorted-Map model ---- *)
+
+module IntMap = Map.Make (Int)
+
+let btree_model_ops ops =
+  let pool = Buffer_pool.create ~frames:512 in
+  let t = Btree.create ~pool ~file_id:0 ~order:4 () in
+  let model = ref IntMap.empty in
+  List.iteri
+    (fun i key ->
+      let rid = { Page.page = i; slot = 0 } in
+      Btree.insert t (Value.Int key) rid;
+      model :=
+        IntMap.update key
+          (function None -> Some [ rid ] | Some l -> Some (rid :: l))
+          !model)
+    ops;
+  Btree.check_invariants t;
+  (t, !model)
+
+let sort_rids = List.sort Page.compare_rid
+
+let prop_btree_eq =
+  QCheck.Test.make ~name:"btree search_eq matches model" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 300) (int_range 0 80))
+    (fun keys ->
+      let t, model = btree_model_ops keys in
+      List.for_all
+        (fun k ->
+          let expected =
+            match IntMap.find_opt k model with Some l -> sort_rids l | None -> []
+          in
+          sort_rids (Btree.search_eq t (Value.Int k)) = expected)
+        (List.init 82 (fun i -> i - 1)))
+
+let prop_btree_range =
+  QCheck.Test.make ~name:"btree range scan matches model" ~count:60
+    (QCheck.pair
+       QCheck.(list_of_size (QCheck.Gen.int_range 0 200) (int_range 0 60))
+       (QCheck.pair QCheck.(int_range (-5) 65) QCheck.(int_range (-5) 65)))
+    (fun (keys, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let t, model = btree_model_ops keys in
+      let expected =
+        IntMap.fold
+          (fun k rids acc -> if k >= lo && k <= hi then acc @ sort_rids rids else acc)
+          model []
+      in
+      let got =
+        Btree.search_range t ~lo:(Value.Int lo, true) ~hi:(Value.Int hi, true) ()
+      in
+      (* per-key order must be ascending; within a key rids can be arbitrary *)
+      List.length got = List.length expected
+      && sort_rids got = sort_rids expected)
+
+let btree_bounds () =
+  let t, _ = btree_model_ops [ 1; 3; 3; 5; 7 ] in
+  let count ?lo ?hi () = List.length (Btree.search_range t ?lo ?hi ()) in
+  Alcotest.(check int) "exclusive lo" 2 (count ~lo:(Value.Int 3, false) ());
+  Alcotest.(check int) "inclusive lo" 4 (count ~lo:(Value.Int 3, true) ());
+  Alcotest.(check int) "exclusive hi" 3 (count ~hi:(Value.Int 5, false) ());
+  Alcotest.(check int) "open scan" 5 (count ());
+  Alcotest.(check int) "empty range" 0
+    (count ~lo:(Value.Int 4, true) ~hi:(Value.Int 4, true) ())
+
+let btree_stats () =
+  let t, _ = btree_model_ops (List.init 500 (fun i -> i mod 97)) in
+  Alcotest.(check int) "nentries" 500 (Btree.nentries t);
+  Alcotest.(check int) "nkeys" 97 (Btree.nkeys t);
+  Alcotest.(check bool) "height grows" true (Btree.height t >= 3);
+  Alcotest.(check bool) "pages allocated" true (Btree.npages t > 10)
+
+let btree_io_accounting () =
+  let pool = Buffer_pool.create ~frames:4 in
+  let t = Btree.create ~pool ~file_id:9 ~order:4 () in
+  List.iteri
+    (fun i k -> Btree.insert t (Value.Int k) { Page.page = i; slot = 0 })
+    (List.init 200 (fun i -> i));
+  Buffer_pool.clear pool;
+  Buffer_pool.reset_stats pool;
+  ignore (Btree.search_eq t (Value.Int 100));
+  let s = Buffer_pool.stats pool in
+  Alcotest.(check int) "cold lookup reads height pages" (Btree.height t)
+    s.Buffer_pool.reads
+
+let tests =
+  [
+    Alcotest.test_case "page geometry" `Quick page_geometry;
+    Alcotest.test_case "buffer pool LRU" `Quick pool_lru;
+    Alcotest.test_case "buffer pool dirty writes" `Quick pool_dirty_writes;
+    Alcotest.test_case "buffer pool alloc/drop" `Quick pool_alloc_and_drop;
+    Alcotest.test_case "heap file roundtrip" `Quick heap_roundtrip;
+    Alcotest.test_case "heap scan IO" `Quick heap_scan_io;
+    QCheck_alcotest.to_alcotest prop_btree_eq;
+    QCheck_alcotest.to_alcotest prop_btree_range;
+    Alcotest.test_case "btree range bounds" `Quick btree_bounds;
+    Alcotest.test_case "btree statistics" `Quick btree_stats;
+    Alcotest.test_case "btree IO accounting" `Quick btree_io_accounting;
+  ]

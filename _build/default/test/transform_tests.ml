@@ -1,0 +1,304 @@
+(* The paper's transformations as logical rewrites: equivalence on random
+   instances, applicability conditions, and the minimal invariant set. *)
+
+let c ~q n = Schema.column ~qual:q n Datatype.Int
+
+let small_cat seed =
+  Emp_dept.load
+    ~params:
+      { Emp_dept.default_params with
+        emps = 150 + (seed mod 7 * 40);
+        depts = 4 + (seed mod 5);
+        seed;
+        frames = 64 }
+    ()
+
+let agg_of = function
+  | 0 -> Aggregate.make Aggregate.Avg ~arg:(Expr.Col (c ~q:"e2" "sal")) "a"
+  | 1 -> Aggregate.make Aggregate.Sum ~arg:(Expr.Col (c ~q:"e2" "sal")) "a"
+  | 2 -> Aggregate.make Aggregate.Min ~arg:(Expr.Col (c ~q:"e2" "sal")) "a"
+  | 3 -> Aggregate.make Aggregate.Max ~arg:(Expr.Col (c ~q:"e2" "age")) "a"
+  | _ -> Aggregate.make Aggregate.Count_star "a"
+
+(* A Figure-1 tree with randomized filter, join predicate on the aggregate
+   output, and optional Having. *)
+let p1_tree cat fidx age has_having =
+  let agg = agg_of fidx in
+  let having =
+    if has_having then
+      [ Expr.Cmp
+          (Expr.Gt, Expr.Col (Schema.column ~qual:"b" "a" (Aggregate.result_type agg)),
+           Expr.int 10) ]
+    else []
+  in
+  Logical.Join
+    {
+      left =
+        Logical.Group
+          { input = Logical.scan cat ~alias:"e2" "emp"; agg_qual = "b";
+            keys = [ c ~q:"e2" "dno" ]; aggs = [ agg ]; having };
+      right =
+        Logical.Filter
+          { input = Logical.scan cat ~alias:"e1" "emp";
+            pred = Expr.Cmp (Expr.Lt, Expr.Col (c ~q:"e1" "age"), Expr.int age) };
+      cond =
+        [
+          Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e2" "dno"), Expr.Col (c ~q:"e1" "dno"));
+          Expr.Cmp
+            ( Expr.Lt,
+              Expr.Col (Schema.column ~qual:"b" "a" (Aggregate.result_type agg)),
+              Expr.Col (c ~q:"e1" "sal") );
+        ];
+    }
+
+let prop_pullup =
+  QCheck.Test.make ~name:"pull-up preserves semantics (random instances)" ~count:30
+    (QCheck.triple (QCheck.int_range 0 50) (QCheck.int_range 0 4) QCheck.bool)
+    (fun (seed, fidx, has_having) ->
+      let cat = small_cat seed in
+      let p1 = p1_tree cat fidx (20 + seed) has_having in
+      match Pullup.rewrite cat p1 with
+      | None -> false
+      | Some p2 ->
+        Relation.multiset_equal (Logical.eval cat p1) (Logical.eval cat p2))
+
+let fig2_tree cat fidx budget =
+  let agg =
+    let a = agg_of fidx in
+    { a with Aggregate.arg = Option.map (fun _ -> Expr.Col (c ~q:"e" "sal")) a.Aggregate.arg }
+  in
+  Logical.Group
+    {
+      input =
+        Logical.Join
+          {
+            left = Logical.scan cat ~alias:"e" "emp";
+            right =
+              Logical.Filter
+                { input = Logical.scan cat ~alias:"d" "dept";
+                  pred = Expr.Cmp (Expr.Lt, Expr.Col (c ~q:"d" "budget"), Expr.int budget) };
+            cond = [ Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e" "dno"), Expr.Col (c ~q:"d" "dno")) ];
+          };
+      agg_qual = "g";
+      keys = [ c ~q:"e" "dno" ];
+      aggs = [ agg ];
+      having = [];
+    }
+
+let prop_pushdown =
+  QCheck.Test.make ~name:"invariant grouping preserves semantics" ~count:30
+    (QCheck.pair (QCheck.int_range 0 50) (QCheck.int_range 0 4))
+    (fun (seed, fidx) ->
+      let cat = small_cat seed in
+      let t = fig2_tree cat fidx ((seed + 1) * 40_000) in
+      match Pushdown.rewrite cat t with
+      | None -> false
+      | Some t' -> Relation.multiset_equal (Logical.eval cat t) (Logical.eval cat t'))
+
+let prop_coalesce =
+  QCheck.Test.make ~name:"simple coalescing preserves semantics" ~count:30
+    (QCheck.pair (QCheck.int_range 0 50) (QCheck.int_range 0 4))
+    (fun (seed, fidx) ->
+      let cat = small_cat seed in
+      let t = fig2_tree cat fidx ((seed + 1) * 40_000) in
+      match Coalesce.rewrite t with
+      | None -> false
+      | Some t' -> Relation.multiset_equal (Logical.eval cat t) (Logical.eval cat t'))
+
+(* Invariant grouping must refuse a non-key join: group by e.sal (join
+   column dno not a grouping key). *)
+let pushdown_refuses_nonkey_join () =
+  let cat = small_cat 1 in
+  let t =
+    Logical.Group
+      {
+        input =
+          Logical.Join
+            {
+              left = Logical.scan cat ~alias:"e" "emp";
+              right = Logical.scan cat ~alias:"d" "dept";
+              cond = [ Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e" "dno"), Expr.Col (c ~q:"d" "dno")) ];
+            };
+        agg_qual = "g";
+        keys = [ c ~q:"e" "sal" ];  (* dno not in keys *)
+        aggs = [ Aggregate.make Aggregate.Count_star "n" ];
+        having = [];
+      }
+  in
+  Alcotest.(check bool) "refused" true (Pushdown.rewrite cat t = None)
+
+(* ...and a join into a non-key column of the right side. *)
+let pushdown_refuses_nonkey_right () =
+  let cat = small_cat 2 in
+  let t =
+    Logical.Group
+      {
+        input =
+          Logical.Join
+            {
+              left = Logical.scan cat ~alias:"e" "emp";
+              right = Logical.scan cat ~alias:"d" "dept";
+              (* budget is not dept's key: a group can match many depts *)
+              cond = [ Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e" "sal"), Expr.Col (c ~q:"d" "budget")) ];
+            };
+        agg_qual = "g";
+        keys = [ c ~q:"e" "sal" ];
+        aggs = [ Aggregate.make Aggregate.Count_star "n" ];
+        having = [];
+      }
+  in
+  Alcotest.(check bool) "refused" true (Pushdown.rewrite cat t = None)
+
+let pullup_refuses_group_right () =
+  let cat = small_cat 3 in
+  let group =
+    Logical.Group
+      { input = Logical.scan cat ~alias:"e2" "emp"; agg_qual = "b";
+        keys = [ c ~q:"e2" "dno" ];
+        aggs = [ Aggregate.make Aggregate.Count_star "n" ]; having = [] }
+  in
+  (* right side is itself a group-by: not a base access *)
+  let t = Logical.Join { left = group; right = group; cond = [] } in
+  Alcotest.(check bool) "refused" true (Pullup.rewrite cat t = None)
+
+(* ---- minimal invariant set ---- *)
+
+let nview_of_query cat q =
+  match (Normalize.normalize cat q).Normalize.views with
+  | [ v ] -> v
+  | _ -> Alcotest.fail "expected one view"
+
+let mis_example2 () =
+  (* Example 2 as a view: group over emp join dept on the grouping column;
+     dept is removable, so V' = {emp alias}. *)
+  let cat = small_cat 4 in
+  let avg = Aggregate.make Aggregate.Avg ~arg:(Expr.Col (c ~q:"e" "sal")) "asal" in
+  let view =
+    {
+      Block.v_alias = "v";
+      v_rels =
+        [ { Block.r_alias = "e"; r_table = "emp" };
+          { Block.r_alias = "d"; r_table = "dept" } ];
+      v_preds =
+        [
+          Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e" "dno"), Expr.Col (c ~q:"d" "dno"));
+          Expr.Cmp (Expr.Lt, Expr.Col (c ~q:"d" "budget"), Expr.int 1_000_000);
+        ];
+      v_keys = [ c ~q:"e" "dno" ];
+      v_aggs = [ avg ];
+      v_having = [];
+      v_out = [ Block.Out_key (c ~q:"e" "dno", "dno"); Block.Out_agg avg ];
+    }
+  in
+  let q =
+    { Block.q_views = [ view ]; q_rels = []; q_preds = []; q_grouped = false;
+      q_keys = []; q_aggs = []; q_having = [];
+      q_select = [ Block.Sel_col (Schema.column ~qual:"v" "dno" Datatype.Int, "dno") ];
+      q_order = []; q_limit = None }
+  in
+  let v = nview_of_query cat q in
+  let vprime, moved = Grouping.minimal_invariant_set cat v in
+  Alcotest.(check (list string)) "V' = {e}" [ "e" ] vprime;
+  Alcotest.(check (list string)) "moved = {d}" [ "d" ] (List.map fst moved)
+
+let mis_not_removable_when_agg_source () =
+  (* If the aggregate argument comes from dept, dept cannot be moved out. *)
+  let cat = small_cat 5 in
+  let avg = Aggregate.make Aggregate.Avg ~arg:(Expr.Col (c ~q:"d" "budget")) "ab" in
+  let view =
+    {
+      Block.v_alias = "v";
+      v_rels =
+        [ { Block.r_alias = "e"; r_table = "emp" };
+          { Block.r_alias = "d"; r_table = "dept" } ];
+      v_preds =
+        [ Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"e" "dno"), Expr.Col (c ~q:"d" "dno")) ];
+      v_keys = [ c ~q:"e" "dno" ];
+      v_aggs = [ avg ];
+      v_having = [];
+      v_out = [ Block.Out_key (c ~q:"e" "dno", "dno"); Block.Out_agg avg ];
+    }
+  in
+  let q =
+    { Block.q_views = [ view ]; q_rels = []; q_preds = []; q_grouped = false;
+      q_keys = []; q_aggs = []; q_having = [];
+      q_select = [ Block.Sel_col (Schema.column ~qual:"v" "dno" Datatype.Int, "dno") ];
+      q_order = []; q_limit = None }
+  in
+  let v = nview_of_query cat q in
+  let vprime, moved = Grouping.minimal_invariant_set cat v in
+  Alcotest.(check int) "nothing moved" 0 (List.length moved);
+  Alcotest.(check int) "V' keeps both" 2 (List.length vprime)
+
+let mis_chain () =
+  (* In the chain query's view only the first table feeds the aggregate;
+     the second joins N:1 on its key?  No — t1 joins t0 via t1.fk = t0.k
+     and the grouping key is t1.k, so t0 is on the N side: t0 is NOT
+     removable (t0.k is its key but the view groups by t1.k; removing t0
+     requires the equality to cover t0's PK from grouping columns, which
+     fails because t1.fk is not a grouping column). *)
+  let cat = Chain.load ~n:3 () in
+  let q = Chain.chain_query ~view_size:2 ~n:3 in
+  let v = nview_of_query cat q in
+  let vprime, _ = Grouping.minimal_invariant_set cat v in
+  Alcotest.(check int) "chain view keeps both relations" 2 (List.length vprime)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_pullup;
+    QCheck_alcotest.to_alcotest prop_pushdown;
+    QCheck_alcotest.to_alcotest prop_coalesce;
+    Alcotest.test_case "push-down refused: join col not a key" `Quick
+      pushdown_refuses_nonkey_join;
+    Alcotest.test_case "push-down refused: right side joined on non-key" `Quick
+      pushdown_refuses_nonkey_right;
+    Alcotest.test_case "pull-up refused: right side not base" `Quick
+      pullup_refuses_group_right;
+    Alcotest.test_case "minimal invariant set: Example 2" `Quick mis_example2;
+    Alcotest.test_case "minimal invariant set: agg source blocks removal" `Quick
+      mis_not_removable_when_agg_source;
+    Alcotest.test_case "minimal invariant set: chain view" `Quick mis_chain;
+  ]
+
+(* Tuple-id fallback: a keyless relation gets a hidden _rid key, making
+   pull-up applicable (paper, Section 3). *)
+let pullup_via_rowid () =
+  let cat = Catalog.create ~frames:64 () in
+  let rng = Rng.create ~seed:9 in
+  ignore
+    (Catalog.add_table cat ~name:"grp"
+       ~columns:[ ("g", Datatype.Int); ("v", Datatype.Int) ]
+       ~pk:[]
+       (List.init 200 (fun _ ->
+            Tuple.make [ Value.Int (Rng.int rng 8); Value.Int (Rng.int rng 50) ])));
+  ignore
+    (Catalog.add_table cat ~name:"probe"
+       ~columns:[ ("g", Datatype.Int); ("w", Datatype.Int) ]
+       ~pk:[]
+       (List.init 60 (fun _ ->
+            Tuple.make [ Value.Int (Rng.int rng 8); Value.Int (Rng.int rng 50) ])));
+  let tbl = Catalog.table_exn cat "probe" in
+  Alcotest.(check (list string)) "hidden rid key" [ "_rid" ] tbl.Catalog.primary_key;
+  (* Figure-1 shape over the keyless tables: pull-up must apply (the rid is
+     a real column, so grouping by it is sound) and preserve semantics. *)
+  let p1 =
+    Logical.Join
+      {
+        left =
+          Logical.Group
+            { input = Logical.scan cat ~alias:"a" "grp"; agg_qual = "x";
+              keys = [ c ~q:"a" "g" ];
+              aggs = [ Aggregate.make Aggregate.Sum ~arg:(Expr.Col (c ~q:"a" "v")) "s" ];
+              having = [] };
+        right = Logical.scan cat ~alias:"b" "probe";
+        cond = [ Expr.Cmp (Expr.Eq, Expr.Col (c ~q:"a" "g"), Expr.Col (c ~q:"b" "g")) ];
+      }
+  in
+  match Pullup.rewrite cat p1 with
+  | None -> Alcotest.fail "pull-up must apply via the rid key"
+  | Some p2 ->
+    Alcotest.(check bool) "equivalent via rid key" true
+      (Relation.multiset_equal (Logical.eval cat p1) (Logical.eval cat p2))
+
+let rowid_tests =
+  [ Alcotest.test_case "pull-up via internal tuple id" `Quick pullup_via_rowid ]

@@ -1,0 +1,110 @@
+(* TPC-D-like workload queries and randomly generated queries: all three
+   optimizers must agree with the reference interpreter, and the paper
+   algorithm must never be costlier than the traditional one. *)
+
+let tiny = { Tpcd.default_params with customers = 60; orders_per_customer = 3;
+             lines_per_order = 3; parts = 40; suppliers = 10 }
+
+let check_query cat q algo =
+  let expected = Logical.eval cat (Block.query_logical cat q) in
+  let options = { Optimizer.default_options with algorithm = algo } in
+  let result, _ = Optimizer.run ~options cat q in
+  Relation.multiset_equal expected result
+
+let tpcd_query name make () =
+  let cat = Tpcd.load ~params:tiny () in
+  let q = make () in
+  List.iter
+    (fun algo ->
+      Alcotest.(check bool) name true (check_query cat q algo))
+    [ Optimizer.Traditional; Optimizer.Greedy_conservative; Optimizer.Paper ]
+
+let random_queries () =
+  let cat = Tpcd.load ~params:tiny () in
+  let rng = Rng.create ~seed:99 in
+  for i = 1 to 25 do
+    let q = Query_gen.generate rng cat in
+    (match Block.validate cat q with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "generated query %d invalid: %s" i e);
+    List.iter
+      (fun algo ->
+        if not (check_query cat q algo) then
+          Alcotest.failf "query %d wrong under %s:@.%a" i
+            (match algo with
+             | Optimizer.Traditional -> "traditional"
+             | Optimizer.Greedy_conservative -> "greedy"
+             | Optimizer.Paper -> "paper")
+            Block.pp q)
+      [ Optimizer.Traditional; Optimizer.Greedy_conservative; Optimizer.Paper ]
+  done
+
+let never_worse () =
+  let cat = Tpcd.load ~params:tiny () in
+  let rng = Rng.create ~seed:7 in
+  for i = 1 to 30 do
+    let q = Query_gen.generate rng cat in
+    let cost algo =
+      let options = { Optimizer.default_options with algorithm = algo } in
+      (Optimizer.optimize ~options cat q).Optimizer.est.Cost_model.cost
+    in
+    let trad = cost Optimizer.Traditional in
+    let greedy = cost Optimizer.Greedy_conservative in
+    let paper = cost Optimizer.Paper in
+    if greedy > trad +. 1e-6 then
+      Alcotest.failf "query %d: greedy %.1f > traditional %.1f" i greedy trad;
+    if paper > greedy +. 1e-6 then
+      Alcotest.failf "query %d: paper %.1f > greedy %.1f" i paper greedy
+  done
+
+let tests =
+  [
+    Alcotest.test_case "big spenders" `Quick (tpcd_query "big_spenders" (fun () -> Tpcd.q_big_spenders ()));
+    Alcotest.test_case "small quantity parts (Q17 shape)" `Quick
+      (tpcd_query "q17" (fun () -> Tpcd.q_small_quantity_parts ()));
+    Alcotest.test_case "two views (Fig 5 shape)" `Quick
+      (tpcd_query "two_views" (fun () -> Tpcd.q_two_views ()));
+    Alcotest.test_case "25 random queries, 3 algorithms" `Slow random_queries;
+    Alcotest.test_case "cost monotone: paper <= greedy <= traditional" `Slow never_worse;
+  ]
+
+(* Extended differential fuzz: rich queries (multi-relation views, HAVING,
+   several aggregates) over all three schema families. *)
+let fuzz_all_schemas () =
+  let catalogs =
+    [
+      ("tpcd", Tpcd.load ~params:tiny ());
+      ("star", Star.load ~params:{ Star.default_params with days = 20;
+                                   products = 30; stores = 6; rows_per_day = 30 } ());
+      ("chain", Chain.load ~rows:300 ~n:4 ());
+    ]
+  in
+  List.iter
+    (fun (name, cat) ->
+      let rng = Rng.create ~seed:4242 in
+      for i = 1 to 12 do
+        let q = Query_gen.generate ~complexity:`Rich rng cat in
+        (match Block.validate cat q with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "%s query %d invalid: %s" name i e);
+        let expected = Block.reference_eval cat q in
+        List.iter
+          (fun algo ->
+            let options = { Optimizer.default_options with algorithm = algo } in
+            let r = Optimizer.optimize ~options cat q in
+            (match Plan_check.check cat r.Optimizer.plan with
+             | Ok () -> ()
+             | Error m ->
+               Alcotest.failf "%s query %d: invalid plan (%s):@.%a" name i m
+                 Block.pp q);
+            let ctx = Exec_ctx.create cat in
+            let got = Executor.run ctx r.Optimizer.plan in
+            if not (Relation.multiset_equal expected got) then
+              Alcotest.failf "%s query %d wrong result:@.%a" name i Block.pp q)
+          [ Optimizer.Traditional; Optimizer.Greedy_conservative; Optimizer.Paper ]
+      done)
+    catalogs
+
+let fuzz_tests =
+  [ Alcotest.test_case "rich fuzz across schemas (36 queries x 3 algos)" `Slow
+      fuzz_all_schemas ]
