@@ -24,9 +24,8 @@ let run_algo ?(work_mem = 32) ?paper_opts cat query algorithm =
       paper = Option.value ~default:Paper_opt.default_options paper_opts;
     }
   in
-  let t0 = Unix.gettimeofday () in
   let r = Optimizer.optimize ~options cat query in
-  let opt_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let opt_ms = r.Optimizer.time_ms in
   let ctx = Exec_ctx.create ~work_mem cat in
   let rel, io = Executor.run_measured ~cold:true ctx r.Optimizer.plan in
   {

@@ -1,0 +1,114 @@
+(* E13 — the plan cache of the service layer (extension).  Decision-support
+   workloads re-issue the same parameterized templates with fresh constants;
+   the session layer should amortize the optimizer's DP + pull-up
+   enumeration across those repeats.  We replay a repeated-template workload
+   from the random query generator through one service twice — cache on and
+   cache off — and compare optimizer wall time; we also force a catalog
+   epoch bump mid-stream and check that no stale plan is ever served, and
+   spot-check that cache-served plans compute the same result as freshly
+   optimized ones. *)
+
+let n_templates = 8
+let n_calls = 160
+
+let perturb rng v =
+  match v with
+  | Value.Int i -> Value.Int (i + Rng.in_range rng (-3) 3)
+  | Value.Float f -> Value.Float (f *. (0.9 +. (0.2 *. Rng.float rng)))
+  | Value.String _ | Value.Bool _ | Value.Date _ -> v
+
+let make_workload rng cat =
+  let templates =
+    Array.init n_templates (fun _ -> Query_gen.generate ~complexity:`Rich rng cat)
+  in
+  let calls =
+    Array.init n_calls (fun _ ->
+        let q = templates.(Rng.int rng n_templates) in
+        let ps = List.map (perturb rng) (Canon.params q) in
+        (q, ps))
+  in
+  (templates, calls)
+
+let replay ~cache_enabled cat calls =
+  let config = { Service.default_config with Service.cache_enabled } in
+  let svc = Service.create ~config cat in
+  let plan_ms = ref 0. in
+  Array.iter
+    (fun (q, ps) ->
+      let stmt = Service.prepare_query svc q in
+      let p = Service.plan ~params:ps svc stmt in
+      plan_ms := !plan_ms +. p.Service.plan_ms)
+    calls;
+  (svc, Service.stats svc, !plan_ms)
+
+(* Spot-check semantics: a cache-served plan must compute the same rows as a
+   fresh optimization of the same parameterized query. *)
+let check_results cat calls =
+  let svc = Service.create cat in
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun i (q, ps) ->
+      if i < 3 * n_templates then begin
+        let stmt = Service.prepare_query svc q in
+        let p, rel, _ = Service.execute ~params:ps svc stmt in
+        ignore p;
+        let fresh = Optimizer.optimize cat (Canon.substitute q ps) in
+        let ctx = Exec_ctx.create ~work_mem:32 cat in
+        let rel' = Executor.run ctx fresh.Optimizer.plan in
+        if not (Relation.multiset_equal rel rel') then incr mismatches
+      end)
+    calls;
+  !mismatches
+
+let run () =
+  let params =
+    { Tpcd.default_params with customers = 1200; orders_per_customer = 6;
+      lines_per_order = 4; nations = 25 }
+  in
+  let cat = Tpcd.load ~params () in
+  let rng = Rng.create ~seed:13 in
+  let _templates, calls = make_workload rng cat in
+
+  let svc, on, on_plan_ms = replay ~cache_enabled:true cat calls in
+  let _, off, off_plan_ms = replay ~cache_enabled:false cat calls in
+
+  (* Forced epoch bump: every cached plan must be invalidated, not served. *)
+  Catalog.refresh_stats cat;
+  let before = Service.stats svc in
+  Array.iter
+    (fun (q, ps) ->
+      let stmt = Service.prepare_query svc q in
+      ignore (Service.plan ~params:ps svc stmt))
+    (Array.sub calls 0 (2 * n_templates));
+  let after = Service.stats svc in
+
+  let mismatches = check_results cat calls in
+
+  let speedup = off.Service.opt_ms_total /. max 0.001 on.Service.opt_ms_total in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E13  Plan cache on %d calls over %d random rich templates (hit \
+          ratio must be >= 0.8; optimizer-time speedup >= 5x)"
+         n_calls n_templates)
+    ~header:
+      [ "mode"; "calls"; "hits"; "rebinds"; "misses"; "hit-ratio"; "opt-ms";
+        "plan-ms" ]
+    [
+      [ "cache"; Bench_util.i on.Service.calls; Bench_util.i on.Service.hits;
+        Bench_util.i on.Service.rebinds; Bench_util.i on.Service.misses;
+        Bench_util.f2 (Service.hit_ratio on);
+        Bench_util.f1 on.Service.opt_ms_total; Bench_util.f1 on_plan_ms ];
+      [ "no-cache"; Bench_util.i off.Service.calls; Bench_util.i off.Service.hits;
+        Bench_util.i off.Service.rebinds; Bench_util.i off.Service.misses;
+        Bench_util.f2 (Service.hit_ratio off);
+        Bench_util.f1 off.Service.opt_ms_total; Bench_util.f1 off_plan_ms ];
+    ];
+  Printf.printf "\noptimizer-time speedup: %.1fx (plan-path %.1fx)\n" speedup
+    (off_plan_ms /. max 0.001 on_plan_ms);
+  Printf.printf
+    "epoch bump: +%d invalidations, +%d misses, stale hits %d (must be 0)\n"
+    (after.Service.invalidations - before.Service.invalidations)
+    (after.Service.misses - before.Service.misses)
+    after.Service.stale_hits;
+  Printf.printf "result spot-check: %d mismatches (must be 0)\n" mismatches

@@ -19,6 +19,7 @@ let experiments =
     ("E10", E10_unnest.run);
     ("E11", E11_ablations.run);
     ("E12", E12_bushy.run);
+    ("E13", E13_plancache.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's

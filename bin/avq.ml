@@ -227,9 +227,65 @@ let repl_cmd =
   let doc = "Interactive SQL shell over a built-in database." in
   Cmd.v (Cmd.info "repl" ~doc) Term.(const run $ db $ scale $ seed $ work_mem)
 
+let session_cmd =
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the plan cache (optimize every statement).")
+  in
+  let recost_ratio =
+    Arg.(
+      value
+      & opt float Service.default_config.Service.recost_ratio
+      & info [ "recost-ratio" ] ~docv:"R"
+          ~doc:
+            "Serve a re-bound cached plan only while its re-costed estimate \
+             stays within $(docv) times the cost it was cached at.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Query file ($(b,;;)-terminated statements); omit for stdin.")
+  in
+  let run algo db scale seed work_mem no_cache recost_ratio file =
+    if recost_ratio < 1.0 then begin
+      Format.eprintf "avq session: --recost-ratio must be >= 1.0@.";
+      exit 1
+    end;
+    let cat = load_db db scale seed in
+    let config =
+      {
+        Service.default_config with
+        Service.algorithm = algo;
+        work_mem;
+        cache_enabled = not no_cache;
+        recost_ratio;
+      }
+    in
+    let svc = Service.create ~config cat in
+    let text =
+      match file with
+      | Some path -> In_channel.with_open_text path In_channel.input_all
+      | None -> In_channel.input_all In_channel.stdin
+    in
+    let lines = Replay.replay svc text in
+    Replay.report Format.std_formatter svc lines
+  in
+  let doc =
+    "Replay a query file through one long-lived session, reusing cached \
+     plans across statements, and print the cache report."
+  in
+  Cmd.v (Cmd.info "session" ~doc)
+    Term.(
+      const run $ algo $ db $ scale $ seed $ work_mem $ no_cache $ recost_ratio
+      $ file)
+
 let main =
   let doc = "cost-based optimization of queries with aggregate views (EDBT'96)" in
   Cmd.group (Cmd.info "avq" ~version:"1.0.0" ~doc)
-    [ explain_cmd; run_cmd; compare_cmd; tables_cmd; repl_cmd ]
+    [ explain_cmd; run_cmd; compare_cmd; tables_cmd; repl_cmd; session_cmd ]
 
 let () = exit (Cmd.eval main)

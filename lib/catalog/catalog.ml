@@ -19,9 +19,14 @@ type t = {
   storage : Storage.t;
   mutable table_list : table list;
   mutable fks : foreign_key list;
+  mutable epoch : int;
 }
 
-let create ?frames () = { storage = Storage.create ?frames (); table_list = []; fks = [] }
+let create ?frames () =
+  { storage = Storage.create ?frames (); table_list = []; fks = []; epoch = 0 }
+
+let epoch t = t.epoch
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 let storage t = t.storage
 
@@ -94,6 +99,7 @@ let add_table t ~name ~columns ~pk ?(index = []) ?cluster rows =
       clustered }
   in
   t.table_list <- t.table_list @ [ tbl ];
+  bump_epoch t;
   tbl
 
 let add_foreign_key t ~from:(ft, fc) ~refs:(pt, pc) =
@@ -106,7 +112,17 @@ let add_foreign_key t ~from:(ft, fc) ~refs:(pt, pc) =
   if ptbl.primary_key <> [ pc ] then
     invalid_arg
       (Printf.sprintf "add_foreign_key: %s.%s is not the primary key" pt pc);
-  t.fks <- { fk_table = ft; fk_column = fc; pk_table = pt; pk_column = pc } :: t.fks
+  t.fks <- { fk_table = ft; fk_column = fc; pk_table = pt; pk_column = pc } :: t.fks;
+  bump_epoch t
+
+let refresh_stats t =
+  t.table_list <-
+    List.map
+      (fun tbl ->
+        let rows = List.of_seq (Heap_file.to_seq tbl.heap) in
+        { tbl with tstats = Stats.analyze tbl.tschema rows })
+      t.table_list;
+  bump_epoch t
 
 let column_stats tbl cname =
   match Schema.find tbl.tschema cname with

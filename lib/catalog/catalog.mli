@@ -35,6 +35,23 @@ val create : ?frames:int -> unit -> t
 
 val storage : t -> Storage.t
 
+val epoch : t -> int
+(** Monotonic catalog version.  Starts at 0 and is bumped by every DDL
+    operation ({!add_table}, {!add_foreign_key}) and by {!refresh_stats}.
+    Consumers that cache anything derived from the catalog (plans,
+    statistics snapshots) must key it by the epoch: a plan built under an
+    older epoch may rely on tables, keys or statistics that have since
+    changed. *)
+
+val bump_epoch : t -> unit
+(** Force an epoch bump without changing the catalog (testing and external
+    invalidation hooks). *)
+
+val refresh_stats : t -> unit
+(** Re-run the analyze pass of every table from its current heap contents
+    and bump the epoch.  Cheap on the synthetic workloads (full scan per
+    table); cached plans are invalidated because their costing is stale. *)
+
 val add_table :
   t ->
   name:string ->

@@ -16,9 +16,11 @@ type result = {
   est : Cost_model.est;
   search : Search_stats.t;
   report : Paper_opt.report option;
+  time_ms : float;
 }
 
 let optimize ?(options = default_options) cat query =
+  let t0 = Unix.gettimeofday () in
   Search_stats.reset ();
   let nq = Normalize.normalize cat query in
   let nq = if options.predicate_moveround then Predicate_transfer.apply nq else nq in
@@ -50,7 +52,8 @@ let optimize ?(options = default_options) cat query =
     | Some count -> Physical.Limit { input = plan; count }
   in
   let est = Cost_model.estimate cat ~work_mem:options.work_mem plan in
-  { plan; est; search = Search_stats.snapshot (); report }
+  { plan; est; search = Search_stats.snapshot (); report;
+    time_ms = (Unix.gettimeofday () -. t0) *. 1000. }
 
 let run ?(options = default_options) cat query =
   let r = optimize ~options cat query in

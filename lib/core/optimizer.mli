@@ -36,6 +36,7 @@ type result = {
   est : Cost_model.est;
   search : Search_stats.t;  (** effort counters for this optimization *)
   report : Paper_opt.report option;  (** phase details when [Paper] ran *)
+  time_ms : float;  (** wall-clock optimization time of this call *)
 }
 
 val optimize : ?options:options -> Catalog.t -> Block.query -> result

@@ -1,0 +1,22 @@
+type t = int64
+
+(* FNV-1a, 64-bit: hash = (hash xor byte) * prime, per byte. *)
+
+let empty = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let add_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let add_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  !h
+
+let add_int h i = add_byte (add_string h (string_of_int i)) 0x1f
+
+let of_string s = add_string empty s
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let pp fmt h = Format.pp_print_string fmt (to_hex h)

@@ -1,0 +1,26 @@
+(** Deterministic 64-bit FNV-1a fingerprints.
+
+    Cache keys must be stable across runs, machines and OCaml versions, so
+    the service layer never hashes query structures with the polymorphic
+    [Hashtbl.hash] (whose value depends on the runtime's memory
+    representation); it serializes them canonically ({!Canon.serialize})
+    and fingerprints the bytes with this module. *)
+
+type t = int64
+
+val empty : t
+(** The FNV-1a offset basis. *)
+
+val add_string : t -> string -> t
+(** Fold the bytes of a string into the fingerprint. *)
+
+val add_int : t -> int -> t
+(** Fold an integer (as its decimal rendering, with a separator — so
+    [add_int (add_int h 1) 23] differs from [add_int (add_int h 12) 3]). *)
+
+val of_string : string -> t
+
+val to_hex : t -> string
+(** 16-digit lowercase hex, the form used in composed cache keys. *)
+
+val pp : Format.formatter -> t -> unit

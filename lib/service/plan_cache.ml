@@ -1,0 +1,120 @@
+type entry = {
+  key : string;
+  template : string;
+  params : Value.t list;
+  plan : Physical.t;
+  est : Cost_model.est;
+  search : Search_stats.t;
+  opt_ms : float;
+  epoch : int;
+  bytes : int;
+}
+
+type counters = {
+  evictions : int;
+  invalidations : int;
+  entries : int;
+  bytes : int;
+}
+
+(* Intrusive doubly-linked list threaded through a sentinel: sentinel.next
+   is most-recently used, sentinel.prev least-recently used. *)
+type node = {
+  mutable prev : node;
+  mutable next : node;
+  slot : entry option;  (* None only for the sentinel *)
+}
+
+type t = {
+  max_entries : int;
+  max_bytes : int;
+  index : (string, node) Hashtbl.t;
+  sentinel : node;
+  mutable cur_bytes : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(max_entries = 128) ?(max_bytes = 4 * 1024 * 1024) () =
+  if max_entries < 1 then invalid_arg "Plan_cache.create: max_entries < 1";
+  let rec sentinel = { prev = sentinel; next = sentinel; slot = None } in
+  {
+    max_entries;
+    max_bytes;
+    index = Hashtbl.create 64;
+    sentinel;
+    cur_bytes = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev
+
+let push_front t node =
+  node.next <- t.sentinel.next;
+  node.prev <- t.sentinel;
+  t.sentinel.next.prev <- node;
+  t.sentinel.next <- node
+
+let entry_exn node =
+  match node.slot with
+  | Some e -> e
+  | None -> assert false
+
+let drop t node =
+  let e = entry_exn node in
+  unlink node;
+  Hashtbl.remove t.index e.key;
+  t.cur_bytes <- t.cur_bytes - e.bytes
+
+let remove t key =
+  match Hashtbl.find_opt t.index key with
+  | None -> ()
+  | Some node -> drop t node
+
+let find t key ~epoch =
+  match Hashtbl.find_opt t.index key with
+  | None -> None
+  | Some node ->
+    let e = entry_exn node in
+    if e.epoch <> epoch then begin
+      drop t node;
+      t.invalidations <- t.invalidations + 1;
+      None
+    end
+    else begin
+      unlink node;
+      push_front t node;
+      Some e
+    end
+
+let add t entry =
+  remove t entry.key;
+  let node = { prev = t.sentinel; next = t.sentinel; slot = Some entry } in
+  push_front t node;
+  Hashtbl.add t.index entry.key node;
+  t.cur_bytes <- t.cur_bytes + entry.bytes;
+  while
+    Hashtbl.length t.index > t.max_entries
+    || (t.cur_bytes > t.max_bytes && Hashtbl.length t.index > 1)
+  do
+    drop t t.sentinel.prev;
+    t.evictions <- t.evictions + 1
+  done
+
+let keys_lru t =
+  let rec walk node acc =
+    if node == t.sentinel then acc
+    else walk node.prev ((entry_exn node).key :: acc)
+  in
+  List.rev (walk t.sentinel.prev [])
+
+let counters t =
+  {
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.index;
+    bytes = t.cur_bytes;
+  }

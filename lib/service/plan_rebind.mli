@@ -1,0 +1,23 @@
+(** Re-binding a cached plan template to new parameter values.
+
+    A cached physical plan was optimized for one concrete parameter vector;
+    serving it for a new vector means rewriting every occurrence of each old
+    constant at {e predicate positions} (scan filters, index bounds, join
+    residuals, HAVING clauses) to the corresponding new constant.  The
+    rewrite is value-directed, which is sound because the optimizer only
+    copies and moves predicate constants (predicate move-around, index-bound
+    extraction) — it never invents or folds them — and because constants
+    outside predicates (aggregate arguments, projections, LIMIT) are part of
+    the template, never parameterized, and left untouched here. *)
+
+val mapping :
+  old_params:Value.t list -> new_params:Value.t list ->
+  (Value.t * Value.t) list option
+(** The substitution pairs, or [None] when it would be ambiguous: the same
+    old value bound at two positions that now want {e different} new values
+    (value-directed rewriting cannot tell the occurrences apart, so the
+    caller must fall back to a fresh optimization).
+    @raise Invalid_argument on vectors of different lengths. *)
+
+val rebind : (Value.t * Value.t) list -> Physical.t -> Physical.t
+(** Apply a {!mapping} to all predicate positions of a plan. *)

@@ -1,0 +1,71 @@
+let strip_comments text =
+  String.split_on_char '\n' text
+  |> List.filter (fun line ->
+         let t = String.trim line in
+         not (String.length t >= 2 && t.[0] = '-' && t.[1] = '-'))
+  |> String.concat "\n"
+
+let split_statements text =
+  let text = strip_comments text in
+  let out = ref [] in
+  let buf = Buffer.create 128 in
+  let flush () =
+    let s = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then out := s :: !out
+  in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && text.[!i] = ';' && text.[!i + 1] = ';' then begin
+      flush ();
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  flush ();
+  List.rev !out
+
+type line = {
+  index : int;
+  sql : string;
+  outcome : (Service.planned * int, string) result;
+}
+
+let replay svc text =
+  List.mapi
+    (fun i sql ->
+      let outcome =
+        match Service.submit svc sql with
+        | p, rel, _io -> Ok (p, Relation.cardinality rel)
+        | exception Binder.Bind_error msg -> Error ("bind error: " ^ msg)
+        | exception Parser.Parse_error (msg, off) ->
+          Error (Printf.sprintf "parse error at %d: %s" off msg)
+        | exception Lexer.Lex_error (msg, off) ->
+          Error (Printf.sprintf "lex error at %d: %s" off msg)
+      in
+      { index = i + 1; sql; outcome })
+    (split_statements text)
+
+let first_line sql =
+  match String.index_opt sql '\n' with
+  | None -> sql
+  | Some i -> String.sub sql 0 i ^ " ..."
+
+let report fmt svc lines =
+  List.iter
+    (fun l ->
+      match l.outcome with
+      | Ok (p, rows) ->
+        Format.fprintf fmt "[%3d] %-15s %6d rows  est %10.1f  %6.2f ms  %s@."
+          l.index
+          (Service.source_label p.Service.source)
+          rows p.Service.est.Cost_model.cost p.Service.plan_ms
+          (first_line l.sql)
+      | Error msg ->
+        Format.fprintf fmt "[%3d] ERROR %s  %s@." l.index msg (first_line l.sql))
+    lines;
+  Format.fprintf fmt "@.%a@." Service.pp_stats (Service.stats svc)

@@ -1,0 +1,25 @@
+(** Batch replay of a query file through one service instance.
+
+    Input format matches the interactive shell: statements are terminated
+    by [;;] (each statement may itself be a script of [;]-separated CREATE
+    VIEWs ending in a SELECT).  Lines whose first non-blank characters are
+    [--] are comments. *)
+
+val split_statements : string -> string list
+(** Strip comment lines and split on [;;]; empty statements are dropped. *)
+
+type line = {
+  index : int;
+  sql : string;
+  outcome : (Service.planned * int, string) result;
+      (** planned + result row count, or the bind/parse error message *)
+}
+
+val replay : Service.t -> string -> line list
+(** Run every statement in order, executing each against the service's
+    catalog. Statements that fail to bind or parse are reported in their
+    [outcome] and do not stop the replay. *)
+
+val report : Format.formatter -> Service.t -> line list -> unit
+(** Human-readable per-statement lines followed by the service's cache
+    statistics. *)

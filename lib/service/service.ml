@@ -1,0 +1,268 @@
+type config = {
+  algorithm : Optimizer.algorithm;
+  work_mem : int;
+  paper : Paper_opt.options;
+  max_entries : int;
+  max_bytes : int;
+  recost_ratio : float;
+  cache_enabled : bool;
+}
+
+let default_config =
+  {
+    algorithm = Optimizer.Paper;
+    work_mem = 32;
+    paper = Paper_opt.default_options;
+    max_entries = 128;
+    max_bytes = 4 * 1024 * 1024;
+    recost_ratio = 10.0;
+    cache_enabled = true;
+  }
+
+type t = {
+  cat : Catalog.t;
+  cfg : config;
+  cache : Plan_cache.t;
+  mutable calls : int;
+  mutable hits : int;
+  mutable rebinds : int;
+  mutable misses : int;
+  mutable recost_fallbacks : int;
+  mutable rebind_conflicts : int;
+  mutable stale_hits : int;
+  mutable opt_ms_total : float;
+  mutable opt_ms_saved : float;
+}
+
+let create ?(config = default_config) cat =
+  if config.recost_ratio < 1.0 then
+    invalid_arg "Service.create: recost_ratio < 1.0";
+  {
+    cat;
+    cfg = config;
+    cache =
+      Plan_cache.create ~max_entries:config.max_entries
+        ~max_bytes:config.max_bytes ();
+    calls = 0;
+    hits = 0;
+    rebinds = 0;
+    misses = 0;
+    recost_fallbacks = 0;
+    rebind_conflicts = 0;
+    stale_hits = 0;
+    opt_ms_total = 0.;
+    opt_ms_saved = 0.;
+  }
+
+let catalog t = t.cat
+let config t = t.cfg
+
+type stmt = {
+  squery : Block.query;
+  template : string;
+  fp : Fingerprint.t;
+  base_params : Value.t list;
+}
+
+let prepare_query _t query =
+  let template = Canon.serialize query in
+  {
+    squery = query;
+    template;
+    fp = Fingerprint.of_string template;
+    base_params = Canon.params query;
+  }
+
+let prepare t sql = prepare_query t (Binder.bind_sql t.cat sql)
+
+let stmt_fingerprint s = Fingerprint.to_hex s.fp
+let stmt_params s = s.base_params
+
+type source =
+  | Hit
+  | Hit_rebound
+  | Miss
+  | Recost_fallback
+  | Rebind_conflict
+  | Uncached
+
+let source_label = function
+  | Hit -> "hit"
+  | Hit_rebound -> "hit-rebound"
+  | Miss -> "miss"
+  | Recost_fallback -> "recost-fallback"
+  | Rebind_conflict -> "rebind-conflict"
+  | Uncached -> "uncached"
+
+type planned = {
+  plan : Physical.t;
+  est : Cost_model.est;
+  source : source;
+  opt_ms : float;
+  plan_ms : float;
+}
+
+let algo_tag = function
+  | Optimizer.Traditional -> "trad"
+  | Optimizer.Greedy_conservative -> "greedy"
+  | Optimizer.Paper -> "paper"
+
+let cache_key t stmt =
+  Printf.sprintf "%s/%s/%d" (Fingerprint.to_hex stmt.fp) (algo_tag t.cfg.algorithm)
+    t.cfg.work_mem
+
+let options t =
+  {
+    Optimizer.default_options with
+    algorithm = t.cfg.algorithm;
+    work_mem = t.cfg.work_mem;
+    paper = t.cfg.paper;
+  }
+
+let params_equal a b = List.for_all2 (fun x y -> Stdlib.compare x y = 0) a b
+
+(* Bytes-ish footprint of a cache entry: dominated by the plan tree, which
+   we approximate by its rendering, plus key, template and parameters. *)
+let entry_bytes ~key ~template ~plan ~params =
+  String.length (Physical.to_string plan)
+  + String.length template + String.length key + (24 * List.length params) + 128
+
+let optimize_and_cache t stmt ps query source =
+  let r = Optimizer.optimize ~options:(options t) t.cat query in
+  t.opt_ms_total <- t.opt_ms_total +. r.Optimizer.time_ms;
+  let key = cache_key t stmt in
+  if t.cfg.cache_enabled then
+    Plan_cache.add t.cache
+      {
+        Plan_cache.key;
+        template = stmt.template;
+        params = ps;
+        plan = r.Optimizer.plan;
+        est = r.Optimizer.est;
+        search = r.Optimizer.search;
+        opt_ms = r.Optimizer.time_ms;
+        epoch = Catalog.epoch t.cat;
+        bytes =
+          entry_bytes ~key ~template:stmt.template ~plan:r.Optimizer.plan
+            ~params:ps;
+      };
+  (r.Optimizer.plan, r.Optimizer.est, source, r.Optimizer.time_ms)
+
+let plan ?params t stmt =
+  let t0 = Unix.gettimeofday () in
+  let ps = Option.value ~default:stmt.base_params params in
+  if List.length ps <> List.length stmt.base_params then
+    invalid_arg "Service.plan: wrong number of parameters";
+  let same_params = params_equal ps stmt.base_params in
+  let query = if same_params then stmt.squery else Canon.substitute stmt.squery ps in
+  t.calls <- t.calls + 1;
+  let plan, est, source, opt_ms =
+    if not t.cfg.cache_enabled then optimize_and_cache t stmt ps query Uncached
+    else begin
+      let epoch = Catalog.epoch t.cat in
+      match Plan_cache.find t.cache (cache_key t stmt) ~epoch with
+      | None ->
+        t.misses <- t.misses + 1;
+        optimize_and_cache t stmt ps query Miss
+      | Some entry ->
+        if entry.Plan_cache.epoch <> epoch then begin
+          (* unreachable: [find] filters stale epochs; belt and suspenders
+             so a stale plan can never be served silently. *)
+          t.stale_hits <- t.stale_hits + 1;
+          t.misses <- t.misses + 1;
+          optimize_and_cache t stmt ps query Miss
+        end
+        else if params_equal ps entry.Plan_cache.params then begin
+          t.hits <- t.hits + 1;
+          t.opt_ms_saved <- t.opt_ms_saved +. entry.Plan_cache.opt_ms;
+          (entry.Plan_cache.plan, entry.Plan_cache.est, Hit, 0.)
+        end
+        else begin
+          match
+            Plan_rebind.mapping ~old_params:entry.Plan_cache.params
+              ~new_params:ps
+          with
+          | None ->
+            t.rebind_conflicts <- t.rebind_conflicts + 1;
+            optimize_and_cache t stmt ps query Rebind_conflict
+          | Some pairs ->
+            let plan' = Plan_rebind.rebind pairs entry.Plan_cache.plan in
+            let est' =
+              Cost_model.estimate t.cat ~work_mem:t.cfg.work_mem plan'
+            in
+            if
+              est'.Cost_model.cost
+              <= (t.cfg.recost_ratio *. entry.Plan_cache.est.Cost_model.cost)
+                 +. 1e-6
+            then begin
+              t.rebinds <- t.rebinds + 1;
+              t.opt_ms_saved <- t.opt_ms_saved +. entry.Plan_cache.opt_ms;
+              (plan', est', Hit_rebound, 0.)
+            end
+            else begin
+              t.recost_fallbacks <- t.recost_fallbacks + 1;
+              optimize_and_cache t stmt ps query Recost_fallback
+            end
+        end
+    end
+  in
+  { plan; est; source; opt_ms; plan_ms = (Unix.gettimeofday () -. t0) *. 1000. }
+
+let execute ?params t stmt =
+  let p = plan ?params t stmt in
+  let ctx = Exec_ctx.create ~work_mem:t.cfg.work_mem t.cat in
+  let rel, io = Executor.run_measured ~cold:false ctx p.plan in
+  (p, rel, io)
+
+let submit t sql = execute t (prepare t sql)
+
+type stats = {
+  calls : int;
+  hits : int;
+  rebinds : int;
+  misses : int;
+  recost_fallbacks : int;
+  rebind_conflicts : int;
+  stale_hits : int;
+  invalidations : int;
+  evictions : int;
+  entries : int;
+  cache_bytes : int;
+  opt_ms_total : float;
+  opt_ms_saved : float;
+}
+
+let stats t =
+  let c = Plan_cache.counters t.cache in
+  {
+    calls = t.calls;
+    hits = t.hits;
+    rebinds = t.rebinds;
+    misses = t.misses;
+    recost_fallbacks = t.recost_fallbacks;
+    rebind_conflicts = t.rebind_conflicts;
+    stale_hits = t.stale_hits;
+    invalidations = c.Plan_cache.invalidations;
+    evictions = c.Plan_cache.evictions;
+    entries = c.Plan_cache.entries;
+    cache_bytes = c.Plan_cache.bytes;
+    opt_ms_total = t.opt_ms_total;
+    opt_ms_saved = t.opt_ms_saved;
+  }
+
+let hit_ratio s =
+  if s.calls = 0 then 0.
+  else float_of_int (s.hits + s.rebinds) /. float_of_int s.calls
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>plan cache: %d calls, %d hits + %d rebinds (ratio %.2f), %d misses@,\
+     fallbacks: %d recost, %d rebind-conflict; stale hits: %d@,\
+     entries: %d (%d bytes), evictions: %d, invalidations: %d@,\
+     optimizer ms: %.1f spent, %.1f saved@]"
+    s.calls s.hits s.rebinds (hit_ratio s) s.misses s.recost_fallbacks
+    s.rebind_conflicts s.stale_hits s.entries s.cache_bytes s.evictions
+    s.invalidations s.opt_ms_total s.opt_ms_saved
+
+let invalidate_all t =
+  List.iter (Plan_cache.remove t.cache) (Plan_cache.keys_lru t.cache)

@@ -1,0 +1,119 @@
+(** The session layer: a long-lived query service over one catalog.
+
+    Amortizes optimizer work across repeated parameterized queries: each
+    incoming query is canonicalized ({!Canon}), fingerprinted
+    ({!Fingerprint}) and looked up in an LRU plan cache ({!Plan_cache}).
+    On a hit the cached plan template is re-bound to the call's parameter
+    values ({!Plan_rebind}) and re-costed; if the re-costed estimate drifts
+    beyond [recost_ratio] times the cost the template was cached at, the
+    template is considered parameter-sensitive for these values and the
+    query is re-optimized from scratch (preserving the paper's
+    "never worse than traditional" guarantee, which only holds for plans
+    the optimizer actually picked for the parameters at hand).  Plans from
+    an older catalog epoch are never served. *)
+
+type config = {
+  algorithm : Optimizer.algorithm;
+  work_mem : int;
+  paper : Paper_opt.options;
+  max_entries : int;  (** plan-cache capacity, entries *)
+  max_bytes : int;  (** plan-cache capacity, bytes-ish *)
+  recost_ratio : float;
+      (** serve a re-bound template only while its re-costed estimate is
+          within this factor of the cost it was cached at (>= 1.0) *)
+  cache_enabled : bool;  (** [false] = optimize every call (baseline) *)
+}
+
+val default_config : config
+(** [Paper] algorithm, 32 pages work_mem, 128 entries / 4 MiB cache,
+    recost ratio 10.0, cache on. *)
+
+type t
+
+val create : ?config:config -> Catalog.t -> t
+val catalog : t -> Catalog.t
+val config : t -> config
+
+(** {1 Statements} *)
+
+type stmt
+(** A prepared statement: canonical template, fingerprint and the parameter
+    vector extracted from the statement's own literals. *)
+
+val prepare : t -> string -> stmt
+(** Parse, bind and canonicalize an SQL script (CREATE VIEWs followed by one
+    SELECT).  Raises the usual {!Binder.Bind_error} / [Parser.Parse_error] /
+    [Lexer.Lex_error] on bad input. *)
+
+val prepare_query : t -> Block.query -> stmt
+(** Same, for an already-bound query (workload generators, tests). *)
+
+val stmt_fingerprint : stmt -> string
+(** Template fingerprint in hex. *)
+
+val stmt_params : stmt -> Value.t list
+(** The parameter vector extracted at prepare time. *)
+
+(** {1 Execution} *)
+
+type source =
+  | Hit  (** cached plan served as-is (identical parameters) *)
+  | Hit_rebound  (** cached template re-bound to new parameters *)
+  | Miss  (** no usable entry; optimized and cached *)
+  | Recost_fallback
+      (** template found but re-costed beyond [recost_ratio]; re-optimized *)
+  | Rebind_conflict
+      (** template found but value-directed re-binding was ambiguous;
+          re-optimized *)
+  | Uncached  (** cache disabled *)
+
+val source_label : source -> string
+
+type planned = {
+  plan : Physical.t;
+  est : Cost_model.est;
+  source : source;
+  opt_ms : float;  (** optimizer time this call actually spent (0 on hits) *)
+  plan_ms : float;  (** end-to-end planning time incl. cache work *)
+}
+
+val plan : ?params:Value.t list -> t -> stmt -> planned
+(** Produce an executable plan for the statement bound to [params]
+    (default: the literals it was prepared with).
+    @raise Invalid_argument if [params] has the wrong arity. *)
+
+val execute :
+  ?params:Value.t list -> t -> stmt -> planned * Relation.t * Buffer_pool.stats
+(** {!plan}, then run on the service's warm buffer pool, measuring IO. *)
+
+val submit : t -> string -> planned * Relation.t * Buffer_pool.stats
+(** One-shot convenience: {!prepare} then {!execute}, sharing the cache. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  calls : int;  (** plan/execute requests *)
+  hits : int;  (** served from cache (as-is) *)
+  rebinds : int;  (** served from cache after re-binding *)
+  misses : int;  (** optimized because nothing usable was cached *)
+  recost_fallbacks : int;
+  rebind_conflicts : int;
+  stale_hits : int;  (** must stay 0: plans served under a wrong epoch *)
+  invalidations : int;  (** entries dropped for a stale epoch *)
+  evictions : int;
+  entries : int;
+  cache_bytes : int;
+  opt_ms_total : float;  (** optimizer wall time actually spent *)
+  opt_ms_saved : float;
+      (** sum over cache-served calls of the original optimization time of
+          the served template — the work the cache avoided re-doing *)
+}
+
+val stats : t -> stats
+val hit_ratio : stats -> float
+(** (hits + rebinds) / calls; 0 on no calls. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val invalidate_all : t -> unit
+(** Drop every cached plan (counters are kept). *)

@@ -1,0 +1,210 @@
+(* Canonical template serialization and positional literal parameterization
+   of the bound multi-block form.  The traversal order here is a contract:
+   [serialize], [params] and [substitute] must all visit predicate constants
+   in exactly the same sequence, and the service layer's plan re-binding
+   relies on that agreement. *)
+
+let value_tag = function
+  | Value.Int _ -> "i"
+  | Value.Float _ -> "f"
+  | Value.String _ -> "s"
+  | Value.Bool _ -> "b"
+  | Value.Date _ -> "d"
+
+let value_sig v = value_tag v ^ Value.to_string v
+
+let col_sig (c : Schema.column) =
+  Printf.sprintf "%s.%s:%s" c.Schema.cqual c.Schema.cname
+    (match c.Schema.cty with
+     | Datatype.Int -> "I"
+     | Datatype.Float -> "F"
+     | Datatype.String -> "S"
+     | Datatype.Bool -> "B"
+     | Datatype.Date -> "D")
+
+let binop_sig = function
+  | Expr.Add -> "+"
+  | Expr.Sub -> "-"
+  | Expr.Mul -> "*"
+  | Expr.Div -> "/"
+
+let cmp_sig = function
+  | Expr.Eq -> "="
+  | Expr.Ne -> "<>"
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+
+(* [konst] renders a constant: "?" inside predicates (parameterized), the
+   tagged value elsewhere (part of the template). *)
+let rec expr_sig ~konst = function
+  | Expr.Col c -> col_sig c
+  | Expr.Const v -> konst v
+  | Expr.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (binop_sig op) (expr_sig ~konst a)
+      (expr_sig ~konst b)
+
+let rec pred_sig ~konst = function
+  | Expr.Cmp (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (cmp_sig op) (expr_sig ~konst a)
+      (expr_sig ~konst b)
+  | Expr.And (a, b) ->
+    Printf.sprintf "(and %s %s)" (pred_sig ~konst a) (pred_sig ~konst b)
+  | Expr.Or (a, b) ->
+    Printf.sprintf "(or %s %s)" (pred_sig ~konst a) (pred_sig ~konst b)
+  | Expr.Not a -> Printf.sprintf "(not %s)" (pred_sig ~konst a)
+
+let template_pred_sig = pred_sig ~konst:(fun _ -> "?")
+
+let order_preds ps =
+  List.stable_sort
+    (fun a b -> String.compare (template_pred_sig a) (template_pred_sig b))
+    ps
+
+let agg_sig (a : Aggregate.t) =
+  let fname =
+    match a.Aggregate.func with
+    | Aggregate.Count_star -> "count*"
+    | Aggregate.Count -> "count"
+    | Aggregate.Sum -> "sum"
+    | Aggregate.Avg -> "avg"
+    | Aggregate.Min -> "min"
+    | Aggregate.Max -> "max"
+    | Aggregate.Udf u -> "udf:" ^ u.Aggregate.udf_name
+  in
+  Printf.sprintf "%s(%s)->%s" fname
+    (match a.Aggregate.arg with
+     | None -> ""
+     | Some e -> expr_sig ~konst:value_sig e)
+    a.Aggregate.out_name
+
+let rel_sig (r : Block.rel) = r.Block.r_alias ^ "=" ^ r.Block.r_table
+
+let out_sig = function
+  | Block.Out_key (c, name) -> Printf.sprintf "k:%s->%s" (col_sig c) name
+  | Block.Out_agg a -> "a:" ^ agg_sig a
+
+let sel_sig = function
+  | Block.Sel_col (c, name) -> Printf.sprintf "c:%s->%s" (col_sig c) name
+  | Block.Sel_agg a -> "a:" ^ agg_sig a
+
+let serialize (q : Block.query) =
+  let buf = Buffer.create 512 in
+  let add = Buffer.add_string buf in
+  let list tag f xs =
+    add tag;
+    add "[";
+    List.iter
+      (fun x ->
+        add (f x);
+        add ";")
+      xs;
+    add "]"
+  in
+  List.iter
+    (fun (v : Block.view) ->
+      add "view ";
+      add v.Block.v_alias;
+      list " rels" rel_sig v.Block.v_rels;
+      list " where" template_pred_sig (order_preds v.Block.v_preds);
+      list " by" col_sig v.Block.v_keys;
+      list " aggs" agg_sig v.Block.v_aggs;
+      list " having" template_pred_sig (order_preds v.Block.v_having);
+      list " out" out_sig v.Block.v_out;
+      add "\n")
+    q.Block.q_views;
+  add "outer";
+  list " rels" rel_sig q.Block.q_rels;
+  list " where" template_pred_sig (order_preds q.Block.q_preds);
+  if q.Block.q_grouped then begin
+    list " by" col_sig q.Block.q_keys;
+    list " aggs" agg_sig q.Block.q_aggs;
+    list " having" template_pred_sig (order_preds q.Block.q_having)
+  end;
+  list " select" sel_sig q.Block.q_select;
+  list " order" (fun s -> s) q.Block.q_order;
+  (match q.Block.q_limit with
+   | None -> ()
+   | Some n -> add (Printf.sprintf " limit %d" n));
+  Buffer.contents buf
+
+(* Shared constant traversal: [visit] receives each predicate constant in
+   canonical order and returns its replacement.  [params] taps it with an
+   accumulator; [substitute] with a cursor over the new vector. *)
+
+let rec map_expr_consts visit = function
+  | Expr.Col _ as e -> e
+  | Expr.Const v -> Expr.Const (visit v)
+  | Expr.Binop (op, a, b) ->
+    let a = map_expr_consts visit a in
+    let b = map_expr_consts visit b in
+    Expr.Binop (op, a, b)
+
+let rec map_pred_consts visit = function
+  | Expr.Cmp (op, a, b) ->
+    let a = map_expr_consts visit a in
+    let b = map_expr_consts visit b in
+    Expr.Cmp (op, a, b)
+  | Expr.And (a, b) ->
+    let a = map_pred_consts visit a in
+    let b = map_pred_consts visit b in
+    Expr.And (a, b)
+  | Expr.Or (a, b) ->
+    let a = map_pred_consts visit a in
+    let b = map_pred_consts visit b in
+    Expr.Or (a, b)
+  | Expr.Not a -> Expr.Not (map_pred_consts visit a)
+
+(* Visit the canonically ordered conjuncts, but return the rewritten list in
+   the query's original order: substitution must not change plan shape or
+   pretty-printing, only constants. *)
+let map_preds visit ps =
+  let tagged = List.mapi (fun i p -> (i, p)) ps in
+  let sorted =
+    List.stable_sort
+      (fun (_, a) (_, b) ->
+        String.compare (template_pred_sig a) (template_pred_sig b))
+      tagged
+  in
+  let rewritten = List.map (fun (i, p) -> (i, map_pred_consts visit p)) sorted in
+  List.map (fun (i, _) -> List.assoc i rewritten) tagged
+
+let map_query_consts visit (q : Block.query) =
+  let views =
+    List.map
+      (fun (v : Block.view) ->
+        let v_preds = map_preds visit v.Block.v_preds in
+        let v_having = map_preds visit v.Block.v_having in
+        { v with Block.v_preds; v_having })
+      q.Block.q_views
+  in
+  let q_preds = map_preds visit q.Block.q_preds in
+  let q_having = map_preds visit q.Block.q_having in
+  { q with Block.q_views = views; q_preds; q_having }
+
+let params q =
+  let acc = ref [] in
+  ignore
+    (map_query_consts
+       (fun v ->
+         acc := v :: !acc;
+         v)
+       q);
+  List.rev !acc
+
+let substitute q vals =
+  let remaining = ref vals in
+  let result =
+    map_query_consts
+      (fun old ->
+        match !remaining with
+        | [] -> invalid_arg "Canon.substitute: too few parameters"
+        | v :: rest ->
+          remaining := rest;
+          ignore old;
+          v)
+      q
+  in
+  if !remaining <> [] then invalid_arg "Canon.substitute: too many parameters";
+  result

@@ -20,4 +20,5 @@ let () =
       ("sql", Sql_tests.tests @ Sql_tests.more_tests @ Sql_tests.sugar_tests);
       ("workload", Workload_tests.tests @ Workload_tests.fuzz_tests);
       ("star", Star_tests.tests);
+      ("service", Service_tests.tests);
     ]
