@@ -186,8 +186,16 @@ let optimize cat ~work_mem input =
 
   (* ---- single-item access paths ---- *)
   let extract_bounds alias colname filters =
-    (* Fold constant comparisons on (alias, colname) into range bounds. *)
-    let consumed = ref [] in
+    (* Fold constant comparisons on (alias, colname) into range bounds.
+       A predicate may be dropped from the residual filter only when it is
+       the sole contributor to its bound side: with several contributors
+       only the tightest value survives as the bound, so dropping the rest
+       would lose their constraint — and would make the service layer's
+       value-directed re-binding unsound, since under new parameters the
+       tightest bound may come from a predicate that is no longer visible.
+       Multi-contributor sides keep all their predicates in the residual;
+       the bound then only over-approximates and the filter stays exact. *)
+    let lo_preds = ref [] and hi_preds = ref [] in
     let lo = ref None and hi = ref None in
     let tighten_lo (v, incl) =
       match !lo with
@@ -205,20 +213,39 @@ let optimize cat ~work_mem input =
         | Expr.Cmp (op, Expr.Col c, Expr.Const v)
           when String.equal c.Schema.cqual alias && String.equal c.Schema.cname colname
           -> (
-          let used = ref true in
-          (match op with
-           | Expr.Eq ->
-             tighten_lo (v, true);
-             tighten_hi (v, true)
-           | Expr.Lt -> tighten_hi (v, false)
-           | Expr.Le -> tighten_hi (v, true)
-           | Expr.Gt -> tighten_lo (v, false)
-           | Expr.Ge -> tighten_lo (v, true)
-           | Expr.Ne -> used := false);
-          if !used then consumed := p :: !consumed)
+          match op with
+          | Expr.Eq ->
+            tighten_lo (v, true);
+            tighten_hi (v, true);
+            lo_preds := p :: !lo_preds;
+            hi_preds := p :: !hi_preds
+          | Expr.Lt ->
+            tighten_hi (v, false);
+            hi_preds := p :: !hi_preds
+          | Expr.Le ->
+            tighten_hi (v, true);
+            hi_preds := p :: !hi_preds
+          | Expr.Gt ->
+            tighten_lo (v, false);
+            lo_preds := p :: !lo_preds
+          | Expr.Ge ->
+            tighten_lo (v, true);
+            lo_preds := p :: !lo_preds
+          | Expr.Ne -> ())
         | _ -> ())
       filters;
-    (!lo, !hi, !consumed)
+    let multi = function _ :: _ :: _ -> true | _ -> false in
+    let residual_bound p =
+      (multi !lo_preds && List.memq p !lo_preds)
+      || (multi !hi_preds && List.memq p !hi_preds)
+    in
+    let consumed =
+      List.filter
+        (fun p -> not (residual_bound p))
+        (List.filter (fun p -> List.memq p !lo_preds || List.memq p !hi_preds)
+           filters)
+    in
+    (!lo, !hi, consumed)
   in
   let base_access_plans alias table filters =
     let tbl = Catalog.table_exn cat table in

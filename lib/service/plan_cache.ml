@@ -104,6 +104,12 @@ let add t entry =
     t.evictions <- t.evictions + 1
   done
 
+let clear t =
+  while t.sentinel.next != t.sentinel do
+    drop t t.sentinel.next;
+    t.invalidations <- t.invalidations + 1
+  done
+
 let keys_lru t =
   let rec walk node acc =
     if node == t.sentinel then acc

@@ -44,6 +44,9 @@ val add : t -> entry -> unit
 
 val remove : t -> string -> unit
 
+val clear : t -> unit
+(** Drop every entry, counting each as an invalidation. *)
+
 val keys_lru : t -> string list
 (** Keys from least- to most-recently used (inspection and tests). *)
 

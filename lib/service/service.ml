@@ -164,6 +164,14 @@ let plan ?params t stmt =
       | None ->
         t.misses <- t.misses + 1;
         optimize_and_cache t stmt ps query Miss
+      | Some entry
+        when not (String.equal entry.Plan_cache.template stmt.template) ->
+        (* 64-bit fingerprint collision: a different template landed on our
+           key.  Treat as a miss (re-optimizing overwrites the entry); the
+           colliding templates may thrash but can never serve each other's
+           plans. *)
+        t.misses <- t.misses + 1;
+        optimize_and_cache t stmt ps query Miss
       | Some entry ->
         if entry.Plan_cache.epoch <> epoch then begin
           (* unreachable: [find] filters stale epochs; belt and suspenders
@@ -264,5 +272,4 @@ let pp_stats fmt s =
     s.rebind_conflicts s.stale_hits s.entries s.cache_bytes s.evictions
     s.invalidations s.opt_ms_total s.opt_ms_saved
 
-let invalidate_all t =
-  List.iter (Plan_cache.remove t.cache) (Plan_cache.keys_lru t.cache)
+let invalidate_all t = Plan_cache.clear t.cache

@@ -99,7 +99,8 @@ type stats = {
   recost_fallbacks : int;
   rebind_conflicts : int;
   stale_hits : int;  (** must stay 0: plans served under a wrong epoch *)
-  invalidations : int;  (** entries dropped for a stale epoch *)
+  invalidations : int;
+      (** entries dropped for a stale epoch or by {!invalidate_all} *)
   evictions : int;
   entries : int;
   cache_bytes : int;
@@ -116,4 +117,4 @@ val hit_ratio : stats -> float
 val pp_stats : Format.formatter -> stats -> unit
 
 val invalidate_all : t -> unit
-(** Drop every cached plan (counters are kept). *)
+(** Drop every cached plan, counting each as an invalidation. *)

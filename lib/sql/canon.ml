@@ -202,7 +202,12 @@ let substitute q vals =
         | [] -> invalid_arg "Canon.substitute: too few parameters"
         | v :: rest ->
           remaining := rest;
-          ignore old;
+          if not (String.equal (value_tag v) (value_tag old)) then
+            invalid_arg
+              (Printf.sprintf
+                 "Canon.substitute: parameter type mismatch (%s where the \
+                  template has %s)"
+                 (Value.to_string v) (Value.to_string old));
           v)
       q
   in

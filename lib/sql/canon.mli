@@ -32,4 +32,6 @@ val substitute : Block.query -> Value.t list -> Block.query
     [q] to [List.nth vals i] — the inverse of {!params}:
     [substitute q (params q) = q] up to conjunct order.
     @raise Invalid_argument when the vector length differs from
-    [List.length (params q)]. *)
+    [List.length (params q)], or when a value's type does not match the
+    constant it replaces (an ill-typed plan would otherwise execute and
+    return meaningless comparisons instead of failing cleanly). *)

@@ -172,6 +172,77 @@ let rebound_plans_are_correct () =
   done;
   Alcotest.(check int) "no stale hits" 0 (Service.stats svc).Service.stale_hits
 
+(* Regression: two bound predicates on one indexed column ('e.dno = ?1 AND
+   e.dno <= ?2') both fold into the index bounds, and only the tightest value
+   survives as the bound.  Prepared with (10, 20) the tightest bound comes
+   from the equality; re-bound to (15, 5) it comes from the other predicate,
+   and the correct answer is empty.  The served plan must agree with a fresh
+   optimization — the bound folding may not lose the weaker predicate.
+   (emp is clustered on dno, so the optimizer does pick the index scan.) *)
+let rebind_multi_bound_same_column () =
+  let cat = Emp_dept.load () in
+  let svc = Service.create cat in
+  let sql = "SELECT e.eno AS eno FROM emp e WHERE e.dno = 10 AND e.dno <= 20" in
+  let stmt = Service.prepare svc sql in
+  let _, rel0, _ = Service.execute svc stmt in
+  Alcotest.(check bool) "prepared parameters find rows" true
+    (Relation.cardinality rel0 > 0);
+  (* Canonical parameter order is an implementation detail: rebind by value
+     (the equality was prepared with 10, the range bound with 20). *)
+  let ps =
+    List.map
+      (function
+        | Value.Int 10 -> Value.Int 15  (* e.dno = 15 *)
+        | Value.Int 20 -> Value.Int 5  (* e.dno <= 5 *)
+        | v -> v)
+      (Service.stmt_params stmt)
+  in
+  let p, rel, _ = Service.execute ~params:ps svc stmt in
+  (match p.Service.source with
+   | Service.Hit_rebound | Service.Rebind_conflict | Service.Recost_fallback ->
+     ()
+   | s ->
+     Alcotest.failf "unexpected source %s" (Service.source_label s));
+  let fresh = Optimizer.optimize cat (Canon.substitute (bind cat sql) ps) in
+  let expected = Executor.run (Exec_ctx.create cat) fresh.Optimizer.plan in
+  Alcotest.(check bool) "re-bound contradictory range is empty" true
+    (Relation.is_empty expected);
+  Alcotest.(check bool) "served rows match fresh optimization" true
+    (Relation.multiset_equal expected rel)
+
+let explicit_invalidation_counts () =
+  let cat = Emp_dept.load () in
+  let svc = Service.create cat in
+  let stmt =
+    Service.prepare svc
+      "SELECT e.dno AS dno, MAX(e.sal) AS m FROM emp e WHERE e.age > 40 GROUP \
+       BY e.dno"
+  in
+  ignore (Service.plan svc stmt);
+  Service.invalidate_all svc;
+  let s = Service.stats svc in
+  Alcotest.(check int) "explicit drop counted as invalidation" 1
+    s.Service.invalidations;
+  Alcotest.(check int) "cache emptied" 0 s.Service.entries;
+  check_source "next call misses" Service.Miss (Service.plan svc stmt)
+
+let substitute_rejects_type_mismatch () =
+  let cat = Emp_dept.load () in
+  let q =
+    bind cat
+      "SELECT e.dno AS dno, MAX(e.sal) AS m FROM emp e WHERE e.age > 40 GROUP \
+       BY e.dno"
+  in
+  let raised =
+    try
+      ignore (Canon.substitute q [ Value.String "forty" ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "ill-typed parameter raises" true raised;
+  (* same arity, right type: accepted *)
+  ignore (Canon.substitute q [ Value.Int 50 ])
+
 let replay_splits_statements () =
   let stmts =
     Replay.split_statements
@@ -191,6 +262,12 @@ let tests =
     Alcotest.test_case "epoch invalidation" `Quick epoch_invalidation;
     Alcotest.test_case "re-bound plans compute the same rows" `Quick
       rebound_plans_are_correct;
+    Alcotest.test_case "re-binding honours multiple bounds on one column"
+      `Quick rebind_multi_bound_same_column;
+    Alcotest.test_case "explicit invalidation is counted" `Quick
+      explicit_invalidation_counts;
+    Alcotest.test_case "substitute rejects ill-typed parameters" `Quick
+      substitute_rejects_type_mismatch;
     Alcotest.test_case "replay statement splitting" `Quick
       replay_splits_statements;
     QCheck_alcotest.to_alcotest
