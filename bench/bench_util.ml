@@ -1,5 +1,63 @@
 (* Shared helpers for the experiment harness. *)
 
+(* ---- machine-readable benchmark records ----
+
+   Experiments accumulate records as they run ([run_algo] records
+   automatically); [main] writes the pending records to BENCH_E<k>.json
+   after each experiment so CI can archive a perf trajectory. *)
+module Json = struct
+  type record = {
+    rname : string;
+    rparams : (string * string) list;
+    rio : int;
+    rwall_ms : float;
+    rrows_per_sec : float;
+  }
+
+  let pending : record list ref = ref []
+
+  let record ~name ?(params = []) ~io ~wall_ms ~rows_per_sec () =
+    pending :=
+      { rname = name; rparams = params; rio = io; rwall_ms = wall_ms;
+        rrows_per_sec = rows_per_sec }
+      :: !pending
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let write ~exp =
+    let recs = List.rev !pending in
+    pending := [];
+    let oc = open_out (Printf.sprintf "BENCH_%s.json" exp) in
+    let out fmt = Printf.fprintf oc fmt in
+    out "{\n  \"experiment\": \"%s\",\n  \"records\": [" (escape exp);
+    List.iteri
+      (fun i r ->
+        out "%s\n    { \"name\": \"%s\", \"params\": {"
+          (if i = 0 then "" else ",")
+          (escape r.rname);
+        List.iteri
+          (fun j (k, v) ->
+            out "%s\"%s\": \"%s\"" (if j = 0 then "" else ", ") (escape k)
+              (escape v))
+          r.rparams;
+        out "}, \"io\": %d, \"wall_ms\": %.3f, \"rows_per_sec\": %.1f }"
+          r.rio r.rwall_ms r.rrows_per_sec)
+      recs;
+    out "\n  ]\n}\n";
+    close_out oc
+end
+
 type outcome = {
   est_cost : float;
   reads : int;
@@ -15,7 +73,7 @@ let algo_name = function
   | Optimizer.Greedy_conservative -> "greedy"
   | Optimizer.Paper -> "paper"
 
-let run_algo ?(work_mem = 32) ?paper_opts cat query algorithm =
+let run_algo ?(work_mem = 32) ?paper_opts ?tag cat query algorithm =
   let options =
     {
       Optimizer.default_options with
@@ -27,7 +85,18 @@ let run_algo ?(work_mem = 32) ?paper_opts cat query algorithm =
   let r = Optimizer.optimize ~options cat query in
   let opt_ms = r.Optimizer.time_ms in
   let ctx = Exec_ctx.create ~work_mem cat in
+  let t0 = Unix.gettimeofday () in
   let rel, io = Executor.run_measured ~cold:true ctx r.Optimizer.plan in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let nrows = Relation.cardinality rel in
+  Json.record
+    ~name:(Option.value ~default:(algo_name algorithm) tag)
+    ~params:[ ("algo", algo_name algorithm); ("work_mem", string_of_int work_mem) ]
+    ~io:(io.Buffer_pool.reads + io.Buffer_pool.writes)
+    ~wall_ms
+    ~rows_per_sec:
+      (if wall_ms > 0. then float_of_int nrows /. (wall_ms /. 1000.) else 0.)
+    ();
   {
     est_cost = r.Optimizer.est.Cost_model.cost;
     reads = io.Buffer_pool.reads;

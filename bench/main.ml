@@ -20,6 +20,7 @@ let experiments =
     ("E11", E11_ablations.run);
     ("E12", E12_bushy.run);
     ("E13", E13_plancache.run);
+    ("E14", E14_batchexec.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's
@@ -98,6 +99,7 @@ let () =
       (fun (name, run) ->
         Printf.printf "\n================ %s ================\n%!" name;
         run ();
+        Bench_util.Json.write ~exp:name;
         print_newline ())
       to_run
   end

@@ -144,6 +144,9 @@ let merge_opt f a b =
   | None, s | s, None -> s
   | Some x, Some y -> Some (f x y)
 
+let count_state n = SCount n
+let sum_state v = SSum (Some v)
+
 let merge a b =
   match a, b with
   | SCount x, SCount y -> SCount (x + y)

@@ -71,6 +71,15 @@ val step : state -> Value.t option -> state
 val merge : state -> state -> state
 (** Combine the states of two sub-groups (decomposability witness). *)
 
+val count_state : int -> state
+(** The state a COUNT reaches after absorbing that many rows. *)
+
+val sum_state : Value.t -> state
+(** The state a SUM reaches after absorbing one or more rows totalling the
+    given value.  With {!count_state}, lets an executor that accumulates
+    int-typed COUNT/SUM groups in unboxed form rebuild the equivalent
+    generic state when it must fall back. *)
+
 val finish : state -> Value.t
 (** @raise Invalid_argument on a state that absorbed no rows — SQL would
     return NULL, which the engine does not model; group-by never produces

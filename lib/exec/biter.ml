@@ -1,0 +1,94 @@
+type t = {
+  schema : Schema.t;
+  next_batch : unit -> Batch.t option;
+  close : unit -> unit;
+}
+
+let empty schema =
+  { schema; next_batch = (fun () -> None); close = (fun () -> ()) }
+
+let of_batches schema batches =
+  let pending = ref batches in
+  let next_batch () =
+    match !pending with
+    | [] -> None
+    | b :: rest ->
+      pending := rest;
+      Some b
+  in
+  { schema; next_batch; close = (fun () -> pending := []) }
+
+(* Chunk a row array into batches of [Batch.default_rows]. *)
+let of_rows schema rows =
+  let n = Array.length rows in
+  let pos = ref 0 in
+  let next_batch () =
+    if !pos >= n then None
+    else begin
+      let len = min Batch.default_rows (n - !pos) in
+      let b = Batch.of_rows schema (Array.sub rows !pos len) in
+      pos := !pos + len;
+      Some b
+    end
+  in
+  { schema; next_batch; close = (fun () -> pos := n) }
+
+let of_iter ?(batch_rows = Batch.default_rows) (it : Iter.t) =
+  let buf = Array.make batch_rows [||] in
+  let next_batch () =
+    let n = ref 0 in
+    let rec fill () =
+      if !n < batch_rows then
+        match it.Iter.next () with
+        | None -> ()
+        | Some tup ->
+          buf.(!n) <- tup;
+          incr n;
+          fill ()
+    in
+    fill ();
+    if !n = 0 then None
+    else
+      (* Copy out: [buf] is reused across batches. *)
+      Some (Batch.of_rows it.Iter.schema (Array.sub buf 0 !n))
+  in
+  { schema = it.Iter.schema; next_batch; close = it.Iter.close }
+
+let to_iter t =
+  let current = ref [||] in
+  let pos = ref 0 in
+  let rec next () =
+    if !pos < Array.length !current then begin
+      let tup = (!current).(!pos) in
+      incr pos;
+      Some tup
+    end
+    else
+      match t.next_batch () with
+      | None -> None
+      | Some b ->
+        current := Batch.to_rows b;
+        pos := 0;
+        next ()
+  in
+  { Iter.schema = t.schema; next; close = t.close }
+
+let iter f t =
+  let rec loop () =
+    match t.next_batch () with
+    | None -> ()
+    | Some b ->
+      f b;
+      loop ()
+  in
+  loop ();
+  t.close ()
+
+let iter_rows f t = iter (fun b -> Batch.iter f b) t
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun b -> Batch.iter (fun tup -> acc := tup :: !acc) b) t;
+  List.rev !acc
+
+let to_relation t = Relation.create t.schema (to_list t)

@@ -1,0 +1,36 @@
+(** Batch iterators: the vectorized counterpart of {!Iter}.
+
+    The protocol mirrors the volcano iterator but moves a {!Batch.t} per
+    call instead of a tuple, so per-row closure dispatch and [Seq]/[option]
+    allocation disappear from inner loops.  {!of_iter} / {!to_iter} adapt in
+    both directions, letting operators convert to batch-native execution
+    incrementally: a row-only operator keeps working under batch parents and
+    vice versa. *)
+
+type t = {
+  schema : Schema.t;
+  next_batch : unit -> Batch.t option;
+  close : unit -> unit;
+}
+
+val empty : Schema.t -> t
+
+val of_batches : Schema.t -> Batch.t list -> t
+val of_rows : Schema.t -> Tuple.t array -> t
+(** Serve an array as batches of {!Batch.default_rows}. *)
+
+val of_iter : ?batch_rows:int -> Iter.t -> t
+(** Adapter: accumulate up to [batch_rows] (default {!Batch.default_rows})
+    rows per batch from a row iterator. *)
+
+val to_iter : t -> Iter.t
+(** Adapter: hand out the live rows of each batch one at a time. *)
+
+val iter : (Batch.t -> unit) -> t -> unit
+(** Drain batch-at-a-time and close. *)
+
+val iter_rows : (Tuple.t -> unit) -> t -> unit
+(** Drain row-at-a-time (over live rows) and close. *)
+
+val to_list : t -> Tuple.t list
+val to_relation : t -> Relation.t

@@ -2,11 +2,15 @@ type t = {
   cat : Catalog.t;
   work_mem : int;
   mutable temps : Heap_file.t list;
+  mutable profiler : Profile.t option;
 }
 
 let create ?(work_mem = 32) cat =
   if work_mem < 3 then invalid_arg "Exec_ctx.create: work_mem < 3";
-  { cat; work_mem; temps = [] }
+  { cat; work_mem; temps = []; profiler = None }
+
+let profiler t = t.profiler
+let set_profiler t p = t.profiler <- p
 
 let catalog t = t.cat
 let work_mem t = t.work_mem

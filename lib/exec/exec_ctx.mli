@@ -23,3 +23,8 @@ val temp : t -> Schema.t -> Heap_file.t
 val drop : t -> Heap_file.t -> unit
 val cleanup : t -> unit
 (** Drop any temp files still alive (safety net after failed runs). *)
+
+val profiler : t -> Profile.t option
+val set_profiler : t -> Profile.t option -> unit
+(** Per-operator counter sink; when set, {!Executor.open_iter} and
+    [Executor.open_batch] register and wrap every operator they open. *)

@@ -7,10 +7,58 @@ end
 
 module TH = Hashtbl.Make (Tuple_key)
 
+module Value_key = struct
+  type t = Value.t
+
+  let equal a b = Value.compare a b = 0
+
+  (* Cheaper than {!Value.hash} on the dominant [Int] case (no intermediate
+     tuple allocation), but still consistent with [equal]: an [Int] and the
+     integral [Float] it equals hash identically. *)
+  let hash = function
+    | Value.Int i -> Hashtbl.hash i
+    | Value.Float f when Float.is_integer f && Float.abs f < 1e18 ->
+      Hashtbl.hash (int_of_float f)
+    | v -> Value.hash v
+end
+
+(* Value-keyed table for the vectorized single-key group path. *)
+module VH = Hashtbl.Make (Value_key)
+
+type engine = [ `Row | `Batch ]
+
 let compile_preds schema preds =
   match Expr.conjoin preds with
   | None -> fun _ -> true
   | Some p -> Expr.compile_pred schema p
+
+let swap_cmp = function
+  | Expr.Eq -> Expr.Eq
+  | Expr.Ne -> Expr.Ne
+  | Expr.Lt -> Expr.Gt
+  | Expr.Le -> Expr.Ge
+  | Expr.Gt -> Expr.Lt
+  | Expr.Ge -> Expr.Le
+
+(* Batch filter compiler: one selection kernel per conjunct.  The common
+   post-pushdown shape [col <cmp> int-const] gets the vectorized primitive
+   ({!Batch.select_int_cmp}); anything else runs the generic compiled
+   predicate per live row.  Conjuncts are applied in order, matching the
+   row path's short-circuiting [And] semantics. *)
+let compile_batch_preds schema preds : (Batch.t -> Batch.t) list =
+  List.concat_map Expr.conjuncts preds
+  |> List.map (fun p ->
+         match p with
+         | Expr.Cmp (op, Expr.Col c, Expr.Const (Value.Int k)) ->
+           let idx = Expr.resolve_column schema c in
+           fun b -> Batch.select_int_cmp ~op ~idx k b
+         | Expr.Cmp (op, Expr.Const (Value.Int k), Expr.Col c) ->
+           let idx = Expr.resolve_column schema c in
+           let op = swap_cmp op in
+           fun b -> Batch.select_int_cmp ~op ~idx k b
+         | p ->
+           let f = Expr.compile_pred schema p in
+           fun b -> Batch.select f b)
 
 let resolve_all schema cols =
   Array.of_list (List.map (Expr.resolve_column schema) cols)
@@ -38,12 +86,115 @@ let agg_arg_fns schema aggs =
 
 let init_states aggs = List.map (fun (a : Aggregate.t) -> Aggregate.init a.Aggregate.func) aggs
 
+(* Unboxed accumulation for the common all-int aggregate shapes —
+   COUNT star, COUNT(col) and SUM over an Int-typed column.  [int_agg_plan]
+   returns one kernel descriptor per aggregate when every aggregate in the
+   list qualifies, so the batch group operator can keep a plain [int array]
+   per group instead of stepping boxed [Aggregate.state]s. *)
+type int_agg = ICount | ISum of int  (* ISum carries the column index *)
+
+let int_agg_plan schema (aggs : Aggregate.t list) =
+  let one (a : Aggregate.t) =
+    match a.Aggregate.func, a.Aggregate.arg with
+    | Aggregate.Count_star, None -> Some ICount
+    | Aggregate.Count, Some (Expr.Col _) -> Some ICount
+    | Aggregate.Sum, Some (Expr.Col c)
+      when Expr.type_of (Expr.Col c) = Datatype.Int ->
+      Some (ISum (Expr.resolve_column schema c))
+    | _ -> None
+  in
+  let ks = List.filter_map one aggs in
+  if List.length ks = List.length aggs then Some (Array.of_list ks) else None
+
 let step_states states fns tup =
   List.map2 (fun st f -> Aggregate.step st (f tup)) states fns
 
 let finish_group key states = Tuple.concat key (Array.of_list (List.map Aggregate.finish states))
 
+let node_name = function
+  | Physical.Seq_scan s -> "SeqScan(" ^ s.table ^ ")"
+  | Physical.Index_scan s -> "IndexScan(" ^ s.table ^ ")"
+  | Physical.Filter _ -> "Filter"
+  | Physical.Project _ -> "Project"
+  | Physical.Materialize _ -> "Materialize"
+  | Physical.Sort _ -> "Sort"
+  | Physical.Limit _ -> "Limit"
+  | Physical.Block_nl_join _ -> "BNLJoin"
+  | Physical.Index_nl_join j -> "IndexNLJoin(" ^ j.table ^ ")"
+  | Physical.Hash_join _ -> "HashJoin"
+  | Physical.Merge_join _ -> "MergeJoin"
+  | Physical.Hash_group _ -> "HashGroup"
+  | Physical.Sort_group _ -> "SortGroup"
+
+(* ---- hash-join building blocks shared by the row and batch paths ---- *)
+
+let build_hash_table build_keys build_rows =
+  let table = TH.create 1024 in
+  List.iter
+    (fun bt ->
+      let k = Tuple.project_arr bt build_keys in
+      TH.replace table k (bt :: Option.value ~default:[] (TH.find_opt table k)))
+    build_rows;
+  table
+
+let probe_hits table probe_keys pt =
+  match TH.find_opt table (Tuple.project_arr pt probe_keys) with
+  | None -> []
+  | Some bts -> bts
+
+let grace_partitions ctx build_pages =
+  let work_mem = Exec_ctx.work_mem ctx in
+  min 64 (max 2 ((build_pages + work_mem - 2) / (work_mem - 1)))
+
+let part_hash nparts keys_idx t =
+  (Tuple_key.hash (Tuple.project_arr t keys_idx) land max_int) mod nparts
+
+(* Join each spilled partition pair in memory; returns all result tuples in
+   probe order within each partition (partitions in index order). *)
+let grace_join ctx ~nparts ~build_parts ~probe_parts ~build_schema ~build_keys
+    ~probe_keys ~keep ~emit =
+  let results = ref [] in
+  for p = 0 to nparts - 1 do
+    let build_rows =
+      Iter.to_list (Iter.of_seq build_schema (Heap_file.to_seq build_parts.(p)))
+    in
+    let table = build_hash_table build_keys build_rows in
+    let probe_seq = ref (Heap_file.to_seq probe_parts.(p)) in
+    let rec drain () =
+      match !probe_seq () with
+      | Seq.Nil -> ()
+      | Seq.Cons (pt, rest) ->
+        probe_seq := rest;
+        List.iter
+          (fun bt ->
+            let out = emit pt bt in
+            if keep out then results := out :: !results)
+          (probe_hits table probe_keys pt);
+        drain ()
+    in
+    drain ()
+  done;
+  Array.iter (fun h -> Exec_ctx.drop ctx h) build_parts;
+  Array.iter (fun h -> Exec_ctx.drop ctx h) probe_parts;
+  List.rev !results
+
 let rec open_iter ctx plan : Iter.t =
+  match Exec_ctx.profiler ctx with
+  | None -> open_iter_raw ctx plan
+  | Some prof ->
+    let node = Profile.enter prof (node_name plan) in
+    let it =
+      match open_iter_raw ctx plan with
+      | it ->
+        Profile.leave prof;
+        it
+      | exception e ->
+        Profile.leave prof;
+        raise e
+    in
+    Profile.wrap_iter node it
+
+and open_iter_raw ctx plan : Iter.t =
   let cat = Exec_ctx.catalog ctx in
   match plan with
   | Physical.Seq_scan s ->
@@ -87,16 +238,31 @@ let rec open_iter ctx plan : Iter.t =
   | Physical.Limit l ->
     let it = open_iter ctx l.input in
     let remaining = ref l.count in
+    let closed = ref false in
+    (* Close the input as soon as the count is exhausted so scans under the
+       Limit release temp heaps promptly; idempotent for the later close. *)
+    let close_input () =
+      if not !closed then begin
+        closed := true;
+        it.Iter.close ()
+      end
+    in
     let next () =
-      if !remaining <= 0 then None
+      if !remaining <= 0 then begin
+        close_input ();
+        None
+      end
       else
         match it.Iter.next () with
-        | None -> None
+        | None ->
+          close_input ();
+          None
         | Some t ->
           decr remaining;
+          if !remaining = 0 then close_input ();
           Some t
     in
-    { it with Iter.next }
+    { Iter.schema = it.Iter.schema; next; close = close_input }
   | Physical.Block_nl_join j -> bnl_join ctx j.left j.right j.cond
   | Physical.Index_nl_join j ->
     index_nl_join ctx ~left:j.left ~alias:j.alias ~table:j.table ~column:j.column
@@ -122,25 +288,34 @@ and bnl_join ctx left right cond =
     let cap = Page.capacity ~row_bytes:(Schema.byte_width lit.Iter.schema) in
     max 1 ((Exec_ctx.work_mem ctx - 1) * cap)
   in
-  (* Rescannable inner: spool a Materialize once; otherwise reopen the scan. *)
+  (* Rescannable inner: spool a Materialize once; otherwise reopen the scan.
+     Reopens happen mid-next, when no profile parent is on the stack, so
+     profiling is suspended around them. *)
   let spooled = ref None in
   let extra_close = ref (fun () -> ()) in
   let reopen_right () =
-    match right with
-    | Physical.Materialize m -> (
-      match !spooled with
-      | Some heap -> Iter.of_seq rschema (Heap_file.to_seq heap)
-      | None ->
-        let it = open_iter ctx m.input in
-        let heap = Exec_ctx.temp ctx it.Iter.schema in
-        Iter.iter (fun t -> ignore (Heap_file.append heap t)) it;
-        spooled := Some heap;
-        (extra_close := fun () -> Exec_ctx.drop ctx heap);
-        Iter.of_seq rschema (Heap_file.to_seq heap))
-    | Physical.Seq_scan _ | Physical.Index_scan _ -> open_iter ctx right
-    | _ ->
-      invalid_arg
-        "Executor: BNL inner must be a scan or Materialize (planner bug)"
+    let saved = Exec_ctx.profiler ctx in
+    Exec_ctx.set_profiler ctx None;
+    let reopened =
+      match right with
+      | Physical.Materialize m -> (
+        match !spooled with
+        | Some heap -> Iter.of_seq rschema (Heap_file.to_seq heap)
+        | None ->
+          let it = open_iter ctx m.input in
+          let heap = Exec_ctx.temp ctx it.Iter.schema in
+          Iter.iter (fun t -> ignore (Heap_file.append heap t)) it;
+          spooled := Some heap;
+          (extra_close := fun () -> Exec_ctx.drop ctx heap);
+          Iter.of_seq rschema (Heap_file.to_seq heap))
+      | Physical.Seq_scan _ | Physical.Index_scan _ -> open_iter ctx right
+      | _ ->
+        Exec_ctx.set_profiler ctx saved;
+        invalid_arg
+          "Executor: BNL inner must be a scan or Materialize (planner bug)"
+    in
+    Exec_ctx.set_profiler ctx saved;
+    reopened
   in
   let block = ref [||] in
   let bi = ref 0 in
@@ -246,38 +421,9 @@ and hash_join ctx ~left ~right ~keys ~cond ~build_side =
     Page.pages_for ~rows:(List.length build_rows)
       ~row_bytes:(Schema.byte_width build_schema)
   in
-  let join_in_memory build_rows probe_next emit_results =
-    let table = TH.create 1024 in
-    List.iter
-      (fun bt ->
-        let k = Tuple.project_arr bt build_keys in
-        TH.replace table k (bt :: (Option.value ~default:[] (TH.find_opt table k))))
-      build_rows;
-    let rec drain () =
-      match probe_next () with
-      | None -> ()
-      | Some pt ->
-        let k = Tuple.project_arr pt probe_keys in
-        (match TH.find_opt table k with
-         | None -> ()
-         | Some bts ->
-           List.iter
-             (fun bt ->
-               let out = emit pt bt in
-               if keep out then emit_results out)
-             bts);
-        drain ()
-    in
-    drain ()
-  in
   if build_pages <= Exec_ctx.work_mem ctx then begin
     (* In-memory build; stream the probe side. *)
-    let table = TH.create 1024 in
-    List.iter
-      (fun bt ->
-        let k = Tuple.project_arr bt build_keys in
-        TH.replace table k (bt :: (Option.value ~default:[] (TH.find_opt table k))))
-      build_rows;
+    let table = build_hash_table build_keys build_rows in
     let pending = ref [] in
     let rec next () =
       match !pending with
@@ -288,16 +434,12 @@ and hash_join ctx ~left ~right ~keys ~cond ~build_side =
         match probe_it.Iter.next () with
         | None -> None
         | Some pt ->
-          let k = Tuple.project_arr pt probe_keys in
-          (match TH.find_opt table k with
-           | None -> ()
-           | Some bts ->
-             pending :=
-               List.filter_map
-                 (fun bt ->
-                   let out = emit pt bt in
-                   if keep out then Some out else None)
-                 bts);
+          pending :=
+            List.filter_map
+              (fun bt ->
+                let out = emit pt bt in
+                if keep out then Some out else None)
+              (probe_hits table probe_keys pt);
           next ())
     in
     { Iter.schema = out_schema; next; close = probe_it.Iter.close }
@@ -305,40 +447,27 @@ and hash_join ctx ~left ~right ~keys ~cond ~build_side =
   else begin
     (* Grace hash join: partition both sides to temp files, then join each
        partition pair in memory. *)
-    let work_mem = Exec_ctx.work_mem ctx in
-    let nparts = min 64 (max 2 ((build_pages + work_mem - 2) / (work_mem - 1))) in
-    let part_hash keys_idx t =
-      (Tuple_key.hash (Tuple.project_arr t keys_idx) land max_int) mod nparts
-    in
+    let nparts = grace_partitions ctx build_pages in
     let build_parts =
       Array.init nparts (fun _ -> Exec_ctx.temp ctx build_schema)
     in
     List.iter
-      (fun bt -> ignore (Heap_file.append build_parts.(part_hash build_keys bt) bt))
+      (fun bt ->
+        ignore (Heap_file.append build_parts.(part_hash nparts build_keys bt) bt))
       build_rows;
     let probe_schema = probe_it.Iter.schema in
     let probe_parts =
       Array.init nparts (fun _ -> Exec_ctx.temp ctx probe_schema)
     in
     Iter.iter
-      (fun pt -> ignore (Heap_file.append probe_parts.(part_hash probe_keys pt) pt))
+      (fun pt ->
+        ignore (Heap_file.append probe_parts.(part_hash nparts probe_keys pt) pt))
       probe_it;
-    let results = ref [] in
-    for p = 0 to nparts - 1 do
-      let build_rows = Iter.to_list (Iter.of_seq build_schema (Heap_file.to_seq build_parts.(p))) in
-      let probe_seq = ref (Heap_file.to_seq probe_parts.(p)) in
-      let probe_next () =
-        match !probe_seq () with
-        | Seq.Nil -> None
-        | Seq.Cons (x, rest) ->
-          probe_seq := rest;
-          Some x
-      in
-      join_in_memory build_rows probe_next (fun out -> results := out :: !results)
-    done;
-    Array.iter (fun h -> Exec_ctx.drop ctx h) build_parts;
-    Array.iter (fun h -> Exec_ctx.drop ctx h) probe_parts;
-    Iter.of_list out_schema (List.rev !results)
+    let results =
+      grace_join ctx ~nparts ~build_parts ~probe_parts ~build_schema
+        ~build_keys ~probe_keys ~keep ~emit
+    in
+    Iter.of_list out_schema results
   end
 
 and merge_join ctx ~left ~right ~keys ~cond =
@@ -475,15 +604,406 @@ and sort_group ctx (g : Physical.group) =
   if g.Physical.having = [] then result
   else Iter.filter (compile_preds out_schema g.Physical.having) result
 
-let run ctx plan =
-  let it = open_iter ctx plan in
-  let rel = Iter.to_relation it in
+(* ==== batch-at-a-time path ==== *)
+
+and open_batch ctx plan : Biter.t =
+  match Exec_ctx.profiler ctx with
+  | None -> open_batch_raw ctx plan
+  | Some prof ->
+    let node = Profile.enter prof (node_name plan) in
+    let bit =
+      match open_batch_raw ctx plan with
+      | bit ->
+        Profile.leave prof;
+        bit
+      | exception e ->
+        Profile.leave prof;
+        raise e
+    in
+    Profile.wrap_biter node bit
+
+and open_batch_raw ctx plan : Biter.t =
+  let cat = Exec_ctx.catalog ctx in
+  match plan with
+  | Physical.Seq_scan s ->
+    let tbl = Catalog.table_exn cat s.table in
+    let schema = Schema.rename_qualifier tbl.Catalog.tschema s.alias in
+    let bit = scan_batches schema tbl.Catalog.heap in
+    if s.filter = [] then bit
+    else batch_filter (compile_batch_preds schema s.filter) bit
+  | Physical.Index_scan s ->
+    let tbl = Catalog.table_exn cat s.table in
+    let idx =
+      match Catalog.index_on tbl s.column with
+      | Some i -> i
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Executor: no index on %s.%s" s.table s.column)
+    in
+    let schema = Schema.rename_qualifier tbl.Catalog.tschema s.alias in
+    let rids = ref (Btree.search_range idx ?lo:s.lo ?hi:s.hi ()) in
+    (* Reused across batches; see the ownership rule in batch.mli. *)
+    let buf = Array.make Batch.default_rows [||] in
+    let next_batch () =
+      if !rids = [] then None
+      else begin
+        let n = ref 0 in
+        let rec fill () =
+          if !n < Batch.default_rows then
+            match !rids with
+            | [] -> ()
+            | rid :: rest ->
+              buf.(!n) <- Heap_file.get tbl.Catalog.heap rid;
+              incr n;
+              rids := rest;
+              fill ()
+        in
+        fill ();
+        Some (Batch.of_sub schema buf !n)
+      end
+    in
+    let bit = { Biter.schema; next_batch; close = (fun () -> rids := []) } in
+    if s.filter = [] then bit
+    else batch_filter (compile_batch_preds schema s.filter) bit
+  | Physical.Filter f ->
+    let bit = open_batch ctx f.input in
+    batch_filter (compile_batch_preds bit.Biter.schema f.pred) bit
+  | Physical.Project p ->
+    let bit = open_batch ctx p.input in
+    let fns =
+      Array.of_list (List.map (fun (e, _) -> Expr.compile bit.Biter.schema e) p.cols)
+    in
+    let out_schema = Schema.of_columns (List.map snd p.cols) in
+    let project tup = Array.map (fun f -> f tup) fns in
+    let next_batch () =
+      Option.map (Batch.map out_schema project) (bit.Biter.next_batch ())
+    in
+    { Biter.schema = out_schema; next_batch; close = bit.Biter.close }
+  | Physical.Materialize m ->
+    let bit = open_batch ctx m.input in
+    let heap = Exec_ctx.temp ctx bit.Biter.schema in
+    Biter.iter_rows (fun t -> ignore (Heap_file.append heap t)) bit;
+    let out = scan_batches bit.Biter.schema heap in
+    {
+      out with
+      Biter.close =
+        (fun () ->
+          out.Biter.close ();
+          Exec_ctx.drop ctx heap);
+    }
+  | Physical.Sort s ->
+    let bit = open_batch ctx s.input in
+    Biter.of_iter
+      (Xsort.sort_batches ctx
+         ~compare:(Xsort.by_columns bit.Biter.schema s.cols)
+         bit)
+  | Physical.Limit l ->
+    let bit = open_batch ctx l.input in
+    let remaining = ref l.count in
+    let closed = ref false in
+    let close_input () =
+      if not !closed then begin
+        closed := true;
+        bit.Biter.close ()
+      end
+    in
+    let next_batch () =
+      if !remaining <= 0 then begin
+        close_input ();
+        None
+      end
+      else
+        match bit.Biter.next_batch () with
+        | None ->
+          close_input ();
+          None
+        | Some b ->
+          let b = Batch.take !remaining b in
+          remaining := !remaining - Batch.live b;
+          if !remaining <= 0 then close_input ();
+          Some b
+    in
+    { Biter.schema = bit.Biter.schema; next_batch; close = close_input }
+  | Physical.Hash_join j ->
+    batch_hash_join ctx ~left:j.left ~right:j.right ~keys:j.keys ~cond:j.cond
+      ~build_side:j.build_side
+  | Physical.Hash_group g -> batch_hash_group ctx g
+  | Physical.Block_nl_join _ | Physical.Index_nl_join _ | Physical.Merge_join _
+  | Physical.Sort_group _ ->
+    (* Row-at-a-time fallback through the adapter; these operators consume
+       their inputs with interleaving the batch path cannot reproduce
+       page-for-page, so the whole subtree runs on the row path. *)
+    Biter.of_iter (open_iter ctx plan)
+
+(* Batches straight off heap pages: one buffer-pool touch per page, whole
+   pages per batch, zero-copy — each batch is a view of the heap's backing
+   row array (see the ownership rule in batch.mli). *)
+and scan_batches schema heap : Biter.t =
+  let npages = Heap_file.npages heap in
+  let cap = Heap_file.page_capacity heap in
+  let pages_per_batch = max 1 (Batch.default_rows / cap) in
+  let next_page = ref 0 in
+  let next_batch () =
+    if !next_page >= npages then None
+    else begin
+      let p0 = !next_page in
+      let np = min pages_per_batch (npages - p0) in
+      let rows, lo, len = Heap_file.scan_segment heap ~page:p0 ~npages:np in
+      next_page := p0 + np;
+      Some (Batch.of_segment schema rows ~lo ~len)
+    end
+  in
+  { Biter.schema; next_batch; close = (fun () -> next_page := npages) }
+
+and batch_filter kernels (bit : Biter.t) : Biter.t =
+  let rec next_batch () =
+    match bit.Biter.next_batch () with
+    | None -> None
+    | Some b ->
+      let b = List.fold_left (fun b k -> k b) b kernels in
+      if Batch.is_empty b then next_batch () else Some b
+  in
+  { bit with Biter.next_batch }
+
+and batch_hash_join ctx ~left ~right ~keys ~cond ~build_side : Biter.t =
+  let lbit = open_batch ctx left in
+  let rbit = open_batch ctx right in
+  let out_schema = Schema.append lbit.Biter.schema rbit.Biter.schema in
+  let keep = compile_preds out_schema cond in
+  let lkeys = resolve_all lbit.Biter.schema (List.map fst keys) in
+  let rkeys = resolve_all rbit.Biter.schema (List.map snd keys) in
+  let build_bit, probe_bit, build_keys, probe_keys, emit =
+    match build_side with
+    | `Right -> (rbit, lbit, rkeys, lkeys, fun probe build -> Tuple.concat probe build)
+    | `Left -> (lbit, rbit, lkeys, rkeys, fun probe build -> Tuple.concat build probe)
+  in
+  let build_rows = Biter.to_list build_bit in
+  let build_schema = build_bit.Biter.schema in
+  let build_pages =
+    Page.pages_for ~rows:(List.length build_rows)
+      ~row_bytes:(Schema.byte_width build_schema)
+  in
+  if build_pages <= Exec_ctx.work_mem ctx then begin
+    (* In-memory build; probe batch-at-a-time, emitting one output batch per
+       probe batch with at least one match. *)
+    let table = build_hash_table build_keys build_rows in
+    let rec next_batch () =
+      match probe_bit.Biter.next_batch () with
+      | None -> None
+      | Some pb ->
+        let out = ref [] in
+        let n = ref 0 in
+        Batch.iter
+          (fun pt ->
+            List.iter
+              (fun bt ->
+                let o = emit pt bt in
+                if keep o then begin
+                  out := o :: !out;
+                  incr n
+                end)
+              (probe_hits table probe_keys pt))
+          pb;
+        if !n = 0 then next_batch ()
+        else begin
+          let arr = Array.make !n [||] in
+          List.iteri (fun i t -> arr.(!n - 1 - i) <- t) !out;
+          Some (Batch.of_rows out_schema arr)
+        end
+    in
+    { Biter.schema = out_schema; next_batch; close = probe_bit.Biter.close }
+  end
+  else begin
+    (* Grace hash join, identical partitioning and IO to the row path. *)
+    let nparts = grace_partitions ctx build_pages in
+    let build_parts =
+      Array.init nparts (fun _ -> Exec_ctx.temp ctx build_schema)
+    in
+    List.iter
+      (fun bt ->
+        ignore (Heap_file.append build_parts.(part_hash nparts build_keys bt) bt))
+      build_rows;
+    let probe_schema = probe_bit.Biter.schema in
+    let probe_parts =
+      Array.init nparts (fun _ -> Exec_ctx.temp ctx probe_schema)
+    in
+    Biter.iter_rows
+      (fun pt ->
+        ignore (Heap_file.append probe_parts.(part_hash nparts probe_keys pt) pt))
+      probe_bit;
+    let results =
+      grace_join ctx ~nparts ~build_parts ~probe_parts ~build_schema
+        ~build_keys ~probe_keys ~keep ~emit
+    in
+    Biter.of_rows out_schema (Array.of_list results)
+  end
+
+and batch_hash_group ctx (g : Physical.group) : Biter.t =
+  let cat = Exec_ctx.catalog ctx in
+  let bit = open_batch ctx g.Physical.input in
+  let in_schema = bit.Biter.schema in
+  let out_schema = Physical.schema cat (Physical.Hash_group g) in
+  let key_idx = resolve_all in_schema g.Physical.keys in
+  let fns = agg_arg_fns in_schema g.Physical.aggs in
+  let rows =
+    match key_idx with
+    | [| ki |] ->
+      (* Vectorized single-key grouping: hash the key value itself (no
+         per-row key-tuple allocation) and mutate each group's cells in
+         place — one table probe per row instead of find + replace.
+         Grouping semantics ([Value.compare]-based equality) and first-seen
+         output order match the generic path exactly. *)
+      let order = ref [] in
+      let fns_arr = Array.of_list fns in
+      let naggs = Array.length fns_arr in
+      let step_gen st tup =
+        for j = 0 to naggs - 1 do
+          Array.unsafe_set st j
+            (Aggregate.step (Array.unsafe_get st j)
+               ((Array.unsafe_get fns_arr j) tup))
+        done
+      in
+      (match int_agg_plan in_schema g.Physical.aggs with
+       | Some ia ->
+         (* All aggregates are int COUNT/SUM: a group's cell is a plain
+            [int array] — the hot loop allocates nothing.  A non-Int SUM
+            argument (mis-typed data; [Value.add] would promote the sum to
+            Float) upgrades just that group to generic states rebuilt from
+            its accumulators, so results stay identical either way. *)
+         let table = VH.create 256 in
+         let row_fits tup =
+           let ok = ref true in
+           for j = 0 to naggs - 1 do
+             match Array.unsafe_get ia j with
+             | ICount -> ()
+             | ISum idx -> (
+               match Array.unsafe_get tup idx with
+               | Value.Int _ -> ()
+               | _ -> ok := false)
+           done;
+           !ok
+         in
+         let apply_int acc tup =
+           for j = 0 to naggs - 1 do
+             match Array.unsafe_get ia j with
+             | ICount ->
+               Array.unsafe_set acc j (Array.unsafe_get acc j + 1)
+             | ISum idx -> (
+               match Array.unsafe_get tup idx with
+               | Value.Int x ->
+                 Array.unsafe_set acc j (Array.unsafe_get acc j + x)
+               | _ -> assert false)
+           done
+         in
+         (* Rebuild generic states from a cell that absorbed >= 1 rows. *)
+         let upgrade acc =
+           Array.of_list
+             (List.mapi
+                (fun j (_ : Aggregate.t) ->
+                  match ia.(j) with
+                  | ICount -> Aggregate.count_state acc.(j)
+                  | ISum _ -> Aggregate.sum_state (Value.Int acc.(j)))
+                g.Physical.aggs)
+         in
+         Biter.iter_rows
+           (fun tup ->
+             let k = Array.unsafe_get tup ki in
+             match VH.find_opt table k with
+             | Some cell -> (
+               match !cell with
+               | `Fast acc ->
+                 if row_fits tup then apply_int acc tup
+                 else begin
+                   let st = upgrade acc in
+                   step_gen st tup;
+                   cell := `Slow st
+                 end
+               | `Slow st -> step_gen st tup)
+             | None ->
+               let cell =
+                 if row_fits tup then begin
+                   let acc = Array.make naggs 0 in
+                   apply_int acc tup;
+                   `Fast acc
+                 end
+                 else begin
+                   let st = Array.of_list (init_states g.Physical.aggs) in
+                   step_gen st tup;
+                   `Slow st
+                 end
+               in
+               VH.add table k (ref cell);
+               order := k :: !order)
+           bit;
+         List.rev_map
+           (fun k ->
+             match !(VH.find table k) with
+             | `Fast acc ->
+               Tuple.concat [| k |]
+                 (Array.init naggs (fun j -> Value.Int (Array.unsafe_get acc j)))
+             | `Slow st -> finish_group [| k |] (Array.to_list st))
+           !order
+       | None ->
+         let table = VH.create 256 in
+         Biter.iter_rows
+           (fun tup ->
+             let k = Array.unsafe_get tup ki in
+             let cell =
+               match VH.find_opt table k with
+               | Some c -> c
+               | None ->
+                 let c = Array.of_list (init_states g.Physical.aggs) in
+                 VH.add table k c;
+                 order := k :: !order;
+                 c
+             in
+             step_gen cell tup)
+           bit;
+         List.rev_map
+           (fun k -> finish_group [| k |] (Array.to_list (VH.find table k)))
+           !order)
+    | _ ->
+      let table = TH.create 256 in
+      let order = ref [] in
+      Biter.iter_rows
+        (fun tup ->
+          let k = Tuple.project_arr tup key_idx in
+          let states =
+            match TH.find_opt table k with
+            | Some s -> s
+            | None ->
+              order := k :: !order;
+              init_states g.Physical.aggs
+          in
+          TH.replace table k (step_states states fns tup))
+        bit;
+      List.rev_map (fun k -> finish_group k (TH.find table k)) !order
+  in
+  let result = Biter.of_rows out_schema (Array.of_list rows) in
+  if g.Physical.having = [] then result
+  else batch_filter (compile_batch_preds out_schema g.Physical.having) result
+
+let run ?(executor = `Batch) ctx plan =
+  let rel =
+    match executor with
+    | `Row -> Iter.to_relation (open_iter ctx plan)
+    | `Batch -> Biter.to_relation (open_batch ctx plan)
+  in
   Exec_ctx.cleanup ctx;
   rel
 
-let run_measured ?(cold = true) ctx plan =
+let run_measured ?(cold = true) ?executor ctx plan =
   let st = Exec_ctx.storage ctx in
   if cold then Buffer_pool.clear (Storage.pool st);
   Storage.reset_io st;
-  let rel = run ctx plan in
+  let rel = run ?executor ctx plan in
   (rel, Storage.io_stats st)
+
+let run_profiled ?executor ctx plan =
+  let prof = Profile.create () in
+  Exec_ctx.set_profiler ctx (Some prof);
+  Fun.protect
+    ~finally:(fun () -> Exec_ctx.set_profiler ctx None)
+    (fun () ->
+      let rel = run ?executor ctx plan in
+      (rel, prof))

@@ -1,15 +1,37 @@
-(** The volcano executor: evaluates physical plans over the paged storage
-    engine, charging every page touch to the buffer pool. *)
+(** The executor: evaluates physical plans over the paged storage engine,
+    charging every page touch to the buffer pool.
+
+    Two engines share the plan language.  The row engine is the classic
+    volcano pull interpreter ({!open_iter}).  The batch engine
+    ({!open_batch}) moves {!Batch.t} row batches with selection vectors and
+    is the default for {!run}: scans fill batches a page at a time, filters
+    mark rows in a selection vector instead of copying, projections and
+    joins run compiled loops over batches.  Operators without a batch-native
+    implementation (BNL / index-NL / merge joins, sort-group) fall back to
+    the row engine through the {!Biter.of_iter} adapter, subtree-at-a-time,
+    so both engines touch pages in the same order and report identical IO. *)
+
+type engine = [ `Row | `Batch ]
 
 val open_iter : Exec_ctx.t -> Physical.t -> Iter.t
-(** Open a plan as a pull iterator.  The caller must drain or close it;
-    temp files are released on close / {!Exec_ctx.cleanup}. *)
+(** Open a plan as a row-at-a-time pull iterator.  The caller must drain or
+    close it; temp files are released on close / {!Exec_ctx.cleanup}. *)
 
-val run : Exec_ctx.t -> Physical.t -> Relation.t
-(** Evaluate to a materialized (in-memory) result and clean up temps. *)
+val open_batch : Exec_ctx.t -> Physical.t -> Biter.t
+(** Open a plan as a batch-at-a-time iterator. *)
+
+val run : ?executor:engine -> Exec_ctx.t -> Physical.t -> Relation.t
+(** Evaluate to a materialized (in-memory) result and clean up temps.
+    Default engine: [`Batch]. *)
 
 val run_measured :
-  ?cold:bool -> Exec_ctx.t -> Physical.t -> Relation.t * Buffer_pool.stats
+  ?cold:bool -> ?executor:engine -> Exec_ctx.t -> Physical.t ->
+  Relation.t * Buffer_pool.stats
 (** Like {!run} but resets IO counters first and returns the page IO the
     run incurred.  [cold] (default true) empties the buffer pool first, so
     the measurement starts from a cold cache. *)
+
+val run_profiled :
+  ?executor:engine -> Exec_ctx.t -> Physical.t -> Relation.t * Profile.t
+(** Like {!run} but additionally collects per-operator counters (rows
+    in/out, batches, wall time) for every plan node. *)

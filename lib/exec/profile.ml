@@ -1,0 +1,81 @@
+type node = {
+  pname : string;
+  mutable rows_out : int;
+  mutable batches : int;
+  mutable ms : float;
+  mutable children : node list;  (* reverse registration order *)
+}
+
+type t = { mutable roots : node list; mutable stack : node list }
+
+let create () = { roots = []; stack = [] }
+
+let enter t pname =
+  let node = { pname; rows_out = 0; batches = 0; ms = 0.; children = [] } in
+  (match t.stack with
+   | [] -> t.roots <- node :: t.roots
+   | parent :: _ -> parent.children <- node :: parent.children);
+  t.stack <- node :: t.stack;
+  node
+
+let leave t =
+  match t.stack with
+  | [] -> invalid_arg "Profile.leave: empty stack"
+  | _ :: rest -> t.stack <- rest
+
+let roots t = List.rev t.roots
+let children n = List.rev n.children
+
+let rows_in n =
+  List.fold_left (fun acc c -> acc + c.rows_out) 0 n.children
+
+(* Count rows (and close) through a node on the row path.  Per-row wall
+   clocks would distort the very path being measured, so the row path only
+   counts; [ms] stays 0. *)
+let wrap_iter node (it : Iter.t) =
+  let next () =
+    match it.Iter.next () with
+    | None -> None
+    | Some _ as r ->
+      node.rows_out <- node.rows_out + 1;
+      r
+  in
+  { it with Iter.next }
+
+(* Batch granularity is coarse enough that timing each [next_batch] call is
+   in the noise; [ms] is inclusive of children. *)
+let wrap_biter node (bit : Biter.t) =
+  let next_batch () =
+    let t0 = Unix.gettimeofday () in
+    let r = bit.Biter.next_batch () in
+    node.ms <- node.ms +. ((Unix.gettimeofday () -. t0) *. 1000.);
+    (match r with
+     | None -> ()
+     | Some b ->
+       node.batches <- node.batches + 1;
+       node.rows_out <- node.rows_out + Batch.live b);
+    r
+  in
+  { bit with Biter.next_batch }
+
+let rec pp_node ppf (indent, n) =
+  let self_ms =
+    List.fold_left (fun acc c -> acc -. c.ms) n.ms n.children
+  in
+  Format.fprintf ppf "%s%-18s rows_in=%-8d rows_out=%-8d batches=%-6d ms=%.2f"
+    (String.make indent ' ') n.pname (rows_in n) n.rows_out n.batches
+    (max 0. self_ms);
+  List.iter
+    (fun c -> Format.fprintf ppf "@\n%a" pp_node (indent + 2, c))
+    (children n)
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i n ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp_node ppf (0, n))
+    (roots t);
+  Format.pp_close_box ppf ()
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,37 @@
+(** Per-operator execution counters.
+
+    {!Executor.run_profiled} threads a profile through plan opening: each
+    physical operator registers a node (children nested under parents) and
+    its iterator is wrapped to count rows out, batches and wall time.  On
+    the batch path [ms] is inclusive wall time of [next_batch] calls (the
+    printer subtracts children to show self time); the row path only counts
+    rows — per-row clock reads would distort the path being measured. *)
+
+type node = {
+  pname : string;
+  mutable rows_out : int;
+  mutable batches : int;
+  mutable ms : float;
+  mutable children : node list;
+}
+
+type t
+
+val create : unit -> t
+
+val enter : t -> string -> node
+(** Open a node under the current parent and make it the parent for nodes
+    registered until the matching {!leave}. *)
+
+val leave : t -> unit
+
+val roots : t -> node list
+val children : node -> node list
+val rows_in : node -> int
+(** Sum of the direct children's [rows_out]. *)
+
+val wrap_iter : node -> Iter.t -> Iter.t
+val wrap_biter : node -> Biter.t -> Biter.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

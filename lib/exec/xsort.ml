@@ -17,36 +17,81 @@ let by_columns schema cols =
   in
   fun a b -> Tuple.compare_at idx a b
 
-(* k-way merge of already-sorted iterators. *)
+(* k-way merge of already-sorted iterators via a binary min-heap over the
+   run heads: O(log k) per tuple instead of the O(k) linear scan, which made
+   high-fan-in merges quadratic-ish.  Ties break on source index, keeping
+   the merge deterministic. *)
 let merge_iters schema compare iters =
   let arr = Array.of_list iters in
-  let heads = Array.map (fun (it : Iter.t) -> it.Iter.next ()) arr in
+  let k = Array.length arr in
+  let heap_tup = Array.make (max k 1) [||] in
+  let heap_src = Array.make (max k 1) 0 in
+  let size = ref 0 in
+  let less i j =
+    let c = compare heap_tup.(i) heap_tup.(j) in
+    if c <> 0 then c < 0 else heap_src.(i) < heap_src.(j)
+  in
+  let swap i j =
+    let t = heap_tup.(i) and s = heap_src.(i) in
+    heap_tup.(i) <- heap_tup.(j);
+    heap_src.(i) <- heap_src.(j);
+    heap_tup.(j) <- t;
+    heap_src.(j) <- s
+  in
+  let rec sift_up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if less i p then begin
+        swap i p;
+        sift_up p
+      end
+    end
+  in
+  let rec sift_down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < !size && less l !m then m := l;
+    if r < !size && less r !m then m := r;
+    if !m <> i then begin
+      swap i !m;
+      sift_down !m
+    end
+  in
+  let push tup src =
+    heap_tup.(!size) <- tup;
+    heap_src.(!size) <- src;
+    incr size;
+    sift_up (!size - 1)
+  in
+  Array.iteri
+    (fun i (it : Iter.t) ->
+      match it.Iter.next () with Some t -> push t i | None -> ())
+    arr;
   let next () =
-    let best = ref (-1) in
-    Array.iteri
-      (fun i h ->
-        match h with
-        | None -> ()
-        | Some t -> (
-          match !best with
-          | -1 -> best := i
-          | b -> (
-            match heads.(b) with
-            | Some tb -> if compare t tb < 0 then best := i
-            | None -> best := i)))
-      heads;
-    match !best with
-    | -1 -> None
-    | i ->
-      let result = heads.(i) in
-      heads.(i) <- arr.(i).Iter.next ();
-      result
+    if !size = 0 then None
+    else begin
+      let tup = heap_tup.(0) and src = heap_src.(0) in
+      (match arr.(src).Iter.next () with
+       | Some t ->
+         heap_tup.(0) <- t;
+         sift_down 0
+       | None ->
+         decr size;
+         heap_tup.(0) <- heap_tup.(!size);
+         heap_src.(0) <- heap_src.(!size);
+         heap_tup.(!size) <- [||];
+         if !size > 0 then sift_down 0);
+      Some tup
+    end
   in
   let close () = Array.iter (fun (it : Iter.t) -> it.Iter.close ()) arr in
   { Iter.schema; next; close }
 
-let sort ctx ~compare (input : Iter.t) =
-  let schema = input.Iter.schema in
+(* Core external sort over an abstract producer: [drain f] must call [f] on
+   every input tuple and release the input.  Shared by the row path
+   ({!sort}) and the batch path ({!sort_batches}); both therefore buffer,
+   spill and merge identically, page for page. *)
+let sort_drain ctx ~compare ~schema drain =
   let work_mem = Exec_ctx.work_mem ctx in
   let page_cap = Page.capacity ~row_bytes:(Schema.byte_width schema) in
   let run_rows = max 1 (work_mem * page_cap) in
@@ -63,17 +108,10 @@ let sort ctx ~compare (input : Iter.t) =
       buffered := 0
     end
   in
-  let rec consume () =
-    match input.Iter.next () with
-    | None -> ()
-    | Some tup ->
+  drain (fun tup ->
       buffer := tup :: !buffer;
       incr buffered;
-      if !buffered >= run_rows then flush_run ();
-      consume ()
-  in
-  consume ();
-  input.Iter.close ();
+      if !buffered >= run_rows then flush_run ());
   if !runs = [] then
     (* Fits in memory: no spill. *)
     Iter.of_list schema (List.sort compare !buffer)
@@ -119,3 +157,10 @@ let sort ctx ~compare (input : Iter.t) =
           List.iter (fun h -> Exec_ctx.drop ctx h) final_runs);
     }
   end
+
+let sort ctx ~compare (input : Iter.t) =
+  sort_drain ctx ~compare ~schema:input.Iter.schema (fun f -> Iter.iter f input)
+
+let sort_batches ctx ~compare (input : Biter.t) =
+  sort_drain ctx ~compare ~schema:input.Biter.schema (fun f ->
+      Biter.iter_rows f input)

@@ -7,6 +7,17 @@
 
 val sort : Exec_ctx.t -> compare:(Tuple.t -> Tuple.t -> int) -> Iter.t -> Iter.t
 
+val sort_batches :
+  Exec_ctx.t -> compare:(Tuple.t -> Tuple.t -> int) -> Biter.t -> Iter.t
+(** Batch-fed external sort: drains the input batch-at-a-time into the same
+    run-building and merge machinery as {!sort}, so both paths spill and
+    merge identically.  The merged output is inherently row-at-a-time. *)
+
+val merge_iters :
+  Schema.t -> (Tuple.t -> Tuple.t -> int) -> Iter.t list -> Iter.t
+(** k-way merge of already-sorted iterators using a binary min-heap over the
+    run heads (O(log k) per tuple); ties break on run index. *)
+
 val by_columns : Schema.t -> Schema.column list -> Tuple.t -> Tuple.t -> int
 (** Comparator on the given columns resolved against [schema].
     @raise Expr.Unresolved_column on a missing column. *)

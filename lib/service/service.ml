@@ -6,6 +6,7 @@ type config = {
   max_bytes : int;
   recost_ratio : float;
   cache_enabled : bool;
+  executor : Executor.engine;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     max_bytes = 4 * 1024 * 1024;
     recost_ratio = 10.0;
     cache_enabled = true;
+    executor = `Batch;
   }
 
 type t = {
@@ -219,7 +221,9 @@ let plan ?params t stmt =
 let execute ?params t stmt =
   let p = plan ?params t stmt in
   let ctx = Exec_ctx.create ~work_mem:t.cfg.work_mem t.cat in
-  let rel, io = Executor.run_measured ~cold:false ctx p.plan in
+  let rel, io =
+    Executor.run_measured ~cold:false ~executor:t.cfg.executor ctx p.plan
+  in
   (p, rel, io)
 
 let submit t sql = execute t (prepare t sql)

@@ -22,11 +22,15 @@ type config = {
       (** serve a re-bound template only while its re-costed estimate is
           within this factor of the cost it was cached at (>= 1.0) *)
   cache_enabled : bool;  (** [false] = optimize every call (baseline) *)
+  executor : Executor.engine;
+      (** execution engine for this session's runs; the plan cache is
+          engine-agnostic (plans are identical), so sessions sharing a
+          service may differ only in how plans are interpreted *)
 }
 
 val default_config : config
 (** [Paper] algorithm, 32 pages work_mem, 128 entries / 4 MiB cache,
-    recost ratio 10.0, cache on. *)
+    recost ratio 10.0, cache on, batch executor. *)
 
 type t
 

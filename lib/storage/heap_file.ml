@@ -61,6 +61,18 @@ let scan t f =
     f { Page.page; slot } t.data.(i)
   done
 
+let scan_segment t ~page ~npages =
+  let lo = page * t.page_capacity in
+  if lo >= t.nrows || npages <= 0 then (t.data, lo, 0)
+  else begin
+    let last = min (page + npages - 1) ((t.nrows - 1) / t.page_capacity) in
+    for p = page to last do
+      Buffer_pool.read t.pool ~file:t.file_id ~page:p
+    done;
+    let hi = min t.nrows ((last + 1) * t.page_capacity) in
+    (t.data, lo, hi - lo)
+  end
+
 let to_seq t =
   let rec from i () =
     if i >= t.nrows then Seq.Nil

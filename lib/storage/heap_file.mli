@@ -29,6 +29,14 @@ val scan : t -> (Page.rid -> Tuple.t -> unit) -> unit
 val to_seq : t -> Tuple.t Seq.t
 (** Lazy full scan; page accesses are charged as the sequence is consumed. *)
 
+val scan_segment : t -> page:int -> npages:int -> Tuple.t array * int * int
+(** [scan_segment t ~page ~npages] charges the pool one read per existing
+    page in [page .. page+npages-1] and returns [(rows, lo, len)]: a view of
+    the backing row array covering those pages ([len] = 0 past the end of
+    the file).  Zero-copy — callers must treat [rows] as read-only and must
+    not retain it across appends.  This is the batch executor's scan
+    primitive: one pool touch per page and no per-tuple copying at all. *)
+
 val of_relation : pool:Buffer_pool.t -> file_id:int -> Relation.t -> t
 val to_relation : t -> Relation.t
 

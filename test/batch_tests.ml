@@ -1,0 +1,257 @@
+(* The batched execution engine: batch/selection-vector primitives, the
+   heap-based k-way merge, Limit's eager close, and the differential
+   property that the batch executor is indistinguishable from the row
+   executor (same relation, same buffer-pool IO) on arbitrary plans. *)
+
+let int_schema = Schema.of_columns [ Schema.column ~qual:"t" "x" Datatype.Int ]
+
+let mk_tuples l = List.map (fun i -> Tuple.make [ Value.Int i ]) l
+
+let ints_of rel =
+  List.map
+    (fun t -> match Tuple.get t 0 with Value.Int i -> i | _ -> assert false)
+    (Relation.tuples rel)
+
+let batch_ints b =
+  List.map
+    (fun t -> match Tuple.get t 0 with Value.Int i -> i | _ -> assert false)
+    (Batch.to_list b)
+
+(* ---- Batch / Biter primitives ---- *)
+
+let batch_basics () =
+  let rows = Array.of_list (mk_tuples [ 0; 1; 2; 3; 4; 5; 6; 7 ]) in
+  let seg = Batch.of_segment int_schema rows ~lo:2 ~len:4 in
+  Alcotest.(check int) "segment live" 4 (Batch.live seg);
+  Alcotest.(check (list int)) "segment window" [ 2; 3; 4; 5 ] (batch_ints seg);
+  let even =
+    Batch.select
+      (fun t -> match Tuple.get t 0 with Value.Int i -> i mod 2 = 0 | _ -> false)
+      seg
+  in
+  Alcotest.(check (list int)) "select refines window" [ 2; 4 ] (batch_ints even);
+  Alcotest.(check (list int)) "take after select" [ 2 ]
+    (batch_ints (Batch.take 1 even));
+  Alcotest.(check (list int)) "take on unselected" [ 2; 3 ]
+    (batch_ints (Batch.take 2 seg));
+  let doubled =
+    Batch.map int_schema
+      (fun t -> Tuple.make [ Value.mul (Tuple.get t 0) (Value.Int 2) ])
+      even
+  in
+  Alcotest.(check (list int)) "map compacts" [ 4; 8 ] (batch_ints doubled);
+  Alcotest.(check int) "fold counts live" 2
+    (Batch.fold (fun acc _ -> acc + 1) 0 even)
+
+(* The vectorized int-compare kernel must agree with the generic compiled
+   predicate on every operator and every selection-vector state. *)
+let prop_select_int_cmp =
+  QCheck.Test.make ~name:"select_int_cmp = select (compile_pred)" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 40) (int_range (-8) 8))
+        (int_range (-8) 8) (int_range 0 5))
+    (fun (xs, k, opi) ->
+      let op =
+        List.nth [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ] opi
+      in
+      let col = Schema.column ~qual:"t" "x" Datatype.Int in
+      let pred = Expr.Cmp (op, Expr.Col col, Expr.Const (Value.Int k)) in
+      let generic = Expr.compile_pred int_schema pred in
+      let check b =
+        batch_ints (Batch.select_int_cmp ~op ~idx:0 k b)
+        = batch_ints (Batch.select generic b)
+      in
+      let b = Batch.of_list int_schema (mk_tuples xs) in
+      (* plain, after a generic select (selection vector present), and as an
+         offset segment *)
+      check b
+      && check (Batch.select (fun _ -> true) b)
+      && check
+           (let rows = Array.of_list (mk_tuples (0 :: xs)) in
+            Batch.of_segment int_schema rows ~lo:1
+              ~len:(Array.length rows - 1)))
+
+let biter_adapters () =
+  let tuples = mk_tuples (List.init 2500 (fun i -> i)) in
+  let bit = Biter.of_iter (Iter.of_list int_schema tuples) in
+  let back = Iter.to_list (Biter.to_iter bit) in
+  Alcotest.(check int) "iter->biter->iter cardinality" 2500 (List.length back);
+  Alcotest.(check bool) "round trip preserves order" true
+    (List.for_all2 Tuple.equal tuples back);
+  let chunks = ref 0 in
+  Biter.iter
+    (fun b ->
+      incr chunks;
+      Alcotest.(check bool) "batches bounded" true
+        (Batch.live b <= Batch.default_rows))
+    (Biter.of_rows int_schema (Array.of_list tuples));
+  Alcotest.(check int) "of_rows chunking" 3 !chunks
+
+(* ---- heap-based k-way merge ---- *)
+
+let merge_64_runs () =
+  (* 64 sorted runs with interleaved and duplicated keys; the heap merge
+     must produce a fully sorted result containing every input row. *)
+  let nruns = 64 in
+  let runs =
+    List.init nruns (fun r ->
+        List.init 40 (fun i -> (i * nruns) + ((r * 13) mod nruns)))
+  in
+  let iters =
+    List.map (fun run -> Iter.of_list int_schema (mk_tuples run)) runs
+  in
+  let cmp a b = Value.compare (Tuple.get a 0) (Tuple.get b 0) in
+  let merged =
+    List.map
+      (fun t -> match Tuple.get t 0 with Value.Int i -> i | _ -> assert false)
+      (Iter.to_list (Xsort.merge_iters int_schema cmp iters))
+  in
+  Alcotest.(check int) "all rows survive" (64 * 40) (List.length merged);
+  Alcotest.(check bool) "fully sorted" true
+    (List.for_all2 ( <= ) merged (List.tl merged @ [ max_int ]));
+  Alcotest.(check (list int)) "same multiset" (List.sort compare (List.concat runs))
+    (List.sort compare merged)
+
+let merge_stability () =
+  (* Equal keys must come out in run-index order (ties break on source). *)
+  let schema2 =
+    Schema.of_columns
+      [ Schema.column ~qual:"t" "k" Datatype.Int;
+        Schema.column ~qual:"t" "run" Datatype.Int ]
+  in
+  let run r keys =
+    Iter.of_list schema2
+      (List.map (fun k -> Tuple.make [ Value.Int k; Value.Int r ]) keys)
+  in
+  let cmp a b = Value.compare (Tuple.get a 0) (Tuple.get b 0) in
+  let merged =
+    Iter.to_list
+      (Xsort.merge_iters schema2 cmp
+         [ run 0 [ 1; 5; 9 ]; run 1 [ 5; 5; 7 ]; run 2 [ 0; 5 ] ])
+  in
+  let pairs =
+    List.map
+      (fun t ->
+        match (Tuple.get t 0, Tuple.get t 1) with
+        | Value.Int k, Value.Int r -> (k, r)
+        | _ -> assert false)
+      merged
+  in
+  Alcotest.(check (list (pair int int)))
+    "sorted, equal keys in run order"
+    [ (0, 2); (1, 0); (5, 0); (5, 1); (5, 1); (5, 2); (7, 1); (9, 0) ]
+    pairs
+
+(* ---- Limit closes eagerly and close is idempotent ---- *)
+
+let limit_eager_close () =
+  let cat = Catalog.create ~frames:256 () in
+  ignore
+    (Catalog.add_table cat ~name:"t"
+       ~columns:[ ("x", Datatype.Int) ]
+       ~pk:[ "x" ]
+       (mk_tuples (List.init 500 (fun i -> i))));
+  let plan =
+    Physical.Limit
+      {
+        input =
+          Physical.Materialize
+            { input = Physical.Seq_scan { alias = "a"; table = "t"; filter = [] } };
+        count = 3;
+      }
+  in
+  List.iter
+    (fun executor ->
+      let ctx = Exec_ctx.create cat in
+      let rel = Executor.run ~executor ctx plan in
+      Alcotest.(check int) "limit rows" 3 (Relation.cardinality rel))
+    [ `Row; `Batch ];
+  (* Pull through the iterator by hand: exhausting the count closes the
+     input (dropping the Materialize temp) and the outer close must then be
+     a no-op rather than a double drop. *)
+  let ctx = Exec_ctx.create cat in
+  let it = Executor.open_iter ctx plan in
+  let rec drain n = match it.Iter.next () with None -> n | Some _ -> drain (n + 1) in
+  Alcotest.(check int) "row iter yields count" 3 (drain 0);
+  it.Iter.close ();
+  it.Iter.close ();
+  Exec_ctx.cleanup ctx;
+  let ctx = Exec_ctx.create cat in
+  let bit = Executor.open_batch ctx plan in
+  let rec bdrain n =
+    match bit.Biter.next_batch () with
+    | None -> n
+    | Some b -> bdrain (n + Batch.live b)
+  in
+  Alcotest.(check int) "batch iter yields count" 3 (bdrain 0);
+  bit.Biter.close ();
+  bit.Biter.close ();
+  Exec_ctx.cleanup ctx
+
+(* ---- differential property: batch executor = row executor ---- *)
+
+let diff_catalogs =
+  lazy
+    [
+      ( "tpcd",
+        Tpcd.load
+          ~params:
+            { Tpcd.default_params with customers = 50; orders_per_customer = 3;
+              lines_per_order = 3; parts = 30; suppliers = 8 }
+          () );
+      ( "star",
+        Star.load
+          ~params:
+            { Star.default_params with days = 15; products = 25; stores = 5;
+              rows_per_day = 25 }
+          () );
+      ("chain", Chain.load ~rows:250 ~n:4 ());
+    ]
+
+let run_both cat work_mem plan =
+  let exec engine =
+    let ctx = Exec_ctx.create ~work_mem cat in
+    Executor.run_measured ~cold:true ~executor:engine ctx plan
+  in
+  (exec `Row, exec `Batch)
+
+let prop_batch_equals_row =
+  QCheck.Test.make ~name:"batch executor = row executor (result and IO)"
+    ~count:36 QCheck.(pair small_nat (int_range 0 1))
+    (fun (seed, wm_pick) ->
+      let name, cat = List.nth (Lazy.force diff_catalogs) (seed mod 3) in
+      let rng = Rng.create ~seed:(seed * 7919) in
+      let q = Query_gen.generate ~complexity:`Rich rng cat in
+      let work_mem = if wm_pick = 0 then 4 else 32 in
+      List.for_all
+        (fun algo ->
+          let options =
+            { Optimizer.default_options with algorithm = algo; work_mem }
+          in
+          let plan = (Optimizer.optimize ~options cat q).Optimizer.plan in
+          let (rel_r, io_r), (rel_b, io_b) = run_both cat work_mem plan in
+          if not (Relation.multiset_equal rel_r rel_b) then
+            QCheck.Test.fail_reportf "%s seed %d wm %d: differing relations"
+              name seed work_mem
+          else if
+            io_r.Buffer_pool.reads <> io_b.Buffer_pool.reads
+            || io_r.Buffer_pool.writes <> io_b.Buffer_pool.writes
+          then
+            QCheck.Test.fail_reportf
+              "%s seed %d wm %d: IO diverged (row %d/%d, batch %d/%d)" name
+              seed work_mem io_r.Buffer_pool.reads io_r.Buffer_pool.writes
+              io_b.Buffer_pool.reads io_b.Buffer_pool.writes
+          else true)
+        [ Optimizer.Traditional; Optimizer.Greedy_conservative; Optimizer.Paper ])
+
+let tests =
+  [
+    Alcotest.test_case "batch primitives" `Quick batch_basics;
+    QCheck_alcotest.to_alcotest prop_select_int_cmp;
+    Alcotest.test_case "biter adapters" `Quick biter_adapters;
+    Alcotest.test_case "heap merge of 64 runs" `Quick merge_64_runs;
+    Alcotest.test_case "heap merge tie-break" `Quick merge_stability;
+    Alcotest.test_case "limit closes input eagerly" `Quick limit_eager_close;
+    QCheck_alcotest.to_alcotest ~long:true prop_batch_equals_row;
+  ]

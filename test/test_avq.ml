@@ -9,6 +9,7 @@ let () =
       ("logical", Logical_tests.tests);
       ("exec", Exec_tests.tests);
       ("iter_xsort", Iter_xsort_tests.tests);
+      ("batch", Batch_tests.tests);
       ("cost", Cost_tests.tests);
       ("transform", Transform_tests.tests @ Transform_tests.rowid_tests);
       ("grouping", Grouping_tests.tests);
