@@ -1,0 +1,176 @@
+(* E15 — concurrent session throughput over the worker pool (extension).
+   The plan cache amortizes optimization across calls (E13); the pool
+   amortizes it across *clients*: N executor worker domains share one
+   service (one cache, one buffer pool) and run statements in parallel.
+   We replay one fixed workload of perturbed repeated templates through
+   pools of 1, 2, 4 and 8 workers and measure session throughput
+   (statements/sec), checking that the shared cache behaves identically:
+   hit ratio within 0.02 of the single-worker run, counters that add up
+   exactly, and zero stale hits.  A spot-check compares pool results
+   against fresh single-threaded optimization + execution. *)
+
+let n_templates = 8
+let n_calls = 160
+let worker_counts = [ 1; 2; 4; 8 ]
+
+let perturb rng v =
+  match v with
+  | Value.Int i -> Value.Int (i + Rng.in_range rng (-3) 3)
+  | Value.Float f -> Value.Float (f *. (0.9 +. (0.2 *. Rng.float rng)))
+  | Value.String _ | Value.Bool _ | Value.Date _ -> v
+
+(* Reject templates whose single-shot execution blows the per-statement
+   budget: a throughput benchmark over 160 calls x 4 pool sizes needs
+   statements in the millisecond range, and the rich generator occasionally
+   emits a full-lineitem blowup (seconds per call) that would turn the run
+   into a measurement of one outlier. Screening is deterministic given the
+   seed: candidates are drawn and tested in rng order. *)
+let template_budget_ms = 200.
+
+let make_workload rng cat =
+  let accepted = ref [] in
+  let n_accepted = ref 0 in
+  while !n_accepted < n_templates do
+    let q = Query_gen.generate ~complexity:`Rich rng cat in
+    let r = Optimizer.optimize cat q in
+    let ctx = Exec_ctx.create ~work_mem:32 cat in
+    let t0 = Unix.gettimeofday () in
+    ignore (Executor.run ctx r.Optimizer.plan);
+    if (Unix.gettimeofday () -. t0) *. 1000. <= template_budget_ms then begin
+      accepted := q :: !accepted;
+      incr n_accepted
+    end
+  done;
+  let templates = Array.of_list (List.rev !accepted) in
+  Array.init n_calls (fun _ ->
+      let q = templates.(Rng.int rng n_templates) in
+      let ps = List.map (perturb rng) (Canon.params q) in
+      (q, ps))
+
+type run = {
+  rworkers : int;
+  rwall_ms : float;
+  rstats : Service.stats;
+  rio : int;
+  rresults : Relation.t option array;
+}
+
+let run_pool cat calls workers =
+  let svc = Service.create cat in
+  (* Prime: one serial pass over every distinct template so the measured
+     phase is the cached steady state the pool is built for. *)
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (q, _) ->
+      let key = Canon.serialize q in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        ignore (Service.execute svc (Service.prepare_query svc q))
+      end)
+    calls;
+  let io = ref 0 in
+  let results = Array.make (Array.length calls) None in
+  let t0 = Unix.gettimeofday () in
+  Service.Pool.with_pool ~workers svc (fun pool ->
+      let futs =
+        Array.map
+          (fun (q, ps) ->
+            let stmt = Service.prepare_query svc q in
+            Service.Pool.submit ~params:ps pool stmt)
+          calls
+      in
+      Array.iteri
+        (fun i fut ->
+          let _p, rel, pio = Service.Pool.await fut in
+          results.(i) <- Some rel;
+          io := !io + pio.Buffer_pool.reads + pio.Buffer_pool.writes)
+        futs);
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  {
+    rworkers = workers;
+    rwall_ms = wall_ms;
+    rstats = Service.stats svc;
+    rio = !io;
+    rresults = results;
+  }
+
+(* Spot-check: pool results must match fresh single-threaded runs. *)
+let check_results cat calls (r : run) =
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun i (q, ps) ->
+      if i < 2 * n_templates then begin
+        let fresh = Optimizer.optimize cat (Canon.substitute q ps) in
+        let ctx = Exec_ctx.create ~work_mem:32 cat in
+        let expected = Executor.run ctx fresh.Optimizer.plan in
+        match r.rresults.(i) with
+        | Some rel when Relation.multiset_equal expected rel -> ()
+        | _ -> incr mismatches
+      end)
+    calls;
+  !mismatches
+
+let counters_add_up (s : Service.stats) =
+  s.Service.hits + s.Service.rebinds + s.Service.misses
+  + s.Service.recost_fallbacks + s.Service.rebind_conflicts
+  = s.Service.calls
+
+let run () =
+  let params =
+    { Tpcd.default_params with customers = 1200; orders_per_customer = 6;
+      lines_per_order = 4; nations = 25 }
+  in
+  let cat = Tpcd.load ~params () in
+  let rng = Rng.create ~seed:13 in
+  let calls = make_workload rng cat in
+
+  let runs = List.map (run_pool cat calls) worker_counts in
+  let base = List.hd runs in
+  let base_ratio = Service.hit_ratio base.rstats in
+  let mismatches = check_results cat calls (List.nth runs 2) in
+  let cores = Domain.recommended_domain_count () in
+
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E15  Worker-pool session throughput, %d calls over %d cached rich \
+          templates, %d core(s) available (>= 2x stmts/sec at 4 workers \
+          given >= 4 cores; hit ratio within 0.02 of 1 worker; 0 stale hits)"
+         n_calls n_templates cores)
+    ~header:
+      [ "workers"; "wall-ms"; "stmts/sec"; "speedup"; "hit-ratio"; "drift";
+        "stale"; "sum=calls" ]
+    (List.map
+       (fun r ->
+         let ratio = Service.hit_ratio r.rstats in
+         [ Bench_util.i r.rworkers;
+           Bench_util.f1 r.rwall_ms;
+           Bench_util.f1 (float_of_int n_calls /. (r.rwall_ms /. 1000.));
+           Bench_util.f2 (base.rwall_ms /. r.rwall_ms);
+           Bench_util.f2 ratio;
+           Bench_util.f2 (Float.abs (ratio -. base_ratio));
+           Bench_util.i r.rstats.Service.stale_hits;
+           (if counters_add_up r.rstats then "yes" else "NO") ])
+       runs);
+  List.iter
+    (fun r ->
+      Bench_util.Json.record
+        ~name:(Printf.sprintf "pool-w%d" r.rworkers)
+        ~params:
+          [ ("workers", string_of_int r.rworkers);
+            ("calls", string_of_int n_calls);
+            ("cores", string_of_int cores);
+            ("hit_ratio", Bench_util.f2 (Service.hit_ratio r.rstats));
+            ("stale_hits", string_of_int r.rstats.Service.stale_hits) ]
+        ~io:r.rio ~wall_ms:r.rwall_ms
+        ~rows_per_sec:(float_of_int n_calls /. (r.rwall_ms /. 1000.))
+        ())
+    runs;
+  Printf.printf "\nresult spot-check vs fresh optimization: %d mismatches (must be 0)\n"
+    mismatches;
+  if cores < 4 then
+    Printf.printf
+      "note: only %d core(s) available — parallel speedup is bounded by \
+       available cores, so the throughput column measures pool overhead \
+       here; the 2x criterion applies on hosts with >= 4 cores.\n"
+      cores

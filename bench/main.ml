@@ -21,6 +21,7 @@ let experiments =
     ("E12", E12_bushy.run);
     ("E13", E13_plancache.run);
     ("E14", E14_batchexec.run);
+    ("E15", E15_pool.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's

@@ -250,9 +250,22 @@ let session_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Query file ($(b,;;)-terminated statements); omit for stdin.")
   in
-  let run algo db scale seed work_mem no_cache recost_ratio file =
+  let workers =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:
+            "Execute statements on $(docv) concurrent worker domains sharing \
+             one plan cache (1 = serial in-process replay).")
+  in
+  let run algo db scale seed work_mem no_cache recost_ratio workers file =
     if recost_ratio < 1.0 then begin
       Format.eprintf "avq session: --recost-ratio must be >= 1.0@.";
+      exit 1
+    end;
+    if workers < 1 then begin
+      Format.eprintf "avq session: --workers must be >= 1@.";
       exit 1
     end;
     let cat = load_db db scale seed in
@@ -271,17 +284,23 @@ let session_cmd =
       | Some path -> In_channel.with_open_text path In_channel.input_all
       | None -> In_channel.input_all In_channel.stdin
     in
-    let lines = Replay.replay svc text in
+    let lines =
+      if workers = 1 then Replay.replay svc text
+      else
+        Service.Pool.with_pool ~workers svc (fun pool ->
+            Replay.replay_pool pool text)
+    in
     Replay.report Format.std_formatter svc lines
   in
   let doc =
-    "Replay a query file through one long-lived session, reusing cached \
-     plans across statements, and print the cache report."
+    "Replay a query file through one long-lived session (optionally over a \
+     pool of worker domains), reusing cached plans across statements, and \
+     print the cache report."
   in
   Cmd.v (Cmd.info "session" ~doc)
     Term.(
       const run $ algo $ db $ scale $ seed $ work_mem $ no_cache $ recost_ratio
-      $ file)
+      $ workers $ file)
 
 let main =
   let doc = "cost-based optimization of queries with aggregate views (EDBT'96)" in

@@ -1,0 +1,28 @@
+-- Session trace for `avq session` (CI smoke test and demo):
+-- repeated templates with fresh constants, so the plan cache serves
+-- re-bound plans after the first optimization of each shape.
+--   dune exec bin/avq.exe -- session --workers 4 examples/session.sql
+
+SELECT e.dno AS dno, AVG(e.sal) AS avg_sal FROM emp e
+WHERE e.age > 30 AND e.sal > 1000 GROUP BY e.dno;;
+
+SELECT e.dno AS dno, AVG(e.sal) AS avg_sal FROM emp e
+WHERE e.age > 40 AND e.sal > 2000 GROUP BY e.dno;;
+
+SELECT e.dno AS dno, AVG(e.sal) AS avg_sal FROM emp e
+WHERE e.age > 50 AND e.sal > 1500 GROUP BY e.dno;;
+
+SELECT e.dno AS dno, COUNT(*) AS heads FROM emp e
+WHERE e.sal > 3000 GROUP BY e.dno;;
+
+SELECT e.dno AS dno, COUNT(*) AS heads FROM emp e
+WHERE e.sal > 3500 GROUP BY e.dno;;
+
+SELECT e.dno AS dno, AVG(e.sal) AS avg_sal FROM emp e
+WHERE e.age > 35 AND e.sal > 1200 GROUP BY e.dno;;
+
+SELECT e.dno AS dno, COUNT(*) AS heads FROM emp e
+WHERE e.sal > 2800 GROUP BY e.dno;;
+
+SELECT e.dno AS dno, AVG(e.sal) AS avg_sal FROM emp e
+WHERE e.age > 25 AND e.sal > 900 GROUP BY e.dno;;

@@ -4,6 +4,19 @@ type t = {
   close : unit -> unit;
 }
 
+(* Idempotent close: operators like Limit close their input eagerly, and the
+   exception-safe drains below close again in a [finally] — the second call
+   must be a no-op. *)
+let once close =
+  let closed = ref false in
+  fun () ->
+    if not !closed then begin
+      closed := true;
+      close ()
+    end
+
+let guard t = { t with close = once t.close }
+
 let empty schema =
   { schema; next_batch = (fun () -> None); close = (fun () -> ()) }
 
@@ -34,6 +47,7 @@ let of_rows schema rows =
   { schema; next_batch; close = (fun () -> pos := n) }
 
 let of_iter ?(batch_rows = Batch.default_rows) (it : Iter.t) =
+  let close = once it.Iter.close in
   let buf = Array.make batch_rows [||] in
   let next_batch () =
     let n = ref 0 in
@@ -52,7 +66,7 @@ let of_iter ?(batch_rows = Batch.default_rows) (it : Iter.t) =
       (* Copy out: [buf] is reused across batches. *)
       Some (Batch.of_rows it.Iter.schema (Array.sub buf 0 !n))
   in
-  { schema = it.Iter.schema; next_batch; close = it.Iter.close }
+  { schema = it.Iter.schema; next_batch; close }
 
 let to_iter t =
   let current = ref [||] in
@@ -81,8 +95,10 @@ let iter f t =
       f b;
       loop ()
   in
-  loop ();
-  t.close ()
+  (* Close the source even when [f] or a producer raises mid-pipeline, so
+     scans and spills under this iterator release their resources; [once]
+     keeps the close single-shot when the source already closed eagerly. *)
+  Fun.protect ~finally:(once t.close) loop
 
 let iter_rows f t = iter (fun b -> Batch.iter f b) t
 

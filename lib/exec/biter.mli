@@ -15,6 +15,13 @@ type t = {
 
 val empty : Schema.t -> t
 
+val once : (unit -> unit) -> unit -> unit
+(** Make a close function idempotent (second and later calls are no-ops). *)
+
+val guard : t -> t
+(** [guard t] is [t] with an idempotent [close], so an operator's eager
+    close (e.g. [Limit]) composes with the outer drain's close. *)
+
 val of_batches : Schema.t -> Batch.t list -> t
 val of_rows : Schema.t -> Tuple.t array -> t
 (** Serve an array as batches of {!Batch.default_rows}. *)
@@ -27,10 +34,12 @@ val to_iter : t -> Iter.t
 (** Adapter: hand out the live rows of each batch one at a time. *)
 
 val iter : (Batch.t -> unit) -> t -> unit
-(** Drain batch-at-a-time and close. *)
+(** Drain batch-at-a-time and close; the source is closed (once) even when
+    the callback or a producer raises. *)
 
 val iter_rows : (Tuple.t -> unit) -> t -> unit
-(** Drain row-at-a-time (over live rows) and close. *)
+(** Drain row-at-a-time (over live rows) and close; exception-safe like
+    {!iter}. *)
 
 val to_list : t -> Tuple.t list
 val to_relation : t -> Relation.t

@@ -21,9 +21,16 @@ let temp t schema =
   t.temps <- h :: t.temps;
   h
 
+(* Idempotent: dropping a heap the context no longer tracks is a no-op, so
+   an operator's eager close composes with the outer close / cleanup. *)
 let drop t h =
-  Storage.drop_temp (storage t) h;
-  t.temps <- List.filter (fun h' -> Heap_file.file_id h' <> Heap_file.file_id h) t.temps
+  let id = Heap_file.file_id h in
+  if List.exists (fun h' -> Heap_file.file_id h' = id) t.temps then begin
+    Storage.drop_temp (storage t) h;
+    t.temps <- List.filter (fun h' -> Heap_file.file_id h' <> id) t.temps
+  end
+
+let live_temps t = List.length t.temps
 
 let cleanup t =
   List.iter (fun h -> Storage.drop_temp (storage t) h) t.temps;

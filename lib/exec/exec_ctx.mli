@@ -21,8 +21,15 @@ val temp : t -> Schema.t -> Heap_file.t
 (** Allocate a temp heap file (registered for {!cleanup}). *)
 
 val drop : t -> Heap_file.t -> unit
+(** Release one temp file.  Idempotent: dropping a heap this context no
+    longer tracks is a no-op, so eager operator closes (e.g. [Limit])
+    compose with the outer close and with {!cleanup}. *)
+
 val cleanup : t -> unit
 (** Drop any temp files still alive (safety net after failed runs). *)
+
+val live_temps : t -> int
+(** Number of temp heap files currently tracked (0 after {!cleanup}). *)
 
 val profiler : t -> Profile.t option
 val set_profiler : t -> Profile.t option -> unit

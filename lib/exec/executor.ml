@@ -984,20 +984,31 @@ and batch_hash_group ctx (g : Physical.group) : Biter.t =
   else batch_filter (compile_batch_preds out_schema g.Physical.having) result
 
 let run ?(executor = `Batch) ctx plan =
-  let rel =
-    match executor with
-    | `Row -> Iter.to_relation (open_iter ctx plan)
-    | `Batch -> Biter.to_relation (open_batch ctx plan)
-  in
-  Exec_ctx.cleanup ctx;
-  rel
+  (* Temps must be released even when an operator raises mid-pipeline
+     (e.g. a type error in [Expr.eval]); otherwise spilled sort runs and
+     join partitions leak on every failed query. *)
+  Fun.protect
+    ~finally:(fun () -> Exec_ctx.cleanup ctx)
+    (fun () ->
+      match executor with
+      | `Row -> Iter.to_relation (open_iter ctx plan)
+      | `Batch -> Biter.to_relation (open_batch ctx plan))
 
 let run_measured ?(cold = true) ?executor ctx plan =
   let st = Exec_ctx.storage ctx in
-  if cold then Buffer_pool.clear (Storage.pool st);
-  Storage.reset_io st;
+  if cold then begin
+    (* Cold benchmark path (single-threaded by contract): empty the pool and
+       zero the global counters so [Storage.io_stats] reads as one run. *)
+    Buffer_pool.clear (Storage.pool st);
+    Storage.reset_io st
+  end;
+  (* Measurement itself is delta-based on the calling domain's own tally:
+     warm-path runs ([~cold:false], e.g. [Service.execute]) never reset
+     shared counters, so overlapping measurements on concurrent workers
+     cannot misattribute each other's IO. *)
+  let before = Storage.io_snapshot st in
   let rel = run ?executor ctx plan in
-  (rel, Storage.io_stats st)
+  (rel, Storage.io_since st before)
 
 let run_profiled ?executor ctx plan =
   let prof = Profile.create () in

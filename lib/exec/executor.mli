@@ -22,14 +22,18 @@ val open_batch : Exec_ctx.t -> Physical.t -> Biter.t
 
 val run : ?executor:engine -> Exec_ctx.t -> Physical.t -> Relation.t
 (** Evaluate to a materialized (in-memory) result and clean up temps.
+    Temps are released even if an operator raises (exception-safe).
     Default engine: [`Batch]. *)
 
 val run_measured :
   ?cold:bool -> ?executor:engine -> Exec_ctx.t -> Physical.t ->
   Relation.t * Buffer_pool.stats
-(** Like {!run} but resets IO counters first and returns the page IO the
-    run incurred.  [cold] (default true) empties the buffer pool first, so
-    the measurement starts from a cold cache. *)
+(** Like {!run} but also returns the page IO the run incurred, measured as
+    the delta of the calling domain's own IO tally — no shared counter is
+    reset on the warm path, so concurrent measurements on different worker
+    domains cannot clobber each other.  [cold] (default true) additionally
+    empties the buffer pool and zeroes the global counters first (cold-cache
+    benchmarking; single-threaded by contract). *)
 
 val run_profiled :
   ?executor:engine -> Exec_ctx.t -> Physical.t -> Relation.t * Profile.t

@@ -45,13 +45,20 @@ let concat_map_tuples schema f it =
   in
   { schema; next; close = it.close }
 
+let once close =
+  let closed = ref false in
+  fun () ->
+    if not !closed then begin
+      closed := true;
+      close ()
+    end
+
 let to_list it =
   let rec loop acc =
     match it.next () with None -> List.rev acc | Some x -> loop (x :: acc)
   in
-  let result = loop [] in
-  it.close ();
-  result
+  (* Close on the error path too; [once] tolerates eager operator closes. *)
+  Fun.protect ~finally:(once it.close) (fun () -> loop [])
 
 let to_relation it =
   let schema = it.schema in
@@ -65,5 +72,4 @@ let iter f it =
       f x;
       loop ()
   in
-  loop ();
-  it.close ()
+  Fun.protect ~finally:(once it.close) loop

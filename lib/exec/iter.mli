@@ -16,10 +16,13 @@ val filter : (Tuple.t -> bool) -> t -> t
 val concat_map_tuples : Schema.t -> (Tuple.t -> Tuple.t list) -> t -> t
 (** Emit several output tuples per input tuple. *)
 
+val once : (unit -> unit) -> unit -> unit
+(** Make a close function idempotent (second and later calls are no-ops). *)
+
 val to_list : t -> Tuple.t list
-(** Drain and close. *)
+(** Drain and close; the source is closed (once) even on exceptions. *)
 
 val to_relation : t -> Relation.t
 
 val iter : (Tuple.t -> unit) -> t -> unit
-(** Drain with a callback and close. *)
+(** Drain with a callback and close; exception-safe like {!to_list}. *)

@@ -35,20 +35,39 @@ type line = {
   outcome : (Service.planned * int, string) result;
 }
 
+let describe_error = function
+  | Binder.Bind_error msg -> "bind error: " ^ msg
+  | Parser.Parse_error (msg, off) ->
+    Printf.sprintf "parse error at %d: %s" off msg
+  | Lexer.Lex_error (msg, off) -> Printf.sprintf "lex error at %d: %s" off msg
+  | e -> raise e
+
 let replay svc text =
   List.mapi
     (fun i sql ->
       let outcome =
         match Service.submit svc sql with
         | p, rel, _io -> Ok (p, Relation.cardinality rel)
-        | exception Binder.Bind_error msg -> Error ("bind error: " ^ msg)
-        | exception Parser.Parse_error (msg, off) ->
-          Error (Printf.sprintf "parse error at %d: %s" off msg)
-        | exception Lexer.Lex_error (msg, off) ->
-          Error (Printf.sprintf "lex error at %d: %s" off msg)
+        | exception e -> Error (describe_error e)
       in
       { index = i + 1; sql; outcome })
     (split_statements text)
+
+(* Pool replay: submit every statement up front, then await in order — the
+   report stays deterministic per-line while execution itself is concurrent.
+   Worker-side bind/parse errors surface through [await] per statement. *)
+let replay_pool pool text =
+  let stmts = split_statements text in
+  let futs = List.map (fun sql -> (sql, Service.Pool.submit_sql pool sql)) stmts in
+  List.mapi
+    (fun i (sql, fut) ->
+      let outcome =
+        match Service.Pool.await fut with
+        | p, rel, _io -> Ok (p, Relation.cardinality rel)
+        | exception e -> Error (describe_error e)
+      in
+      { index = i + 1; sql; outcome })
+    futs
 
 let first_line sql =
   match String.index_opt sql '\n' with

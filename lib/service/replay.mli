@@ -20,6 +20,11 @@ val replay : Service.t -> string -> line list
     catalog. Statements that fail to bind or parse are reported in their
     [outcome] and do not stop the replay. *)
 
+val replay_pool : Service.Pool.t -> string -> line list
+(** Like {!replay} but through a worker pool: all statements are submitted
+    up front and awaited in order, so the per-line report is deterministic
+    while prepare + plan + execute run concurrently on the workers. *)
+
 val report : Format.formatter -> Service.t -> line list -> unit
 (** Human-readable per-statement lines followed by the service's cache
     statistics. *)

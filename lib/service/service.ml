@@ -21,19 +21,24 @@ let default_config =
     executor = `Batch;
   }
 
+(* Shared across every session and worker of one service: the cache sits
+   behind [lock] (find→optimize→add is atomic, so a template is optimized
+   once per (fingerprint, algo, work_mem) no matter how many workers race
+   on it); the counters are atomics, readable without the lock. *)
 type t = {
   cat : Catalog.t;
   cfg : config;
   cache : Plan_cache.t;
-  mutable calls : int;
-  mutable hits : int;
-  mutable rebinds : int;
-  mutable misses : int;
-  mutable recost_fallbacks : int;
-  mutable rebind_conflicts : int;
-  mutable stale_hits : int;
-  mutable opt_ms_total : float;
-  mutable opt_ms_saved : float;
+  lock : Sync.t;
+  calls : Sync.Counter.t;
+  hits : Sync.Counter.t;
+  rebinds : Sync.Counter.t;
+  misses : Sync.Counter.t;
+  recost_fallbacks : Sync.Counter.t;
+  rebind_conflicts : Sync.Counter.t;
+  stale_hits : Sync.Counter.t;
+  opt_ms_total : Sync.Fsum.t;
+  opt_ms_saved : Sync.Fsum.t;
 }
 
 let create ?(config = default_config) cat =
@@ -45,15 +50,16 @@ let create ?(config = default_config) cat =
     cache =
       Plan_cache.create ~max_entries:config.max_entries
         ~max_bytes:config.max_bytes ();
-    calls = 0;
-    hits = 0;
-    rebinds = 0;
-    misses = 0;
-    recost_fallbacks = 0;
-    rebind_conflicts = 0;
-    stale_hits = 0;
-    opt_ms_total = 0.;
-    opt_ms_saved = 0.;
+    lock = Sync.create ();
+    calls = Sync.Counter.create ();
+    hits = Sync.Counter.create ();
+    rebinds = Sync.Counter.create ();
+    misses = Sync.Counter.create ();
+    recost_fallbacks = Sync.Counter.create ();
+    rebind_conflicts = Sync.Counter.create ();
+    stale_hits = Sync.Counter.create ();
+    opt_ms_total = Sync.Fsum.create ();
+    opt_ms_saved = Sync.Fsum.create ();
   }
 
 let catalog t = t.cat
@@ -131,7 +137,7 @@ let entry_bytes ~key ~template ~plan ~params =
 
 let optimize_and_cache t stmt ps query source =
   let r = Optimizer.optimize ~options:(options t) t.cat query in
-  t.opt_ms_total <- t.opt_ms_total +. r.Optimizer.time_ms;
+  Sync.Fsum.add t.opt_ms_total r.Optimizer.time_ms;
   let key = cache_key t stmt in
   if t.cfg.cache_enabled then
     Plan_cache.add t.cache
@@ -157,74 +163,87 @@ let plan ?params t stmt =
     invalid_arg "Service.plan: wrong number of parameters";
   let same_params = params_equal ps stmt.base_params in
   let query = if same_params then stmt.squery else Canon.substitute stmt.squery ps in
-  t.calls <- t.calls + 1;
+  Sync.Counter.incr t.calls;
+  (* One critical section per call.  Holding the lock across the optimizer
+     run serializes misses, which is exactly the pay-once semantics we want:
+     a second worker racing on the same key blocks, then finds the entry and
+     hits.  Cache-hit sections are microseconds. *)
   let plan, est, source, opt_ms =
-    if not t.cfg.cache_enabled then optimize_and_cache t stmt ps query Uncached
-    else begin
-      let epoch = Catalog.epoch t.cat in
-      match Plan_cache.find t.cache (cache_key t stmt) ~epoch with
-      | None ->
-        t.misses <- t.misses + 1;
-        optimize_and_cache t stmt ps query Miss
-      | Some entry
-        when not (String.equal entry.Plan_cache.template stmt.template) ->
-        (* 64-bit fingerprint collision: a different template landed on our
-           key.  Treat as a miss (re-optimizing overwrites the entry); the
-           colliding templates may thrash but can never serve each other's
-           plans. *)
-        t.misses <- t.misses + 1;
-        optimize_and_cache t stmt ps query Miss
-      | Some entry ->
-        if entry.Plan_cache.epoch <> epoch then begin
-          (* unreachable: [find] filters stale epochs; belt and suspenders
-             so a stale plan can never be served silently. *)
-          t.stale_hits <- t.stale_hits + 1;
-          t.misses <- t.misses + 1;
-          optimize_and_cache t stmt ps query Miss
-        end
-        else if params_equal ps entry.Plan_cache.params then begin
-          t.hits <- t.hits + 1;
-          t.opt_ms_saved <- t.opt_ms_saved +. entry.Plan_cache.opt_ms;
-          (entry.Plan_cache.plan, entry.Plan_cache.est, Hit, 0.)
-        end
+    Sync.protect t.lock (fun () ->
+        if not t.cfg.cache_enabled then
+          optimize_and_cache t stmt ps query Uncached
         else begin
-          match
-            Plan_rebind.mapping ~old_params:entry.Plan_cache.params
-              ~new_params:ps
-          with
+          let epoch = Catalog.epoch t.cat in
+          match Plan_cache.find t.cache (cache_key t stmt) ~epoch with
           | None ->
-            t.rebind_conflicts <- t.rebind_conflicts + 1;
-            optimize_and_cache t stmt ps query Rebind_conflict
-          | Some pairs ->
-            let plan' = Plan_rebind.rebind pairs entry.Plan_cache.plan in
-            let est' =
-              Cost_model.estimate t.cat ~work_mem:t.cfg.work_mem plan'
-            in
-            if
-              est'.Cost_model.cost
-              <= (t.cfg.recost_ratio *. entry.Plan_cache.est.Cost_model.cost)
-                 +. 1e-6
-            then begin
-              t.rebinds <- t.rebinds + 1;
-              t.opt_ms_saved <- t.opt_ms_saved +. entry.Plan_cache.opt_ms;
-              (plan', est', Hit_rebound, 0.)
+            Sync.Counter.incr t.misses;
+            optimize_and_cache t stmt ps query Miss
+          | Some entry
+            when not (String.equal entry.Plan_cache.template stmt.template) ->
+            (* 64-bit fingerprint collision: a different template landed on
+               our key.  Treat as a miss (re-optimizing overwrites the
+               entry); the colliding templates may thrash but can never
+               serve each other's plans. *)
+            Sync.Counter.incr t.misses;
+            optimize_and_cache t stmt ps query Miss
+          | Some entry ->
+            if entry.Plan_cache.epoch <> epoch then begin
+              (* unreachable: [find] filters stale epochs; belt and
+                 suspenders so a stale plan can never be served silently. *)
+              Sync.Counter.incr t.stale_hits;
+              Sync.Counter.incr t.misses;
+              optimize_and_cache t stmt ps query Miss
+            end
+            else if params_equal ps entry.Plan_cache.params then begin
+              Sync.Counter.incr t.hits;
+              Sync.Fsum.add t.opt_ms_saved entry.Plan_cache.opt_ms;
+              (entry.Plan_cache.plan, entry.Plan_cache.est, Hit, 0.)
             end
             else begin
-              t.recost_fallbacks <- t.recost_fallbacks + 1;
-              optimize_and_cache t stmt ps query Recost_fallback
+              match
+                Plan_rebind.mapping ~old_params:entry.Plan_cache.params
+                  ~new_params:ps
+              with
+              | None ->
+                Sync.Counter.incr t.rebind_conflicts;
+                optimize_and_cache t stmt ps query Rebind_conflict
+              | Some pairs ->
+                let plan' = Plan_rebind.rebind pairs entry.Plan_cache.plan in
+                let est' =
+                  Cost_model.estimate t.cat ~work_mem:t.cfg.work_mem plan'
+                in
+                if
+                  est'.Cost_model.cost
+                  <= (t.cfg.recost_ratio
+                      *. entry.Plan_cache.est.Cost_model.cost)
+                     +. 1e-6
+                then begin
+                  Sync.Counter.incr t.rebinds;
+                  Sync.Fsum.add t.opt_ms_saved entry.Plan_cache.opt_ms;
+                  (plan', est', Hit_rebound, 0.)
+                end
+                else begin
+                  Sync.Counter.incr t.recost_fallbacks;
+                  optimize_and_cache t stmt ps query Recost_fallback
+                end
             end
-        end
-    end
+        end)
   in
   { plan; est; source; opt_ms; plan_ms = (Unix.gettimeofday () -. t0) *. 1000. }
 
-let execute ?params t stmt =
+(* Plan under the shared lock, execute on the caller's own context —
+   execution (the expensive part) runs outside any lock, and the IO
+   measurement is the delta of the executing domain's tally. *)
+let execute_on ctx ?params t stmt =
   let p = plan ?params t stmt in
-  let ctx = Exec_ctx.create ~work_mem:t.cfg.work_mem t.cat in
   let rel, io =
     Executor.run_measured ~cold:false ~executor:t.cfg.executor ctx p.plan
   in
   (p, rel, io)
+
+let execute ?params t stmt =
+  let ctx = Exec_ctx.create ~work_mem:t.cfg.work_mem t.cat in
+  execute_on ctx ?params t stmt
 
 let submit t sql = execute t (prepare t sql)
 
@@ -245,21 +264,21 @@ type stats = {
 }
 
 let stats t =
-  let c = Plan_cache.counters t.cache in
+  let c = Sync.protect t.lock (fun () -> Plan_cache.counters t.cache) in
   {
-    calls = t.calls;
-    hits = t.hits;
-    rebinds = t.rebinds;
-    misses = t.misses;
-    recost_fallbacks = t.recost_fallbacks;
-    rebind_conflicts = t.rebind_conflicts;
-    stale_hits = t.stale_hits;
+    calls = Sync.Counter.get t.calls;
+    hits = Sync.Counter.get t.hits;
+    rebinds = Sync.Counter.get t.rebinds;
+    misses = Sync.Counter.get t.misses;
+    recost_fallbacks = Sync.Counter.get t.recost_fallbacks;
+    rebind_conflicts = Sync.Counter.get t.rebind_conflicts;
+    stale_hits = Sync.Counter.get t.stale_hits;
     invalidations = c.Plan_cache.invalidations;
     evictions = c.Plan_cache.evictions;
     entries = c.Plan_cache.entries;
     cache_bytes = c.Plan_cache.bytes;
-    opt_ms_total = t.opt_ms_total;
-    opt_ms_saved = t.opt_ms_saved;
+    opt_ms_total = Sync.Fsum.get t.opt_ms_total;
+    opt_ms_saved = Sync.Fsum.get t.opt_ms_saved;
   }
 
 let hit_ratio s =
@@ -276,4 +295,156 @@ let pp_stats fmt s =
     s.rebind_conflicts s.stale_hits s.entries s.cache_bytes s.evictions
     s.invalidations s.opt_ms_total s.opt_ms_saved
 
-let invalidate_all t = Plan_cache.clear t.cache
+let invalidate_all t = Sync.protect t.lock (fun () -> Plan_cache.clear t.cache)
+
+(* ==== concurrent worker pool ==== *)
+
+module Pool = struct
+  type service = t
+
+  (* As in [Sync]: [Mutex.protect] would bump the lower bound to 5.1. *)
+  let protect m f =
+    Mutex.lock m;
+    match f () with
+    | v ->
+      Mutex.unlock m;
+      v
+    | exception e ->
+      Mutex.unlock m;
+      raise e
+
+  type outcome = (planned * Relation.t * Buffer_pool.stats, exn) result
+
+  type future = {
+    fm : Mutex.t;
+    fc : Condition.t;
+    mutable result : outcome option;
+  }
+
+  type task =
+    | Stmt of stmt * Value.t list option
+    | Sql of string
+
+  type job = { task : task; fut : future }
+
+  type t = {
+    svc : service;
+    qm : Mutex.t;
+    qc : Condition.t;
+    jobs : job Queue.t;
+    mutable stopping : bool;
+    mutable domains : unit Domain.t list;
+    nworkers : int;
+    executed : Sync.Counter.t;
+  }
+
+  let fulfil fut outcome =
+    protect fut.fm (fun () ->
+        fut.result <- Some outcome;
+        Condition.broadcast fut.fc)
+
+  let run_task svc ctx = function
+    | Stmt (stmt, params) -> execute_on ctx ?params svc stmt
+    | Sql sql -> execute_on ctx svc (prepare svc sql)
+
+  (* Worker body: one private [Exec_ctx] for the domain's whole lifetime
+     (temps are cleaned per run; the context is just the temp registry and
+     work_mem).  Every exception — planner, binder or executor — lands in
+     the job's future; the worker itself never dies early. *)
+  let worker pool () =
+    let ctx = Exec_ctx.create ~work_mem:pool.svc.cfg.work_mem pool.svc.cat in
+    let rec loop () =
+      let job =
+        protect pool.qm (fun () ->
+            let rec wait () =
+              if not (Queue.is_empty pool.jobs) then Some (Queue.pop pool.jobs)
+              else if pool.stopping then None
+              else begin
+                Condition.wait pool.qc pool.qm;
+                wait ()
+              end
+            in
+            wait ())
+      in
+      match job with
+      | None -> ()
+      | Some { task; fut } ->
+        let outcome =
+          match run_task pool.svc ctx task with
+          | r -> Ok r
+          | exception e -> Error e
+        in
+        Sync.Counter.incr pool.executed;
+        fulfil fut outcome;
+        loop ()
+    in
+    loop ()
+
+  let create ?(workers = 4) svc =
+    if workers < 1 then invalid_arg "Service.Pool.create: workers < 1";
+    let pool =
+      {
+        svc;
+        qm = Mutex.create ();
+        qc = Condition.create ();
+        jobs = Queue.create ();
+        stopping = false;
+        domains = [];
+        nworkers = workers;
+        executed = Sync.Counter.create ();
+      }
+    in
+    pool.domains <-
+      List.init workers (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let workers t = t.nworkers
+  let executed t = Sync.Counter.get t.executed
+  let service t = t.svc
+
+  let enqueue t task =
+    let fut =
+      { fm = Mutex.create (); fc = Condition.create (); result = None }
+    in
+    protect t.qm (fun () ->
+        if t.stopping then
+          invalid_arg "Service.Pool: submit after shutdown";
+        Queue.push { task; fut } t.jobs;
+        Condition.signal t.qc);
+    fut
+
+  let submit ?params t stmt = enqueue t (Stmt (stmt, params))
+  let submit_sql t sql = enqueue t (Sql sql)
+
+  let await fut =
+    let outcome =
+      protect fut.fm (fun () ->
+          let rec wait () =
+            match fut.result with
+            | Some o -> o
+            | None ->
+              Condition.wait fut.fc fut.fm;
+              wait ()
+          in
+          wait ())
+    in
+    match outcome with Ok r -> r | Error e -> raise e
+
+  let shutdown t =
+    let ds =
+      protect t.qm (fun () ->
+          if t.stopping then []
+          else begin
+            t.stopping <- true;
+            Condition.broadcast t.qc;
+            let ds = t.domains in
+            t.domains <- [];
+            ds
+          end)
+    in
+    List.iter Domain.join ds
+
+  let with_pool ?workers svc f =
+    let pool = create ?workers svc in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+end

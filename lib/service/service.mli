@@ -10,7 +10,15 @@
     query is re-optimized from scratch (preserving the paper's
     "never worse than traditional" guarantee, which only holds for plans
     the optimizer actually picked for the parameters at hand).  Plans from
-    an older catalog epoch are never served. *)
+    an older catalog epoch are never served.
+
+    The service is shared-state safe: the plan cache and its counters live
+    behind a {!Sync} mutex (one critical section per {!plan} call, so an
+    optimization is paid once per (fingerprint, algo, work_mem) even when
+    workers race on a cold key), per-call counters are atomics, and
+    execution runs outside any lock on the caller's own {!Exec_ctx} with
+    delta-based per-domain IO measurement.  {!Pool} puts N executor worker
+    domains behind a job queue over one shared service. *)
 
 type config = {
   algorithm : Optimizer.algorithm;
@@ -88,7 +96,14 @@ val plan : ?params:Value.t list -> t -> stmt -> planned
 
 val execute :
   ?params:Value.t list -> t -> stmt -> planned * Relation.t * Buffer_pool.stats
-(** {!plan}, then run on the service's warm buffer pool, measuring IO. *)
+(** {!plan}, then run on the service's warm buffer pool, measuring IO
+    (delta of the calling domain's tally — safe under concurrency). *)
+
+val execute_on :
+  Exec_ctx.t -> ?params:Value.t list -> t -> stmt ->
+  planned * Relation.t * Buffer_pool.stats
+(** Like {!execute} but on a caller-supplied context (pool workers reuse
+    one private context per domain). *)
 
 val submit : t -> string -> planned * Relation.t * Buffer_pool.stats
 (** One-shot convenience: {!prepare} then {!execute}, sharing the cache. *)
@@ -122,3 +137,49 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val invalidate_all : t -> unit
 (** Drop every cached plan, counting each as an invalidation. *)
+
+(** {1 Concurrent worker pool}
+
+    N executor workers, each an OCaml 5 domain with its own private
+    {!Exec_ctx}, pull jobs from a Mutex/Condition work queue and resolve
+    futures.  All workers share the service's plan cache, so optimization
+    cost is amortized across clients, not just across calls; execution
+    itself runs in parallel, outside the service lock. *)
+module Pool : sig
+  type service := t
+  type t
+
+  type future
+  (** Handle for one submitted job; resolves to the same triple
+      {!Service.execute} returns, or re-raises the job's exception. *)
+
+  val create : ?workers:int -> service -> t
+  (** Spawn [workers] (default 4) executor domains over a shared service.
+      @raise Invalid_argument if [workers < 1]. *)
+
+  val workers : t -> int
+  val service : t -> service
+
+  val executed : t -> int
+  (** Jobs completed (successfully or not) so far. *)
+
+  val submit : ?params:Value.t list -> t -> stmt -> future
+  (** Enqueue a prepared statement (with optional parameter re-binding).
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val submit_sql : t -> string -> future
+  (** Enqueue raw SQL; the worker does prepare + plan + execute, so parsing
+      and binding also run off the submitting thread. *)
+
+  val await : future -> planned * Relation.t * Buffer_pool.stats
+  (** Block until the job finishes.  Re-raises the worker-side exception
+      (binder, parser, planner or executor) if the job failed. *)
+
+  val shutdown : t -> unit
+  (** Drain remaining jobs, stop the workers and join their domains.
+      Idempotent. *)
+
+  val with_pool : ?workers:int -> service -> (t -> 'a) -> 'a
+  (** [with_pool svc f] runs [f] over a fresh pool and always shuts it
+      down, even if [f] raises. *)
+end

@@ -1,0 +1,42 @@
+(* Small synchronization toolkit for the service layer: one mutex guarding
+   the plan cache (and anything else with linked structure), plus atomic
+   counters that can be read without taking it. *)
+
+type t = Mutex.t
+
+let create () = Mutex.create ()
+
+(* Not [Mutex.protect]: that arrived in OCaml 5.1 and this is the one place
+   keeping the package honest about its 5.0 lower bound. *)
+let protect t f =
+  Mutex.lock t;
+  match f () with
+  | v ->
+    Mutex.unlock t;
+    v
+  | exception e ->
+    Mutex.unlock t;
+    raise e
+
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+  let incr t = Atomic.incr t
+  let get t = Atomic.get t
+end
+
+module Fsum = struct
+  type t = float Atomic.t
+
+  let create () = Atomic.make 0.
+
+  let add t x =
+    let rec go () =
+      let v = Atomic.get t in
+      if not (Atomic.compare_and_set t v (v +. x)) then go ()
+    in
+    go ()
+
+  let get t = Atomic.get t
+end

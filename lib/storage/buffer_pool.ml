@@ -9,29 +9,69 @@ type frame = {
 
 type stats = { reads : int; writes : int; hits : int }
 
+(* Per-domain IO tally.  Every counted event bumps both the pool's global
+   (atomic) counters and the calling domain's tally.  A domain executes one
+   query at a time, so the tally's growth over a window is exactly the IO
+   that domain's query incurred — concurrent workers never perturb each
+   other's measurement, unlike a shared reset-then-read counter. *)
+module Tally = struct
+  type c = { mutable treads : int; mutable twrites : int; mutable thits : int }
+
+  let key = Domain.DLS.new_key (fun () -> { treads = 0; twrites = 0; thits = 0 })
+  let get () = Domain.DLS.get key
+end
+
 type t = {
   capacity : int;
+  lock : Mutex.t;
   table : (key, frame) Hashtbl.t;
   mutable head : frame option;  (* most recently used *)
   mutable tail : frame option;  (* least recently used *)
-  mutable reads : int;
-  mutable writes : int;
-  mutable hits : int;
+  reads : int Atomic.t;
+  writes : int Atomic.t;
+  hits : int Atomic.t;
 }
+
+(* [Mutex.protect] exists only since OCaml 5.1; the package claims >= 5.0. *)
+let protect m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
 
 let create ~frames =
   if frames < 1 then invalid_arg "Buffer_pool.create: frames < 1";
   {
     capacity = frames;
+    lock = Mutex.create ();
     table = Hashtbl.create (2 * frames);
     head = None;
     tail = None;
-    reads = 0;
-    writes = 0;
-    hits = 0;
+    reads = Atomic.make 0;
+    writes = Atomic.make 0;
+    hits = Atomic.make 0;
   }
 
 let frames t = t.capacity
+
+let count_read t =
+  Atomic.incr t.reads;
+  let c = Tally.get () in
+  c.Tally.treads <- c.Tally.treads + 1
+
+let count_write t =
+  Atomic.incr t.writes;
+  let c = Tally.get () in
+  c.Tally.twrites <- c.Tally.twrites + 1
+
+let count_hit t =
+  Atomic.incr t.hits;
+  let c = Tally.get () in
+  c.Tally.thits <- c.Tally.thits + 1
 
 let unlink t f =
   (match f.prev with Some p -> p.next <- f.next | None -> t.head <- f.next);
@@ -51,7 +91,7 @@ let evict_lru t =
   | Some f ->
     unlink t f;
     Hashtbl.remove t.table f.key;
-    if f.dirty then t.writes <- t.writes + 1
+    if f.dirty then count_write t
 
 let insert t key ~dirty =
   if Hashtbl.length t.table >= t.capacity then evict_lru t;
@@ -62,7 +102,7 @@ let insert t key ~dirty =
 let touch t key ~dirty =
   match Hashtbl.find_opt t.table key with
   | Some f ->
-    t.hits <- t.hits + 1;
+    count_hit t;
     if dirty then f.dirty <- true;
     unlink t f;
     push_front t f;
@@ -70,58 +110,76 @@ let touch t key ~dirty =
   | None -> false
 
 let read t ~file ~page =
-  let key = (file, page) in
-  if not (touch t key ~dirty:false) then begin
-    t.reads <- t.reads + 1;
-    insert t key ~dirty:false
-  end
+  protect t.lock (fun () ->
+      let key = (file, page) in
+      if not (touch t key ~dirty:false) then begin
+        count_read t;
+        insert t key ~dirty:false
+      end)
 
 let write t ~file ~page =
-  let key = (file, page) in
-  if not (touch t key ~dirty:true) then begin
-    t.reads <- t.reads + 1;
-    insert t key ~dirty:true
-  end
+  protect t.lock (fun () ->
+      let key = (file, page) in
+      if not (touch t key ~dirty:true) then begin
+        count_read t;
+        insert t key ~dirty:true
+      end)
 
 let alloc t ~file ~page =
-  let key = (file, page) in
-  if not (touch t key ~dirty:true) then insert t key ~dirty:true
+  protect t.lock (fun () ->
+      let key = (file, page) in
+      if not (touch t key ~dirty:true) then insert t key ~dirty:true)
 
 let drop_file t ~file =
-  let doomed =
-    Hashtbl.fold (fun (f, p) fr acc -> if f = file then (fr, p) :: acc else acc)
-      t.table []
-  in
-  List.iter
-    (fun (fr, _p) ->
-      unlink t fr;
-      Hashtbl.remove t.table fr.key)
-    doomed
+  protect t.lock (fun () ->
+      let doomed =
+        Hashtbl.fold
+          (fun (f, p) fr acc -> if f = file then (fr, p) :: acc else acc)
+          t.table []
+      in
+      List.iter
+        (fun (fr, _p) ->
+          unlink t fr;
+          Hashtbl.remove t.table fr.key)
+        doomed)
 
 let flush_all t =
-  Hashtbl.iter
-    (fun _ f ->
-      if f.dirty then begin
-        f.dirty <- false;
-        t.writes <- t.writes + 1
-      end)
-    t.table
+  protect t.lock (fun () ->
+      Hashtbl.iter
+        (fun _ f ->
+          if f.dirty then begin
+            f.dirty <- false;
+            count_write t
+          end)
+        t.table)
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None
+  protect t.lock (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)
 
-let stats t = { reads = t.reads; writes = t.writes; hits = t.hits }
+let stats t =
+  { reads = Atomic.get t.reads; writes = Atomic.get t.writes;
+    hits = Atomic.get t.hits }
 
 let reset_stats t =
-  t.reads <- 0;
-  t.writes <- 0;
-  t.hits <- 0
+  Atomic.set t.reads 0;
+  Atomic.set t.writes 0;
+  Atomic.set t.hits 0
 
-let io_total t = t.reads + t.writes
+let io_total t = Atomic.get t.reads + Atomic.get t.writes
 
-let resident t ~file ~page = Hashtbl.mem t.table (file, page)
+let local_stats () =
+  let c = Tally.get () in
+  { reads = c.Tally.treads; writes = c.Tally.twrites; hits = c.Tally.thits }
+
+let diff (a : stats) (b : stats) =
+  { reads = a.reads - b.reads; writes = a.writes - b.writes;
+    hits = a.hits - b.hits }
+
+let resident t ~file ~page =
+  protect t.lock (fun () -> Hashtbl.mem t.table (file, page))
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "reads=%d writes=%d hits=%d" s.reads s.writes s.hits

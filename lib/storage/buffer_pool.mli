@@ -5,7 +5,15 @@
     which (file, page) frames are cached, which are dirty, and how many
     physical reads and writes have occurred.  A miss on {!read} counts a
     physical read; evicting a dirty frame, or {!flush_all}, counts a physical
-    write per dirty page. *)
+    write per dirty page.
+
+    The pool is domain-safe: the LRU structure is protected by a mutex, the
+    global counters are atomics, and every counted event is additionally
+    tallied into a per-domain accumulator ({!local_stats}).  A worker domain
+    executes one query at a time, so the growth of its own tally over a
+    window is exactly the IO that query incurred — measurement by
+    snapshot-and-subtract ({!diff}) instead of resetting shared counters,
+    which would clobber concurrent measurements. *)
 
 type t
 
@@ -44,9 +52,23 @@ val clear : t -> unit
     measured run). *)
 
 val stats : t -> stats
+(** Global (cross-domain) cumulative counters. *)
+
 val reset_stats : t -> unit
+(** Zero the global counters.  Only meaningful on a quiescent,
+    single-threaded pool (cold benchmark runs); per-domain tallies are
+    monotonic and unaffected. *)
+
 val io_total : t -> int
 (** [reads + writes] — the cost-model's objective. *)
+
+val local_stats : unit -> stats
+(** Cumulative counters for IO charged by the {e calling domain} (across
+    all pools; a domain drives one storage instance at a time).  Monotonic:
+    never reset.  Measure a window with [diff (local_stats ()) before]. *)
+
+val diff : stats -> stats -> stats
+(** [diff now before] — componentwise subtraction. *)
 
 val resident : t -> file:int -> page:int -> bool
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,13 +1,11 @@
-type t = { pool : Buffer_pool.t; mutable next_file : int }
+type t = { pool : Buffer_pool.t; next_file : int Atomic.t }
 
-let create ?(frames = 256) () = { pool = Buffer_pool.create ~frames; next_file = 0 }
+let create ?(frames = 256) () =
+  { pool = Buffer_pool.create ~frames; next_file = Atomic.make 0 }
 
 let pool t = t.pool
 
-let fresh_file t =
-  let id = t.next_file in
-  t.next_file <- id + 1;
-  id
+let fresh_file t = Atomic.fetch_and_add t.next_file 1
 
 let create_heap t schema = Heap_file.create ~pool:t.pool ~file_id:(fresh_file t) schema
 
@@ -28,3 +26,6 @@ let drop_temp _t heap = Heap_file.drop heap
 
 let io_stats t = Buffer_pool.stats t.pool
 let reset_io t = Buffer_pool.reset_stats t.pool
+
+let io_snapshot _t = Buffer_pool.local_stats ()
+let io_since _t before = Buffer_pool.diff (Buffer_pool.local_stats ()) before

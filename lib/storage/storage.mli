@@ -31,4 +31,18 @@ val drop_temp : t -> Heap_file.t -> unit
 (** Release a temp file's frames without write-back. *)
 
 val io_stats : t -> Buffer_pool.stats
+(** Global cumulative pool counters (all domains). *)
+
 val reset_io : t -> unit
+(** Zero the global counters.  Single-threaded cold-benchmark use only —
+    never call while another domain may be measuring (see {!io_snapshot}). *)
+
+val io_snapshot : t -> Buffer_pool.stats
+(** The calling domain's cumulative IO tally; pair with {!io_since} to
+    measure a window without touching shared state.  File-id allocation and
+    all pool operations are domain-safe, so snapshots from concurrent
+    workers never interfere. *)
+
+val io_since : t -> Buffer_pool.stats -> Buffer_pool.stats
+(** [io_since t before] — IO this domain incurred since [before] was
+    taken with {!io_snapshot}. *)

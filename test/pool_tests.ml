@@ -1,0 +1,145 @@
+(* The worker pool: K domains sharing one service must be observationally
+   identical to serial replay — same result multisets, cache counters that
+   add up exactly, no stale hits — and worker-side exceptions must surface
+   through [await] in the submitter. *)
+
+let tiny = { Tpcd.default_params with customers = 60; orders_per_customer = 3;
+             lines_per_order = 3; parts = 40; suppliers = 10 }
+
+let perturb rng v =
+  match v with
+  | Value.Int i -> Value.Int (i + Rng.in_range rng (-2) 2)
+  | Value.Float f -> Value.Float (f *. (0.95 +. (0.1 *. Rng.float rng)))
+  | Value.String _ | Value.Bool _ | Value.Date _ -> v
+
+(* A repeated-template workload, like a session trace: a few templates, many
+   perturbed calls. *)
+let make_calls cat ~templates ~calls seed =
+  let rng = Rng.create ~seed in
+  let ts =
+    Array.init templates (fun _ -> Query_gen.generate ~complexity:`Simple rng cat)
+  in
+  Array.init calls (fun _ ->
+      let q = ts.(Rng.int rng templates) in
+      (q, List.map (perturb rng) (Canon.params q)))
+
+let run_serial cat calls =
+  let svc = Service.create cat in
+  let results =
+    Array.map
+      (fun (q, ps) ->
+        let _, rel, _ = Service.execute ~params:ps svc (Service.prepare_query svc q) in
+        rel)
+      calls
+  in
+  (results, Service.stats svc)
+
+let run_pooled cat ~workers calls =
+  let svc = Service.create cat in
+  let results =
+    Service.Pool.with_pool ~workers svc (fun pool ->
+        let futs =
+          Array.map
+            (fun (q, ps) ->
+              Service.Pool.submit ~params:ps pool (Service.prepare_query svc q))
+            calls
+        in
+        Array.map (fun f -> let _, rel, _ = Service.Pool.await f in rel) futs)
+  in
+  (results, Service.stats svc)
+
+let counters_add_up (s : Service.stats) =
+  s.Service.hits + s.Service.rebinds + s.Service.misses
+  + s.Service.recost_fallbacks + s.Service.rebind_conflicts
+  = s.Service.calls
+
+let differential ~workers () =
+  let cat = Tpcd.load ~params:tiny () in
+  let calls = make_calls cat ~templates:5 ~calls:40 7 in
+  let serial, _ = run_serial cat calls in
+  let pooled, stats = run_pooled cat ~workers calls in
+  Array.iteri
+    (fun i rel ->
+      Alcotest.(check bool)
+        (Printf.sprintf "call %d multiset-identical to serial" i)
+        true
+        (Relation.multiset_equal serial.(i) rel))
+    pooled;
+  Alcotest.(check int) "every call accounted" (Array.length calls)
+    stats.Service.calls;
+  Alcotest.(check bool) "hits+rebinds+misses+fallbacks+conflicts = calls" true
+    (counters_add_up stats);
+  Alcotest.(check int) "no stale hits" 0 stats.Service.stale_hits
+
+(* Optimization is paid once per (fingerprint, algo, work_mem) even when all
+   workers race on a cold cache: misses <= distinct templates. *)
+let pay_once () =
+  let cat = Tpcd.load ~params:tiny () in
+  let calls = make_calls cat ~templates:4 ~calls:32 11 in
+  let _, stats = run_pooled cat ~workers:4 calls in
+  let distinct =
+    Array.fold_left
+      (fun acc (q, _) ->
+        let k = Canon.serialize q in
+        if List.mem k acc then acc else k :: acc)
+      [] calls
+    |> List.length
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "misses (%d) bounded by distinct templates (%d)"
+       stats.Service.misses distinct)
+    true
+    (stats.Service.misses <= distinct)
+
+let exceptions_propagate () =
+  let cat = Tpcd.load ~params:tiny () in
+  let svc = Service.create cat in
+  Service.Pool.with_pool ~workers:2 svc (fun pool ->
+      let bad = Service.Pool.submit_sql pool "SELEKT nonsense FROM nowhere" in
+      let ok =
+        Service.Pool.submit_sql pool
+          "SELECT c.nation AS nation, COUNT(*) AS n FROM customer c GROUP BY \
+           c.nation"
+      in
+      let raised =
+        match Service.Pool.await bad with
+        | _ -> false
+        | exception (Parser.Parse_error _ | Lexer.Lex_error _ | Binder.Bind_error _)
+          -> true
+      in
+      Alcotest.(check bool) "worker-side error re-raised at await" true raised;
+      let _, rel, _ = Service.Pool.await ok in
+      Alcotest.(check bool) "pool survives a failed statement" true
+        (Relation.cardinality rel > 0))
+
+let shutdown_semantics () =
+  let cat = Tpcd.load ~params:tiny () in
+  let svc = Service.create cat in
+  let pool = Service.Pool.create ~workers:2 svc in
+  Alcotest.(check int) "workers" 2 (Service.Pool.workers pool);
+  let fut =
+    Service.Pool.submit_sql pool
+      "SELECT c.nation AS nation, COUNT(*) AS n FROM customer c GROUP BY c.nation"
+  in
+  ignore (Service.Pool.await fut);
+  Alcotest.(check int) "one statement executed" 1 (Service.Pool.executed pool);
+  Service.Pool.shutdown pool;
+  Service.Pool.shutdown pool;
+  (* idempotent *)
+  let rejected =
+    match Service.Pool.submit_sql pool "SELECT 1 AS one FROM customer c" with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "submit after shutdown rejected" true rejected
+
+let tests =
+  [
+    Alcotest.test_case "pool(2) differential vs serial" `Quick (differential ~workers:2);
+    Alcotest.test_case "pool(4) differential vs serial" `Quick (differential ~workers:4);
+    Alcotest.test_case "cold cache pays optimization once" `Quick pay_once;
+    Alcotest.test_case "worker exceptions propagate through await" `Quick
+      exceptions_propagate;
+    Alcotest.test_case "shutdown is idempotent and rejects new work" `Quick
+      shutdown_semantics;
+  ]

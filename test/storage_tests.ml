@@ -176,6 +176,80 @@ let btree_io_accounting () =
   Alcotest.(check int) "cold lookup reads height pages" (Btree.height t)
     s.Buffer_pool.reads
 
+(* ---- domain-safety ---- *)
+
+(* Temp-file ids are allocated with an atomic counter: concurrent allocators
+   must never observe a duplicate (a duplicate would alias two operators'
+   spill files). *)
+let concurrent_fresh_file_ids () =
+  let st = Storage.create ~frames:64 () in
+  let schema = Schema.of_columns [ Schema.column "x" Datatype.Int ] in
+  let per_domain = 50 in
+  let doms =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.init per_domain (fun _ ->
+                Heap_file.file_id (Storage.create_temp st schema))))
+  in
+  let ids = List.concat_map Domain.join doms in
+  let distinct = List.sort_uniq compare ids in
+  Alcotest.(check int) "all allocated ids distinct" (List.length ids)
+    (List.length distinct)
+
+(* Hammer one pool from several domains; the global counters must equal the
+   sum of the per-domain tallies (every event lands in exactly one tally). *)
+let concurrent_pool_accounting () =
+  let pool = Buffer_pool.create ~frames:32 in
+  let before_global = Buffer_pool.stats pool in
+  let work file () =
+    let before = Buffer_pool.local_stats () in
+    for round = 0 to 9 do
+      ignore round;
+      for page = 0 to 99 do
+        Buffer_pool.read pool ~file ~page
+      done
+    done;
+    Buffer_pool.diff (Buffer_pool.local_stats ()) before
+  in
+  let doms = List.init 4 (fun d -> Domain.spawn (work d)) in
+  let tallies = List.map Domain.join doms in
+  let sum f = List.fold_left (fun a t -> a + f t) 0 tallies in
+  let now = Buffer_pool.stats pool in
+  let dg = Buffer_pool.diff now before_global in
+  Alcotest.(check int) "reads: global = sum of domain tallies"
+    dg.Buffer_pool.reads
+    (sum (fun (t : Buffer_pool.stats) -> t.Buffer_pool.reads));
+  Alcotest.(check int) "hits: global = sum of domain tallies"
+    dg.Buffer_pool.hits
+    (sum (fun (t : Buffer_pool.stats) -> t.Buffer_pool.hits));
+  Alcotest.(check int) "every access accounted" (4 * 10 * 100)
+    (dg.Buffer_pool.reads + dg.Buffer_pool.hits)
+
+(* Snapshot/subtract measurement: a domain's window growth is its own IO
+   even while another domain does unrelated IO on the same storage. *)
+let delta_accounting_isolated () =
+  let st = Storage.create ~frames:8 () in
+  let noise_stop = Atomic.make false in
+  let noise =
+    Domain.spawn (fun () ->
+        let pool = Storage.pool st in
+        while not (Atomic.get noise_stop) do
+          for page = 0 to 40 do
+            Buffer_pool.read pool ~file:1000 ~page
+          done
+        done)
+  in
+  let before = Storage.io_snapshot st in
+  let pool = Storage.pool st in
+  for page = 0 to 99 do
+    Buffer_pool.read pool ~file:2000 ~page
+  done;
+  let d = Storage.io_since st before in
+  Atomic.set noise_stop true;
+  Domain.join noise;
+  Alcotest.(check int) "window counts only this domain's accesses" 100
+    (d.Buffer_pool.reads + d.Buffer_pool.hits)
+
 let tests =
   [
     Alcotest.test_case "page geometry" `Quick page_geometry;
@@ -189,4 +263,10 @@ let tests =
     Alcotest.test_case "btree range bounds" `Quick btree_bounds;
     Alcotest.test_case "btree statistics" `Quick btree_stats;
     Alcotest.test_case "btree IO accounting" `Quick btree_io_accounting;
+    Alcotest.test_case "concurrent temp-file ids are distinct" `Quick
+      concurrent_fresh_file_ids;
+    Alcotest.test_case "concurrent pool accounting adds up" `Quick
+      concurrent_pool_accounting;
+    Alcotest.test_case "delta accounting isolates the calling domain" `Quick
+      delta_accounting_isolated;
   ]

@@ -22,4 +22,6 @@ let () =
       ("workload", Workload_tests.tests @ Workload_tests.fuzz_tests);
       ("star", Star_tests.tests);
       ("service", Service_tests.tests);
+      ("errorpath", Errorpath_tests.tests);
+      ("pool", Pool_tests.tests);
     ]
