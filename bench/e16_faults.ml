@@ -1,0 +1,169 @@
+(* E16 — graceful degradation under injected storage faults (robustness).
+   A 4-worker pool replays a fixed statement mix while the storage layer
+   injects read faults at increasing rates.  With a retry budget, transient
+   faults should be absorbed (throughput degrades smoothly, every statement
+   still succeeds and matches the fault-free results); with retries off, the
+   same faults surface as typed per-statement errors while the pool and the
+   remaining statements keep going.  Either way: zero worker deaths and zero
+   temp-file leaks. *)
+
+let workers = 4
+let reps = 40
+let fault_rates = [ 0.0; 0.001; 0.01; 0.05 ]
+let retry_budget = 8
+
+let sqls =
+  [
+    "SELECT c.nation AS nation, COUNT(*) AS n FROM customer c GROUP BY \
+     c.nation";
+    "SELECT c.nation AS nation, SUM(o.totalprice) AS total FROM customer c, \
+     orders o WHERE o.ck = c.ck GROUP BY c.nation";
+    "SELECT o.ck AS ck, COUNT(*) AS n FROM orders o GROUP BY o.ck";
+    "SELECT l.ok AS ok, SUM(l.price) AS rev FROM lineitem l GROUP BY l.ok";
+  ]
+
+type run = {
+  rrate : float;
+  rretries : int;
+  rwall_ms : float;
+  rok : int;
+  rerrors : int;
+  rmismatch : int;
+  rfaults : Buffer_pool.fault_stats;
+  rstats : Service.stats;
+  rexecuted : int;
+  rleaks : int;
+}
+
+let run_rate cat baseline ~rate ~retries =
+  let st = Catalog.storage cat in
+  Storage.Faults.clear st;
+  Storage.Faults.reset_stats st;
+  if rate > 0. then begin
+    let spec = Printf.sprintf "seed=17;retries=%d;read:p=%g" retries rate in
+    match Fault.parse spec with
+    | Ok plan -> Storage.Faults.install st plan
+    | Error m -> failwith ("E16: bad spec: " ^ m)
+  end;
+  let svc = Service.create cat in
+  let ok = ref 0 and errors = ref 0 and mismatch = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let executed =
+    Service.Pool.with_pool ~workers svc (fun pool ->
+        let futs =
+          List.concat_map
+            (fun _ ->
+              List.mapi (fun i sql -> (i, Service.Pool.submit_sql pool sql))
+                sqls)
+            (List.init reps Fun.id)
+        in
+        List.iter
+          (fun (i, fut) ->
+            match Service.Pool.await fut with
+            | _, rel, _ ->
+              incr ok;
+              if not (Relation.multiset_equal (List.nth baseline i) rel) then
+                incr mismatch
+            | exception Avq_error.Error _ -> incr errors)
+          futs;
+        Service.Pool.executed pool)
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let faults = Storage.Faults.stats st in
+  Storage.Faults.clear st;
+  {
+    rrate = rate;
+    rretries = retries;
+    rwall_ms = wall_ms;
+    rok = !ok;
+    rerrors = !errors;
+    rmismatch = !mismatch;
+    rfaults = faults;
+    rstats = Service.stats svc;
+    rexecuted = executed;
+    rleaks = Storage.live_temps st;
+  }
+
+let run () =
+  let params =
+    { Tpcd.default_params with customers = 600; orders_per_customer = 5;
+      lines_per_order = 4; nations = 20 }
+  in
+  let cat = Tpcd.load ~params () in
+  let njobs = reps * List.length sqls in
+  (* fault-free baseline relations, one per template *)
+  let base_svc = Service.create cat in
+  let baseline =
+    List.map (fun sql -> let _, rel, _ = Service.submit base_svc sql in rel) sqls
+  in
+  let with_retries =
+    List.map (fun rate -> run_rate cat baseline ~rate ~retries:retry_budget)
+      fault_rates
+  in
+  let no_retries = run_rate cat baseline ~rate:0.01 ~retries:0 in
+  let runs = with_retries @ [ no_retries ] in
+
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E16  Throughput and degradation vs injected read-fault rate, %d \
+          statements on %d workers (retries=%d rows; last row retries=0: \
+          typed errors, no deaths; all rows: 0 mismatches, 0 leaks, \
+          executed=%d)"
+         njobs workers retry_budget njobs)
+    ~header:
+      [ "fault-p"; "retries"; "wall-ms"; "stmts/sec"; "ok"; "errors";
+        "injected"; "recovered"; "exhausted"; "mismatch"; "leaks"; "executed" ]
+    (List.map
+       (fun r ->
+         [ Printf.sprintf "%g" r.rrate;
+           Bench_util.i r.rretries;
+           Bench_util.f1 r.rwall_ms;
+           Bench_util.f1 (float_of_int njobs /. (r.rwall_ms /. 1000.));
+           Bench_util.i r.rok;
+           Bench_util.i r.rerrors;
+           Bench_util.i r.rfaults.Buffer_pool.injected;
+           Bench_util.i r.rfaults.Buffer_pool.recovered;
+           Bench_util.i r.rfaults.Buffer_pool.exhausted;
+           Bench_util.i r.rmismatch;
+           Bench_util.i r.rleaks;
+           Bench_util.i r.rexecuted ])
+       runs);
+  List.iter
+    (fun r ->
+      Bench_util.Json.record
+        ~name:(Printf.sprintf "faults-p%g-r%d" r.rrate r.rretries)
+        ~params:
+          [ ("fault_p", Printf.sprintf "%g" r.rrate);
+            ("retries", string_of_int r.rretries);
+            ("workers", string_of_int workers);
+            ("ok", string_of_int r.rok);
+            ("errors", string_of_int r.rerrors);
+            ("injected", string_of_int r.rfaults.Buffer_pool.injected);
+            ("retried", string_of_int r.rfaults.Buffer_pool.retried);
+            ("recovered", string_of_int r.rfaults.Buffer_pool.recovered);
+            ("exhausted", string_of_int r.rfaults.Buffer_pool.exhausted);
+            ("mismatches", string_of_int r.rmismatch);
+            ("leaks", string_of_int r.rleaks);
+            ("executed", string_of_int r.rexecuted);
+            ("io_faults", string_of_int r.rstats.Service.errors.Service.io_faults);
+            ("hit_ratio", Bench_util.f2 (Service.hit_ratio r.rstats)) ]
+        ~io:0 ~wall_ms:r.rwall_ms
+        ~rows_per_sec:(float_of_int njobs /. (r.rwall_ms /. 1000.))
+        ())
+    runs;
+  let bad =
+    List.exists
+      (fun r -> r.rmismatch > 0 || r.rleaks > 0 || r.rexecuted <> njobs)
+      runs
+  in
+  let retry_errors =
+    List.exists (fun r -> r.rretries > 0 && r.rerrors > 0) with_retries
+  in
+  Printf.printf
+    "\nacceptance: %s (every run: 0 mismatches, 0 temp leaks, all %d jobs \
+     executed%s)\n"
+    (if bad || retry_errors then "FAIL" else "ok")
+    njobs
+    (if retry_errors then "; UNEXPECTED errors despite retry budget" else
+       "; retried runs error-free")

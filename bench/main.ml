@@ -22,6 +22,7 @@ let experiments =
     ("E13", E13_plancache.run);
     ("E14", E14_batchexec.run);
     ("E15", E15_pool.run);
+    ("E16", E16_faults.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's

@@ -259,7 +259,37 @@ let session_cmd =
             "Execute statements on $(docv) concurrent worker domains sharing \
              one plan cache (1 = serial in-process replay).")
   in
-  let run algo db scale seed work_mem no_cache recost_ratio workers file =
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-statement deadline in milliseconds; a statement exceeding it \
+             fails with a typed timeout error while the batch continues.")
+  in
+  let spill_quota =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spill-quota" ] ~docv:"PAGES"
+          ~doc:
+            "Cumulative temp-page budget per statement; exceeding it fails \
+             the statement with a typed resource error.")
+  in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"SPEC"
+          ~doc:
+            "Install a deterministic storage fault plan, e.g. \
+             $(b,seed=7;retries=6;read:p=0.01).  Matching page operations \
+             fail with typed IO errors (retried within the plan's budget); \
+             checksum verification is turned on.")
+  in
+  let run algo db scale seed work_mem no_cache recost_ratio workers timeout_ms
+      spill_quota fault_plan file =
     if recost_ratio < 1.0 then begin
       Format.eprintf "avq session: --recost-ratio must be >= 1.0@.";
       exit 1
@@ -268,7 +298,28 @@ let session_cmd =
       Format.eprintf "avq session: --workers must be >= 1@.";
       exit 1
     end;
+    (match timeout_ms with
+     | Some ms when ms <= 0. ->
+       Format.eprintf "avq session: --timeout-ms must be > 0@.";
+       exit 1
+     | _ -> ());
+    (match spill_quota with
+     | Some q when q < 0 ->
+       Format.eprintf "avq session: --spill-quota must be >= 0@.";
+       exit 1
+     | _ -> ());
     let cat = load_db db scale seed in
+    let faults =
+      match fault_plan with
+      | None -> None
+      | Some spec -> (
+        match Fault.parse spec with
+        | Ok plan -> Some plan
+        | Error msg ->
+          Format.eprintf "avq session: bad --fault-plan: %s@." msg;
+          exit 1)
+    in
+    Option.iter (Storage.Faults.install (Catalog.storage cat)) faults;
     let config =
       {
         Service.default_config with
@@ -276,6 +327,8 @@ let session_cmd =
         work_mem;
         cache_enabled = not no_cache;
         recost_ratio;
+        statement_timeout_ms = timeout_ms;
+        spill_quota_pages = spill_quota;
       }
     in
     let svc = Service.create ~config cat in
@@ -290,17 +343,27 @@ let session_cmd =
         Service.Pool.with_pool ~workers svc (fun pool ->
             Replay.replay_pool pool text)
     in
-    Replay.report Format.std_formatter svc lines
+    Replay.report Format.std_formatter svc lines;
+    if faults <> None then begin
+      let st = Catalog.storage cat in
+      let fs = Storage.Faults.stats st in
+      Format.printf
+        "faults: %d injected, %d retries, %d recovered, %d exhausted; live \
+         temps: %d@."
+        fs.Buffer_pool.injected fs.Buffer_pool.retried fs.Buffer_pool.recovered
+        fs.Buffer_pool.exhausted (Storage.live_temps st)
+    end
   in
   let doc =
     "Replay a query file through one long-lived session (optionally over a \
      pool of worker domains), reusing cached plans across statements, and \
-     print the cache report."
+     print the cache report.  Statement failures (timeouts, injected faults, \
+     quota, bad SQL) are reported per line; the batch always continues."
   in
   Cmd.v (Cmd.info "session" ~doc)
     Term.(
       const run $ algo $ db $ scale $ seed $ work_mem $ no_cache $ recost_ratio
-      $ workers $ file)
+      $ workers $ timeout_ms $ spill_quota $ fault_plan $ file)
 
 let main =
   let doc = "cost-based optimization of queries with aggregate views (EDBT'96)" in

@@ -35,3 +35,32 @@ val profiler : t -> Profile.t option
 val set_profiler : t -> Profile.t option -> unit
 (** Per-operator counter sink; when set, {!Executor.open_iter} and
     [Executor.open_batch] register and wrap every operator they open. *)
+
+(** {2 Statement limits}
+
+    A statement may carry a deadline, a cancellation token and a temp-spill
+    quota.  Deadline and cancellation are polled at batch boundaries by the
+    executor (see {!guarded}); the spill quota is enforced eagerly, on every
+    fresh temp page the statement allocates. *)
+
+val begin_statement :
+  ?timeout_ms:float -> ?spill_quota:int -> ?cancel:bool Atomic.t -> t -> unit
+(** Reset the per-statement limit state.  [timeout_ms] sets an absolute
+    deadline from now; [spill_quota] bounds the {e cumulative} number of
+    temp pages the statement may allocate; [cancel] is a shared token another
+    domain may set to abort the statement.
+    @raise Invalid_argument if [timeout_ms <= 0] or [spill_quota < 0]. *)
+
+val check : t -> unit
+(** Poll the limits: raises [Avq_error.Error Cancelled] if the token is set,
+    then [Avq_error.Error (Timeout _)] if past the deadline. *)
+
+val cancel : t -> unit
+(** Set this statement's cancellation token. *)
+
+val guarded : t -> bool
+(** Whether the current statement carries a deadline or cancel token (i.e.
+    the executor should poll {!check} at batch boundaries). *)
+
+val spill_pages : t -> int
+(** Cumulative temp pages allocated by the current statement. *)

@@ -178,21 +178,46 @@ let grace_join ctx ~nparts ~build_parts ~probe_parts ~build_schema ~build_keys
   Array.iter (fun h -> Exec_ctx.drop ctx h) probe_parts;
   List.rev !results
 
+(* Statement-limit polling (deadline / cancellation), applied to every
+   operator a guarded statement opens.  Wrapping each node — not just the
+   root — keeps pipeline breakers responsive: the scan feeding a big sort or
+   group polls while the breaker is still absorbing input.  The row path
+   amortizes the check over 128 rows; the batch path checks once per batch
+   (its natural boundary). *)
+let guard_iter ctx (it : Iter.t) =
+  let n = ref 0 in
+  let next () =
+    if !n land 127 = 0 then Exec_ctx.check ctx;
+    incr n;
+    it.Iter.next ()
+  in
+  { it with Iter.next }
+
+let guard_biter ctx (bit : Biter.t) =
+  let next_batch () =
+    Exec_ctx.check ctx;
+    bit.Biter.next_batch ()
+  in
+  { bit with Biter.next_batch }
+
 let rec open_iter ctx plan : Iter.t =
-  match Exec_ctx.profiler ctx with
-  | None -> open_iter_raw ctx plan
-  | Some prof ->
-    let node = Profile.enter prof (node_name plan) in
-    let it =
-      match open_iter_raw ctx plan with
-      | it ->
-        Profile.leave prof;
-        it
-      | exception e ->
-        Profile.leave prof;
-        raise e
-    in
-    Profile.wrap_iter node it
+  let it =
+    match Exec_ctx.profiler ctx with
+    | None -> open_iter_raw ctx plan
+    | Some prof ->
+      let node = Profile.enter prof (node_name plan) in
+      let it =
+        match open_iter_raw ctx plan with
+        | it ->
+          Profile.leave prof;
+          it
+        | exception e ->
+          Profile.leave prof;
+          raise e
+      in
+      Profile.wrap_iter node it
+  in
+  if Exec_ctx.guarded ctx then guard_iter ctx it else it
 
 and open_iter_raw ctx plan : Iter.t =
   let cat = Exec_ctx.catalog ctx in
@@ -607,20 +632,23 @@ and sort_group ctx (g : Physical.group) =
 (* ==== batch-at-a-time path ==== *)
 
 and open_batch ctx plan : Biter.t =
-  match Exec_ctx.profiler ctx with
-  | None -> open_batch_raw ctx plan
-  | Some prof ->
-    let node = Profile.enter prof (node_name plan) in
-    let bit =
-      match open_batch_raw ctx plan with
-      | bit ->
-        Profile.leave prof;
-        bit
-      | exception e ->
-        Profile.leave prof;
-        raise e
-    in
-    Profile.wrap_biter node bit
+  let bit =
+    match Exec_ctx.profiler ctx with
+    | None -> open_batch_raw ctx plan
+    | Some prof ->
+      let node = Profile.enter prof (node_name plan) in
+      let bit =
+        match open_batch_raw ctx plan with
+        | bit ->
+          Profile.leave prof;
+          bit
+        | exception e ->
+          Profile.leave prof;
+          raise e
+      in
+      Profile.wrap_biter node bit
+  in
+  if Exec_ctx.guarded ctx then guard_biter ctx bit else bit
 
 and open_batch_raw ctx plan : Biter.t =
   let cat = Exec_ctx.catalog ctx in
@@ -990,6 +1018,7 @@ let run ?(executor = `Batch) ctx plan =
   Fun.protect
     ~finally:(fun () -> Exec_ctx.cleanup ctx)
     (fun () ->
+      if Exec_ctx.guarded ctx then Exec_ctx.check ctx;
       match executor with
       | `Row -> Iter.to_relation (open_iter ctx plan)
       | `Batch -> Biter.to_relation (open_batch ctx plan))

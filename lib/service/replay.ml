@@ -36,6 +36,7 @@ type line = {
 }
 
 let describe_error = function
+  | Avq_error.Error e -> Avq_error.to_string e
   | Binder.Bind_error msg -> "bind error: " ^ msg
   | Parser.Parse_error (msg, off) ->
     Printf.sprintf "parse error at %d: %s" off msg

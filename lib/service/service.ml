@@ -7,6 +7,8 @@ type config = {
   recost_ratio : float;
   cache_enabled : bool;
   executor : Executor.engine;
+  statement_timeout_ms : float option;
+  spill_quota_pages : int option;
 }
 
 let default_config =
@@ -19,6 +21,8 @@ let default_config =
     recost_ratio = 10.0;
     cache_enabled = true;
     executor = `Batch;
+    statement_timeout_ms = None;
+    spill_quota_pages = None;
   }
 
 (* Shared across every session and worker of one service: the cache sits
@@ -39,6 +43,13 @@ type t = {
   stale_hits : Sync.Counter.t;
   opt_ms_total : Sync.Fsum.t;
   opt_ms_saved : Sync.Fsum.t;
+  (* Typed-error tally, one counter per {!Avq_error} kind (see [err_slot]).
+     Bumped by [execute_on] when a statement fails with a typed error; a
+     failed statement still counts one [calls], so
+     hits + rebinds + misses + recost_fallbacks + rebind_conflicts +
+     uncached = calls holds with or without failures (errors strike during
+     execution, after the planning source was decided). *)
+  errs : Sync.Counter.t array;
 }
 
 let create ?(config = default_config) cat =
@@ -60,7 +71,18 @@ let create ?(config = default_config) cat =
     stale_hits = Sync.Counter.create ();
     opt_ms_total = Sync.Fsum.create ();
     opt_ms_saved = Sync.Fsum.create ();
+    errs = Array.init 6 (fun _ -> Sync.Counter.create ());
   }
+
+let err_slot : Avq_error.t -> int = function
+  | Avq_error.Io_fault _ -> 0
+  | Avq_error.Corruption _ -> 1
+  | Avq_error.Resource_exceeded _ -> 2
+  | Avq_error.Timeout _ -> 3
+  | Avq_error.Cancelled -> 4
+  | Avq_error.Bad_statement _ -> 5
+
+let record_error t e = Sync.Counter.incr t.errs.(err_slot e)
 
 let catalog t = t.cat
 let config t = t.cfg
@@ -234,18 +256,44 @@ let plan ?params t stmt =
 (* Plan under the shared lock, execute on the caller's own context —
    execution (the expensive part) runs outside any lock, and the IO
    measurement is the delta of the executing domain's tally. *)
-let execute_on ctx ?params t stmt =
-  let p = plan ?params t stmt in
-  let rel, io =
-    Executor.run_measured ~cold:false ~executor:t.cfg.executor ctx p.plan
-  in
-  (p, rel, io)
+let execute_on ctx ?cancel ?params t stmt =
+  (* The deadline covers planning + execution; limits are (re)armed before
+     planning so a statement submitted after its token was cancelled never
+     runs at all (the executor's initial check fires). *)
+  Exec_ctx.begin_statement ?timeout_ms:t.cfg.statement_timeout_ms
+    ?spill_quota:t.cfg.spill_quota_pages ?cancel ctx;
+  match
+    let p = plan ?params t stmt in
+    let rel, io =
+      Executor.run_measured ~cold:false ~executor:t.cfg.executor ctx p.plan
+    in
+    (p, rel, io)
+  with
+  | r -> r
+  | exception e ->
+    (match Avq_error.of_exn e with
+     | Some te -> record_error t te
+     | None -> ());
+    raise e
 
 let execute ?params t stmt =
   let ctx = Exec_ctx.create ~work_mem:t.cfg.work_mem t.cat in
   execute_on ctx ?params t stmt
 
 let submit t sql = execute t (prepare t sql)
+
+type error_stats = {
+  io_faults : int;
+  corruptions : int;
+  resource_exceeded : int;
+  timeouts : int;
+  cancellations : int;
+  bad_statements : int;
+}
+
+let total_errors e =
+  e.io_faults + e.corruptions + e.resource_exceeded + e.timeouts
+  + e.cancellations + e.bad_statements
 
 type stats = {
   calls : int;
@@ -261,6 +309,7 @@ type stats = {
   cache_bytes : int;
   opt_ms_total : float;
   opt_ms_saved : float;
+  errors : error_stats;
 }
 
 let stats t =
@@ -279,6 +328,16 @@ let stats t =
     cache_bytes = c.Plan_cache.bytes;
     opt_ms_total = Sync.Fsum.get t.opt_ms_total;
     opt_ms_saved = Sync.Fsum.get t.opt_ms_saved;
+    errors =
+      (let g i = Sync.Counter.get t.errs.(i) in
+       {
+         io_faults = g 0;
+         corruptions = g 1;
+         resource_exceeded = g 2;
+         timeouts = g 3;
+         cancellations = g 4;
+         bad_statements = g 5;
+       });
   }
 
 let hit_ratio s =
@@ -290,10 +349,14 @@ let pp_stats fmt s =
     "@[<v>plan cache: %d calls, %d hits + %d rebinds (ratio %.2f), %d misses@,\
      fallbacks: %d recost, %d rebind-conflict; stale hits: %d@,\
      entries: %d (%d bytes), evictions: %d, invalidations: %d@,\
-     optimizer ms: %.1f spent, %.1f saved@]"
+     optimizer ms: %.1f spent, %.1f saved@,\
+     errors: %d (%d io-fault, %d corruption, %d resource, %d timeout, \
+     %d cancelled, %d bad-statement)@]"
     s.calls s.hits s.rebinds (hit_ratio s) s.misses s.recost_fallbacks
     s.rebind_conflicts s.stale_hits s.entries s.cache_bytes s.evictions
-    s.invalidations s.opt_ms_total s.opt_ms_saved
+    s.invalidations s.opt_ms_total s.opt_ms_saved (total_errors s.errors)
+    s.errors.io_faults s.errors.corruptions s.errors.resource_exceeded
+    s.errors.timeouts s.errors.cancellations s.errors.bad_statements
 
 let invalidate_all t = Sync.protect t.lock (fun () -> Plan_cache.clear t.cache)
 
@@ -319,6 +382,10 @@ module Pool = struct
     fm : Mutex.t;
     fc : Condition.t;
     mutable result : outcome option;
+    fcancel : bool Atomic.t;
+        (* shared with the executing worker's statement; setting it makes
+           the job resolve to [Error (Avq_error.Error Cancelled)] at its
+           next batch boundary (or immediately, if not yet started) *)
   }
 
   type task =
@@ -343,9 +410,26 @@ module Pool = struct
         fut.result <- Some outcome;
         Condition.broadcast fut.fc)
 
-  let run_task svc ctx = function
-    | Stmt (stmt, params) -> execute_on ctx ?params svc stmt
-    | Sql sql -> execute_on ctx svc (prepare svc sql)
+  let run_task svc ctx cancel = function
+    | Stmt (stmt, params) -> execute_on ctx ~cancel ?params svc stmt
+    | Sql sql ->
+      (* Parse/bind failures become typed [Bad_statement] so session batches
+         report them structurally and keep going; planner/executor bugs
+         (other exceptions) still propagate untyped through the future. *)
+      let bad m =
+        let e = Avq_error.Bad_statement m in
+        record_error svc e;
+        Avq_error.error e
+      in
+      let stmt =
+        try prepare svc sql with
+        | Binder.Bind_error msg -> bad ("bind: " ^ msg)
+        | Parser.Parse_error (msg, off) ->
+          bad (Printf.sprintf "parse at %d: %s" off msg)
+        | Lexer.Lex_error (msg, off) ->
+          bad (Printf.sprintf "lex at %d: %s" off msg)
+      in
+      execute_on ctx ~cancel svc stmt
 
   (* Worker body: one private [Exec_ctx] for the domain's whole lifetime
      (temps are cleaned per run; the context is just the temp registry and
@@ -370,7 +454,7 @@ module Pool = struct
       | None -> ()
       | Some { task; fut } ->
         let outcome =
-          match run_task pool.svc ctx task with
+          match run_task pool.svc ctx fut.fcancel task with
           | r -> Ok r
           | exception e -> Error e
         in
@@ -404,7 +488,12 @@ module Pool = struct
 
   let enqueue t task =
     let fut =
-      { fm = Mutex.create (); fc = Condition.create (); result = None }
+      {
+        fm = Mutex.create ();
+        fc = Condition.create ();
+        result = None;
+        fcancel = Atomic.make false;
+      }
     in
     protect t.qm (fun () ->
         if t.stopping then
@@ -415,6 +504,11 @@ module Pool = struct
 
   let submit ?params t stmt = enqueue t (Stmt (stmt, params))
   let submit_sql t sql = enqueue t (Sql sql)
+
+  (* Cooperative: the executing worker observes the token at its next batch
+     boundary; a job still queued fails its initial check instead of
+     starting.  Either way the worker survives and the future resolves. *)
+  let cancel fut = Atomic.set fut.fcancel true
 
   let await fut =
     let outcome =

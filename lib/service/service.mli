@@ -34,11 +34,18 @@ type config = {
       (** execution engine for this session's runs; the plan cache is
           engine-agnostic (plans are identical), so sessions sharing a
           service may differ only in how plans are interpreted *)
+  statement_timeout_ms : float option;
+      (** per-statement deadline covering planning + execution; exceeding it
+          raises [Avq_error.Error (Timeout _)] at the next batch boundary *)
+  spill_quota_pages : int option;
+      (** cumulative temp pages a statement may allocate before
+          [Avq_error.Error (Resource_exceeded _)] *)
 }
 
 val default_config : config
 (** [Paper] algorithm, 32 pages work_mem, 128 entries / 4 MiB cache,
-    recost ratio 10.0, cache on, batch executor. *)
+    recost ratio 10.0, cache on, batch executor, no timeout or spill
+    quota. *)
 
 type t
 
@@ -100,15 +107,32 @@ val execute :
     (delta of the calling domain's tally — safe under concurrency). *)
 
 val execute_on :
-  Exec_ctx.t -> ?params:Value.t list -> t -> stmt ->
+  Exec_ctx.t -> ?cancel:bool Atomic.t -> ?params:Value.t list -> t -> stmt ->
   planned * Relation.t * Buffer_pool.stats
 (** Like {!execute} but on a caller-supplied context (pool workers reuse
-    one private context per domain). *)
+    one private context per domain).  Arms the context's statement limits
+    from the service config; [cancel] is an externally-settable abort token.
+    A failing statement bumps the matching typed-error counter (see
+    {!error_stats}) and re-raises. *)
 
 val submit : t -> string -> planned * Relation.t * Buffer_pool.stats
 (** One-shot convenience: {!prepare} then {!execute}, sharing the cache. *)
 
 (** {1 Observability} *)
+
+type error_stats = {
+  io_faults : int;
+  corruptions : int;
+  resource_exceeded : int;
+  timeouts : int;
+  cancellations : int;
+  bad_statements : int;
+}
+(** Failed statements by {!Avq_error} kind.  A failed statement still counts
+    one [calls] (the failure strikes during execution, after the planning
+    source was decided), so the cache-counter sum invariant is unaffected. *)
+
+val total_errors : error_stats -> int
 
 type stats = {
   calls : int;  (** plan/execute requests *)
@@ -127,6 +151,7 @@ type stats = {
   opt_ms_saved : float;
       (** sum over cache-served calls of the original optimization time of
           the served template — the work the cache avoided re-doing *)
+  errors : error_stats;
 }
 
 val stats : t -> stats
@@ -169,7 +194,14 @@ module Pool : sig
 
   val submit_sql : t -> string -> future
   (** Enqueue raw SQL; the worker does prepare + plan + execute, so parsing
-      and binding also run off the submitting thread. *)
+      and binding also run off the submitting thread.  Parse/bind failures
+      resolve the future with a typed [Avq_error.Bad_statement]. *)
+
+  val cancel : future -> unit
+  (** Request cancellation of one job.  Cooperative: an executing worker
+      observes the token at its next batch boundary (a queued job fails its
+      initial check instead of starting) and resolves the future with
+      [Avq_error.Error Cancelled]; the worker itself keeps running. *)
 
   val await : future -> planned * Relation.t * Buffer_pool.stats
   (** Block until the job finishes.  Re-raises the worker-side exception

@@ -46,7 +46,11 @@ let create ~pool ~file_id ?(order = default_order) () =
 
 let page_of = function Leaf l -> l.lpage | Internal n -> n.ipage
 
-let read_node t n = Buffer_pool.read t.pool ~file:t.file_id ~page:(page_of n)
+(* Index descents retry transient faults like heap reads do (the retry
+   budget comes from the installed fault plan); structural damage surfaces
+   as typed [Corruption] from {!check_invariants}. *)
+let read_node t n =
+  Buffer_pool.read_retrying t.pool ~file:t.file_id ~page:(page_of n)
 let write_node t n = Buffer_pool.write t.pool ~file:t.file_id ~page:(page_of n)
 
 (* Index of the child to descend into for [key]: first separator > key. *)
@@ -181,7 +185,7 @@ let search_range t ?lo ?hi () =
     match leaf_opt with
     | None -> ()
     | Some l ->
-      Buffer_pool.read t.pool ~file:t.file_id ~page:l.lpage;
+      Buffer_pool.read_retrying t.pool ~file:t.file_id ~page:l.lpage;
       let stop = ref false in
       Array.iter
         (fun e ->
@@ -206,7 +210,15 @@ let nentries t = t.nentries
 let nkeys t = t.nkeys
 
 let check_invariants t =
-  let fail fmt = Format.kasprintf failwith fmt in
+  (* Invariant violations are structural damage to the index file, so they
+     surface as typed [Corruption] (not a bare [Failure]) and carry the
+     page they were detected at. *)
+  let fail page fmt =
+    Format.kasprintf
+      (fun detail ->
+        Avq_error.error (Avq_error.Corruption { file = t.file_id; page; detail }))
+      fmt
+  in
   let rec check node lo hi depth =
     (match node with
      | Leaf l ->
@@ -214,27 +226,27 @@ let check_invariants t =
        for i = 0 to n - 1 do
          let k = l.entries.(i).key in
          if i > 0 && Value.compare l.entries.(i - 1).key k >= 0 then
-           fail "leaf keys not strictly sorted at page %d" l.lpage;
+           fail l.lpage "leaf keys not strictly sorted";
          (match lo with
           | Some v when Value.compare k v < 0 ->
-            fail "leaf key below separator at page %d" l.lpage
+            fail l.lpage "leaf key below separator"
           | _ -> ());
          (match hi with
           | Some v when Value.compare k v >= 0 ->
-            fail "leaf key not below separator at page %d" l.lpage
+            fail l.lpage "leaf key not below separator"
           | _ -> ());
-         if l.entries.(i).rids = [] then fail "empty rid list at page %d" l.lpage
+         if l.entries.(i).rids = [] then fail l.lpage "empty rid list"
        done;
        [ depth ]
      | Internal nd ->
        let m = Array.length nd.keys in
        if Array.length nd.children <> m + 1 then
-         fail "children/keys arity mismatch at page %d" nd.ipage;
+         fail nd.ipage "children/keys arity mismatch";
        if Array.length nd.children > t.order then
-         fail "internal overflow at page %d" nd.ipage;
+         fail nd.ipage "internal overflow";
        for i = 1 to m - 1 do
          if Value.compare nd.keys.(i - 1) nd.keys.(i) >= 0 then
-           fail "separators not sorted at page %d" nd.ipage
+           fail nd.ipage "separators not sorted"
        done;
        List.concat
          (List.mapi
@@ -249,4 +261,4 @@ let check_invariants t =
   | [] -> ()
   | d :: rest ->
     if not (List.for_all (fun x -> x = d) rest) then
-      fail "leaves at unequal depths"
+      fail (page_of t.root) "leaves at unequal depths"

@@ -39,5 +39,6 @@ val nkeys : t -> int
 (** Number of distinct keys stored. *)
 
 val check_invariants : t -> unit
-(** Validate sortedness, separator and fill invariants; raises
-    [Failure] describing the first violation (used by tests). *)
+(** Validate sortedness, separator and fill invariants.
+    @raise Avq_error.Error ([Corruption], carrying the offending page and a
+    description) on the first violation. *)

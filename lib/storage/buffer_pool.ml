@@ -30,6 +30,14 @@ type t = {
   reads : int Atomic.t;
   writes : int Atomic.t;
   hits : int Atomic.t;
+  (* Fault injection: consulted before the op touches the LRU, so a faulted
+     op costs no IO and leaves no frame behind.  [faults] is only swapped
+     between runs; the per-op decision state lives inside the plan. *)
+  mutable faults : Fault.t option;
+  finjected : int Atomic.t;
+  fretried : int Atomic.t;
+  frecovered : int Atomic.t;
+  fexhausted : int Atomic.t;
 }
 
 (* [Mutex.protect] exists only since OCaml 5.1; the package claims >= 5.0. *)
@@ -54,9 +62,57 @@ let create ~frames =
     reads = Atomic.make 0;
     writes = Atomic.make 0;
     hits = Atomic.make 0;
+    faults = None;
+    finjected = Atomic.make 0;
+    fretried = Atomic.make 0;
+    frecovered = Atomic.make 0;
+    fexhausted = Atomic.make 0;
   }
 
 let frames t = t.capacity
+
+(* ---- fault injection ---- *)
+
+let set_faults t plan = t.faults <- plan
+let faults t = t.faults
+
+type fault_stats = {
+  injected : int;  (** typed faults raised (IO failures and corruptions) *)
+  retried : int;  (** individual retry attempts spent *)
+  recovered : int;  (** reads that succeeded after >= 1 retry *)
+  exhausted : int;  (** reads that still failed after the retry budget *)
+}
+
+let fault_stats t =
+  { injected = Atomic.get t.finjected; retried = Atomic.get t.fretried;
+    recovered = Atomic.get t.frecovered; exhausted = Atomic.get t.fexhausted }
+
+let reset_fault_stats t =
+  Atomic.set t.finjected 0;
+  Atomic.set t.fretried 0;
+  Atomic.set t.frecovered 0;
+  Atomic.set t.fexhausted 0
+
+let io_op_of = function
+  | Fault.Read -> Avq_error.Read
+  | Fault.Write -> Avq_error.Write
+  | Fault.Alloc -> Avq_error.Alloc
+
+let maybe_fault t ~(op : Fault.op) ~file ~page =
+  match t.faults with
+  | None -> ()
+  | Some plan -> (
+    match Fault.check plan ~op ~file ~page with
+    | None -> ()
+    | Some Fault.Fail ->
+      Atomic.incr t.finjected;
+      Avq_error.error
+        (Avq_error.Io_fault { op = io_op_of op; file; page; attempts = 1 })
+    | Some Fault.Corrupt ->
+      Atomic.incr t.finjected;
+      Avq_error.error
+        (Avq_error.Corruption
+           { file; page; detail = "injected checksum mismatch" }))
 
 let count_read t =
   Atomic.incr t.reads;
@@ -110,6 +166,7 @@ let touch t key ~dirty =
   | None -> false
 
 let read t ~file ~page =
+  maybe_fault t ~op:Fault.Read ~file ~page;
   protect t.lock (fun () ->
       let key = (file, page) in
       if not (touch t key ~dirty:false) then begin
@@ -118,6 +175,7 @@ let read t ~file ~page =
       end)
 
 let write t ~file ~page =
+  maybe_fault t ~op:Fault.Write ~file ~page;
   protect t.lock (fun () ->
       let key = (file, page) in
       if not (touch t key ~dirty:true) then begin
@@ -126,9 +184,42 @@ let write t ~file ~page =
       end)
 
 let alloc t ~file ~page =
+  maybe_fault t ~op:Fault.Alloc ~file ~page;
   protect t.lock (fun () ->
       let key = (file, page) in
       if not (touch t key ~dirty:true) then insert t key ~dirty:true)
+
+(* Exponentially-spun backoff: the engine's "disk" is simulated, so the
+   backoff only needs to model give-the-device-a-moment semantics without
+   adding a Unix dependency or real latency to tests. *)
+let backoff attempt =
+  for _ = 1 to 1 lsl min attempt 10 do
+    Domain.cpu_relax ()
+  done
+
+(* Bounded retry for transient faults.  Only [Io_fault] is retried —
+   [Corruption] is permanent by definition and re-raised untouched.  The
+   retry budget comes from the installed plan ([Fault.retries]), so a
+   fault-free pool pays exactly one match on [t.faults] per read. *)
+let read_retrying t ~file ~page =
+  let max_retries =
+    match t.faults with None -> 0 | Some plan -> Fault.retries plan
+  in
+  let rec go attempt =
+    match read t ~file ~page with
+    | () -> if attempt > 1 then Atomic.incr t.frecovered
+    | exception Avq_error.Error (Avq_error.Io_fault f) ->
+      if attempt > max_retries then begin
+        Atomic.incr t.fexhausted;
+        Avq_error.error (Avq_error.Io_fault { f with attempts = attempt })
+      end
+      else begin
+        Atomic.incr t.fretried;
+        backoff attempt;
+        go (attempt + 1)
+      end
+  in
+  go 1
 
 let drop_file t ~file =
   protect t.lock (fun () ->

@@ -31,7 +31,16 @@ val frames : t -> int
 
 val read : t -> file:int -> page:int -> unit
 (** Access an existing page for reading; loads it (counting a physical read)
-    if absent. *)
+    if absent.
+    @raise Avq_error.Error if the installed fault plan fails this access (a
+    faulted op counts no IO and leaves no frame behind). *)
+
+val read_retrying : t -> file:int -> page:int -> unit
+(** Like {!read}, but transient {!Avq_error.Io_fault}s are retried with
+    exponential backoff up to the installed plan's [Fault.retries] budget.
+    Exhausting the budget re-raises with [attempts] set to the total number
+    of tries; [Corruption] is permanent and never retried.  Without a plan
+    this is exactly {!read}. *)
 
 val write : t -> file:int -> page:int -> unit
 (** Access an existing page for writing: like {!read} but marks the frame
@@ -72,3 +81,24 @@ val diff : stats -> stats -> stats
 
 val resident : t -> file:int -> page:int -> bool
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Fault injection}
+
+    A {!Fault.t} plan installed on the pool makes matching operations raise
+    typed {!Avq_error} errors at the exact layer where IO is counted. *)
+
+val set_faults : t -> Fault.t option -> unit
+(** Install (or with [None] remove) the fault plan.  Swap only between
+    runs; the per-op decision state lives inside the plan itself. *)
+
+val faults : t -> Fault.t option
+
+type fault_stats = {
+  injected : int;  (** typed faults raised (IO failures and corruptions) *)
+  retried : int;  (** individual retry attempts spent *)
+  recovered : int;  (** reads that succeeded after >= 1 retry *)
+  exhausted : int;  (** reads that still failed after the retry budget *)
+}
+
+val fault_stats : t -> fault_stats
+val reset_fault_stats : t -> unit

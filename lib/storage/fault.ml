@@ -1,0 +1,219 @@
+type op = Read | Write | Alloc
+
+type action = Fail | Corrupt
+
+type rule = {
+  rop : op option;
+  raction : action;
+  rfile : int option;
+  rpage : int option;
+  rprob : float;
+  revery : int option;
+  rat : int list;
+}
+
+(* A rule plus its match counter.  The counter is atomic so concurrent
+   domains can consult one shared plan; determinism of *which* ops fault is
+   guaranteed for single-threaded replays (the op order is then fixed). *)
+type armed = { arule : rule; count : int Atomic.t }
+
+type t = {
+  pseed : int;
+  pretries : int;
+  prules : armed list;
+  pinjected : int Atomic.t;
+}
+
+let make ?(seed = 0) ?(retries = 0) rules =
+  if retries < 0 then invalid_arg "Fault.make: retries < 0";
+  {
+    pseed = seed;
+    pretries = retries;
+    prules = List.map (fun r -> { arule = r; count = Atomic.make 0 }) rules;
+    pinjected = Atomic.make 0;
+  }
+
+let rule ?op ?(action = Fail) ?file ?page ?(p = 0.) ?every ?(at = []) () =
+  if p < 0. || p > 1. then invalid_arg "Fault.rule: p outside [0,1]";
+  (match every with
+   | Some n when n < 1 -> invalid_arg "Fault.rule: every < 1"
+   | _ -> ());
+  { rop = op; raction = action; rfile = file; rpage = page; rprob = p;
+    revery = every; rat = at }
+
+let seed t = t.pseed
+let retries t = t.pretries
+let rules t = List.map (fun a -> a.arule) t.prules
+let injected t = Atomic.get t.pinjected
+
+(* splitmix64-style avalanche of (seed, rule index, match count) to a float
+   in [0,1): stateless, so the nth matching op's fate is a pure function of
+   the plan — no shared RNG stream to perturb under concurrency. *)
+let hash_unit seed idx n =
+  let z = ref (seed lxor (idx * 0x9e3779b9) lxor (n * 0xbf58476d)) in
+  z := (!z lxor (!z lsr 30)) * 0x1b873593;
+  z := (!z lxor (!z lsr 27)) * 0x94d049bb;
+  z := !z lxor (!z lsr 31);
+  float_of_int (!z land 0xFFFFFF) /. float_of_int 0x1000000
+
+let matches r ~op ~file ~page =
+  (match r.rop with None -> true | Some o -> o = op)
+  && (match r.rfile with None -> true | Some f -> f = file)
+  && (match r.rpage with None -> true | Some p -> p = page)
+
+(* A rule with neither probability nor schedule is persistent: it triggers
+   on every matching op (useful for "this page is bad" scenarios). *)
+let triggers t idx (a : armed) n =
+  let r = a.arule in
+  if r.rat <> [] then List.mem n r.rat
+  else
+    match r.revery with
+    | Some k -> n mod k = 0
+    | None ->
+      if r.rprob > 0. then hash_unit t.pseed idx n < r.rprob else true
+
+let check t ~op ~file ~page =
+  let rec scan idx = function
+    | [] -> None
+    | a :: rest ->
+      if matches a.arule ~op ~file ~page then begin
+        let n = 1 + Atomic.fetch_and_add a.count 1 in
+        if triggers t idx a n then begin
+          Atomic.incr t.pinjected;
+          Some a.arule.raction
+        end
+        else scan (idx + 1) rest
+      end
+      else scan (idx + 1) rest
+  in
+  scan 0 t.prules
+
+(* ---- spec parsing ---- *)
+
+let op_of_string = function
+  | "read" -> Ok (Some Read, Fail)
+  | "write" -> Ok (Some Write, Fail)
+  | "alloc" -> Ok (Some Alloc, Fail)
+  | "io" -> Ok (None, Fail)
+  | "corrupt" -> Ok (Some Read, Corrupt)
+  | s -> Error (Printf.sprintf "unknown fault target %S" s)
+
+let int_of k v =
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s expects an integer, got %S" k v)
+
+let parse_rule target opts =
+  match op_of_string target with
+  | Error _ as e -> e
+  | Ok (rop, raction) ->
+    let r =
+      ref { rop; raction; rfile = None; rpage = None; rprob = 0.;
+            revery = None; rat = [] }
+    in
+    let err = ref None in
+    List.iter
+      (fun opt ->
+        if !err = None then
+          match String.index_opt opt '=' with
+          | None -> err := Some (Printf.sprintf "malformed option %S" opt)
+          | Some i ->
+            let k = String.sub opt 0 i in
+            let v = String.sub opt (i + 1) (String.length opt - i - 1) in
+            let set g = match g with Ok x -> x | Error e -> err := Some e; !r in
+            (match k with
+             | "p" -> (
+               match float_of_string_opt v with
+               | Some p when p >= 0. && p <= 1. -> r := { !r with rprob = p }
+               | _ -> err := Some (Printf.sprintf "p expects a float in [0,1], got %S" v))
+             | "every" ->
+               r := set (Result.map (fun n -> { !r with revery = Some n }) (int_of k v))
+             | "at" ->
+               let parts = String.split_on_char '+' v in
+               let ns = List.filter_map int_of_string_opt parts in
+               if List.length ns <> List.length parts then
+                 err := Some (Printf.sprintf "at expects <n>+<n>+.., got %S" v)
+               else r := { !r with rat = ns }
+             | "file" ->
+               r := set (Result.map (fun n -> { !r with rfile = Some n }) (int_of k v))
+             | "page" ->
+               r := set (Result.map (fun n -> { !r with rpage = Some n }) (int_of k v))
+             | k -> err := Some (Printf.sprintf "unknown rule option %S" k)))
+      opts;
+    (match !err with Some e -> Error e | None -> Ok !r)
+
+let parse spec =
+  let entries =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let seed = ref 0 and retries = ref 0 in
+  let rules = ref [] in
+  let err = ref None in
+  List.iter
+    (fun entry ->
+      if !err = None then
+        match String.index_opt entry ':' with
+        | Some i ->
+          let target = String.sub entry 0 i in
+          let opts =
+            String.sub entry (i + 1) (String.length entry - i - 1)
+            |> String.split_on_char ','
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+          in
+          (match parse_rule target opts with
+           | Ok r -> rules := r :: !rules
+           | Error e -> err := Some e)
+        | None -> (
+          match String.index_opt entry '=' with
+          | None ->
+            (* A bare target like "read" is a persistent every-op rule. *)
+            (match parse_rule entry [] with
+             | Ok r -> rules := r :: !rules
+             | Error e -> err := Some e)
+          | Some i ->
+            let k = String.sub entry 0 i in
+            let v = String.sub entry (i + 1) (String.length entry - i - 1) in
+            (match k, int_of_string_opt v with
+             | "seed", Some n -> seed := n
+             | "retries", Some n when n >= 0 -> retries := n
+             | ("seed" | "retries"), _ ->
+               err := Some (Printf.sprintf "%s expects an integer, got %S" k v)
+             | _ -> err := Some (Printf.sprintf "unknown plan entry %S" entry))))
+    entries;
+  match !err with
+  | Some e -> Error e
+  | None ->
+    if !rules = [] then Error "fault plan has no rules"
+    else Ok (make ~seed:!seed ~retries:!retries (List.rev !rules))
+
+let rule_to_string r =
+  let target =
+    match r.raction, r.rop with
+    | Corrupt, _ -> "corrupt"
+    | Fail, None -> "io"
+    | Fail, Some Read -> "read"
+    | Fail, Some Write -> "write"
+    | Fail, Some Alloc -> "alloc"
+  in
+  let opts =
+    List.concat
+      [
+        (if r.rprob > 0. then [ Printf.sprintf "p=%g" r.rprob ] else []);
+        (match r.revery with Some n -> [ Printf.sprintf "every=%d" n ] | None -> []);
+        (if r.rat <> [] then
+           [ "at=" ^ String.concat "+" (List.map string_of_int r.rat) ]
+         else []);
+        (match r.rfile with Some f -> [ Printf.sprintf "file=%d" f ] | None -> []);
+        (match r.rpage with Some p -> [ Printf.sprintf "page=%d" p ] | None -> []);
+      ]
+  in
+  if opts = [] then target else target ^ ":" ^ String.concat "," opts
+
+let to_string t =
+  String.concat ";"
+    (Printf.sprintf "seed=%d" t.pseed
+     :: Printf.sprintf "retries=%d" t.pretries
+     :: List.map (fun a -> rule_to_string a.arule) t.prules)

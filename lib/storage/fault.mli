@@ -1,0 +1,69 @@
+(** Deterministic, scriptable fault plans for the storage layer.
+
+    A plan is a list of rules matched against every buffer-pool operation
+    (read / write / alloc, including temp-file pages).  The first rule that
+    both {e matches} the operation (op kind, file, page) and {e triggers}
+    (probabilistically, every-nth, or at scheduled op counts) decides the
+    outcome: a typed {!Avq_error.Io_fault} or a simulated checksum
+    {!Avq_error.Corruption}.
+
+    Probabilistic rules are seeded and counter-indexed — the decision for
+    the [n]-th matching operation is a pure hash of [(seed, rule, n)] — so a
+    single-threaded replay of the same plan faults at exactly the same
+    operations every run.
+
+    Spec grammar (entries separated by [;]):
+    {v
+      seed=<int>              plan-wide RNG seed (default 0)
+      retries=<int>           max read retries storage may spend per page
+      <target>:<opt>,<opt>..  one rule
+    v}
+    where [<target>] is [read], [write], [alloc], [io] (any op) or
+    [corrupt] (reads report checksum corruption instead of an IO fault),
+    and each [<opt>] is one of [p=<float>] (per-op fault probability),
+    [every=<n>] (every nth matching op), [at=<n>+<n>+..] (scheduled matching
+    op counts, 1-based), [file=<f>], [page=<p>] (restrict the match; a rule
+    with only [file]/[page] restrictions is persistent — it always
+    triggers). *)
+
+type op = Read | Write | Alloc
+
+type action = Fail | Corrupt
+
+type rule = {
+  rop : op option;  (** [None] matches any op *)
+  raction : action;
+  rfile : int option;
+  rpage : int option;
+  rprob : float;  (** 0. = not probabilistic *)
+  revery : int option;
+  rat : int list;
+}
+
+type t
+
+val make : ?seed:int -> ?retries:int -> rule list -> t
+(** [retries] (default 0) bounds storage-side read retries; see
+    {!Buffer_pool.read_retrying}. *)
+
+val rule :
+  ?op:op -> ?action:action -> ?file:int -> ?page:int -> ?p:float ->
+  ?every:int -> ?at:int list -> unit -> rule
+
+val seed : t -> int
+val retries : t -> int
+val rules : t -> rule list
+
+val injected : t -> int
+(** Total faults this plan has injected (both actions). *)
+
+val check : t -> op:op -> file:int -> page:int -> action option
+(** Consult the plan for one operation.  Bumps the per-rule match counters;
+    returns the action of the first triggering rule, if any. *)
+
+val parse : string -> (t, string) result
+(** Parse the spec grammar above. *)
+
+val to_string : t -> string
+(** Canonical spec rendering ([parse (to_string t)] is equivalent to [t],
+    modulo counters). *)

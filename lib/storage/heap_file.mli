@@ -4,11 +4,24 @@
     fixed-capacity pages (capacity derived from the schema's byte width).
     Every page touched by {!append}, {!get} or the scanning functions is
     routed through the pool, so scans of a table cost [npages] physical reads
-    when cold and zero when resident. *)
+    when cold and zero when resident.
+
+    Robustness: every page carries a content checksum, maintained
+    incrementally on {!append} and verified on fetch when the shared
+    [verify] switch is on (see {!Storage.Faults.install}); a mismatch — e.g.
+    after {!corrupt} — raises a typed {!Avq_error.Corruption} instead of
+    silently returning damaged rows.  Page reads go through
+    {!Buffer_pool.read_retrying}, so transient injected faults are retried
+    within the installed plan's budget. *)
 
 type t
 
-val create : pool:Buffer_pool.t -> file_id:int -> Schema.t -> t
+val create :
+  pool:Buffer_pool.t -> file_id:int -> ?verify:bool Atomic.t -> Schema.t -> t
+(** [create ~pool ~file_id ~verify schema]: [verify] is the
+    checksum-verification switch, usually shared across all heaps of one
+    [Storage.t]; defaults to a private always-off switch. *)
+
 val schema : t -> Schema.t
 val file_id : t -> int
 val page_capacity : t -> int
@@ -21,7 +34,19 @@ val npages : t -> int
 
 val get : t -> Page.rid -> Tuple.t
 (** Fetch one tuple by rid (one page access).
+    @raise Avq_error.Error ([Corruption]) on an out-of-range rid — a
+    dangling reference is structural damage, not a usage error. *)
+
+val corrupt : t -> Page.rid -> unit
+(** Silently damage the stored row without updating the page checksum
+    (simulates media corruption; the next verified fetch of that page raises
+    [Corruption]).
     @raise Invalid_argument on an out-of-range rid. *)
+
+val set_page_hook : t -> (int -> unit) option -> unit
+(** Hook invoked with the page index just before each fresh page is
+    allocated; the executor uses it on temp heaps to enforce spill quotas.
+    An exception from the hook aborts the append with no state change. *)
 
 val scan : t -> (Page.rid -> Tuple.t -> unit) -> unit
 (** Full scan in storage order, accessing each page once. *)
@@ -37,7 +62,8 @@ val scan_segment : t -> page:int -> npages:int -> Tuple.t array * int * int
     not retain it across appends.  This is the batch executor's scan
     primitive: one pool touch per page and no per-tuple copying at all. *)
 
-val of_relation : pool:Buffer_pool.t -> file_id:int -> Relation.t -> t
+val of_relation :
+  pool:Buffer_pool.t -> file_id:int -> ?verify:bool Atomic.t -> Relation.t -> t
 val to_relation : t -> Relation.t
 
 val drop : t -> unit

@@ -30,6 +30,16 @@ val create_temp : t -> Schema.t -> Heap_file.t
 val drop_temp : t -> Heap_file.t -> unit
 (** Release a temp file's frames without write-back. *)
 
+val live_temps : t -> int
+(** Temp files created and not yet dropped, across all domains.  Non-zero
+    after every statement of a run has finished means a leak. *)
+
+val set_verify_checksums : t -> bool -> unit
+(** Toggle page-checksum verification for every heap of this storage
+    (automatically turned on by {!Faults.install}). *)
+
+val verify_checksums : t -> bool
+
 val io_stats : t -> Buffer_pool.stats
 (** Global cumulative pool counters (all domains). *)
 
@@ -46,3 +56,17 @@ val io_snapshot : t -> Buffer_pool.stats
 val io_since : t -> Buffer_pool.stats -> Buffer_pool.stats
 (** [io_since t before] — IO this domain incurred since [before] was
     taken with {!io_snapshot}. *)
+
+(** {2 Fault injection}
+
+    Installing a {!Fault.t} plan makes matching buffer-pool operations (heap,
+    index and temp pages alike) raise typed {!Avq_error} errors, and turns
+    page-checksum verification on so injected silent corruption is caught at
+    fetch time. *)
+module Faults : sig
+  val install : t -> Fault.t -> unit
+  val clear : t -> unit
+  val plan : t -> Fault.t option
+  val stats : t -> Buffer_pool.fault_stats
+  val reset_stats : t -> unit
+end

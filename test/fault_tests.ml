@@ -1,0 +1,316 @@
+(* Robustness: deterministic fault injection, page checksums, typed errors,
+   retry recovery, statement limits (timeout / cancel / spill quota) and
+   graceful pool degradation under injected faults. *)
+
+let tiny =
+  { Tpcd.default_params with customers = 40; orders_per_customer = 3;
+    lines_per_order = 3; parts = 30; suppliers = 8 }
+
+let nation_sql =
+  "SELECT c.nation AS nation, COUNT(*) AS n FROM customer c GROUP BY c.nation"
+
+let heap_schema =
+  Schema.of_columns
+    [ Schema.column ~qual:"t" "k" Datatype.Int;
+      Schema.column ~qual:"t" "v" Datatype.Int ]
+
+(* ---- fault-plan spec ---- *)
+
+let parse_spec () =
+  (match Fault.parse "seed=7;retries=6;read:p=0.01;corrupt:file=2,at=3+5" with
+   | Error m -> Alcotest.fail m
+   | Ok plan ->
+     Alcotest.(check int) "seed" 7 (Fault.seed plan);
+     Alcotest.(check int) "retries" 6 (Fault.retries plan);
+     Alcotest.(check int) "rules" 2 (List.length (Fault.rules plan));
+     (* canonical rendering is a fixed point *)
+     (match Fault.parse (Fault.to_string plan) with
+      | Ok p2 ->
+        Alcotest.(check string) "roundtrip"
+          (Fault.to_string plan) (Fault.to_string p2)
+      | Error m -> Alcotest.fail ("roundtrip: " ^ m)));
+  List.iter
+    (fun bad ->
+      match Fault.parse bad with
+      | Ok _ -> Alcotest.fail ("accepted bad spec: " ^ bad)
+      | Error _ -> ())
+    [ "read:p=zebra"; "frobnicate:p=0.1"; "read:p=1.5"; "seed=" ]
+
+(* A scheduled rule faults exactly at its listed matching-op counts. *)
+let scheduled_faults () =
+  let plan = Fault.make [ Fault.rule ~op:Fault.Read ~at:[ 2; 4 ] () ] in
+  let pool = Buffer_pool.create ~frames:8 in
+  Buffer_pool.set_faults pool (Some plan);
+  let outcomes =
+    List.init 5 (fun i ->
+        match Buffer_pool.read pool ~file:0 ~page:i with
+        | () -> false
+        | exception Avq_error.Error (Avq_error.Io_fault _) -> true)
+  in
+  Alcotest.(check (list bool)) "faults at scheduled ops only"
+    [ false; true; false; true; false ]
+    outcomes;
+  Alcotest.(check int) "plan counted them" 2 (Fault.injected plan)
+
+(* Probabilistic rules are pure in (seed, rule, match count): two fresh
+   plans from the same spec fault the same op sequence identically. *)
+let deterministic_probability () =
+  let run () =
+    match Fault.parse "seed=42;read:p=0.3" with
+    | Error m -> Alcotest.fail m
+    | Ok plan ->
+      let pool = Buffer_pool.create ~frames:4 in
+      Buffer_pool.set_faults pool (Some plan);
+      List.init 100 (fun i ->
+          match Buffer_pool.read pool ~file:1 ~page:(i mod 8) with
+          | () -> false
+          | exception Avq_error.Error (Avq_error.Io_fault _) -> true)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list bool)) "identical fault positions" a b;
+  Alcotest.(check bool) "some faults fired" true (List.mem true a);
+  Alcotest.(check bool) "not every op faulted" true (List.mem false a)
+
+(* ---- checksums ---- *)
+
+let checksum_detects_corruption () =
+  let pool = Buffer_pool.create ~frames:64 in
+  let verify = Atomic.make true in
+  let h = Heap_file.create ~pool ~file_id:0 ~verify heap_schema in
+  for i = 0 to 99 do
+    ignore (Heap_file.append h [| Value.Int i; Value.Int (i * i) |])
+  done;
+  Heap_file.scan h (fun _ _ -> ());  (* clean pages verify fine *)
+  Heap_file.corrupt h { Page.page = 0; slot = 0 };
+  (match Heap_file.get h { Page.page = 0; slot = 1 } with
+   | _ -> Alcotest.fail "corrupted page served silently"
+   | exception Avq_error.Error (Avq_error.Corruption { file = 0; page = 0; _ })
+     -> ());
+  (* scans hit the same page and must also refuse it *)
+  (match Heap_file.scan h (fun _ _ -> ()) with
+   | () -> Alcotest.fail "scan served a corrupted page"
+   | exception Avq_error.Error (Avq_error.Corruption _) -> ());
+  (* with verification off the damage goes unnoticed (the hazard the
+     checksums exist to remove) *)
+  Atomic.set verify false;
+  ignore (Heap_file.get h { Page.page = 0; slot = 1 })
+
+let bad_rid_is_typed () =
+  let pool = Buffer_pool.create ~frames:8 in
+  let h = Heap_file.create ~pool ~file_id:3 heap_schema in
+  ignore (Heap_file.append h [| Value.Int 1; Value.Int 2 |]);
+  match Heap_file.get h { Page.page = 77; slot = 0 } with
+  | _ -> Alcotest.fail "out-of-range rid should raise"
+  | exception Avq_error.Error (Avq_error.Corruption { file = 3; page = 77; _ })
+    -> ()
+
+(* ---- retries ---- *)
+
+let retry_exhaustion () =
+  (* A persistent rule on one file: read_retrying spends the whole budget,
+     then surfaces a typed fault carrying the attempt count. *)
+  let plan =
+    Fault.make ~retries:3 [ Fault.rule ~op:Fault.Read ~file:5 () ]
+  in
+  let pool = Buffer_pool.create ~frames:4 in
+  Buffer_pool.set_faults pool (Some plan);
+  (match Buffer_pool.read_retrying pool ~file:5 ~page:0 with
+   | () -> Alcotest.fail "persistent fault should exhaust the budget"
+   | exception Avq_error.Error (Avq_error.Io_fault { attempts; file; _ }) ->
+     Alcotest.(check int) "attempts = 1 + retries" 4 attempts;
+     Alcotest.(check int) "file" 5 file);
+  let fs = Buffer_pool.fault_stats pool in
+  Alcotest.(check int) "retried" 3 fs.Buffer_pool.retried;
+  Alcotest.(check int) "exhausted" 1 fs.Buffer_pool.exhausted;
+  Alcotest.(check int) "recovered" 0 fs.Buffer_pool.recovered;
+  (* other files are untouched *)
+  Buffer_pool.read_retrying pool ~file:6 ~page:0
+
+let retry_recovers_identically () =
+  let cat =
+    Tpcd.load ~params:{ tiny with Tpcd.customers = 400 } ()
+  in
+  let svc = Service.create cat in
+  let _, baseline, _ = Service.submit svc nation_sql in
+  let st = Catalog.storage cat in
+  (* every 2nd read faults; its retry is the next matching op (odd count),
+     so each fault recovers after exactly one retry — deterministically. *)
+  (match Fault.parse "retries=4;read:every=2" with
+   | Error m -> Alcotest.fail m
+   | Ok plan -> Storage.Faults.install st plan);
+  let _, faulted, _ = Service.submit svc nation_sql in
+  let fs = Storage.Faults.stats st in
+  Storage.Faults.clear st;
+  Alcotest.(check bool) "faults actually fired" true
+    (fs.Buffer_pool.injected > 0);
+  Alcotest.(check int) "every faulted read recovered" 0
+    fs.Buffer_pool.exhausted;
+  Alcotest.(check bool) "recovered run identical to fault-free run" true
+    (Relation.multiset_equal baseline faulted);
+  Alcotest.(check int) "no temp leak" 0 (Storage.live_temps st)
+
+(* ---- statement limits ---- *)
+
+let timeout_and_cancel () =
+  let cat = Tpcd.load ~params:tiny () in
+  let ctx = Exec_ctx.create cat in
+  Exec_ctx.begin_statement ~timeout_ms:0.5 ctx;
+  Unix.sleepf 0.002;
+  (match Exec_ctx.check ctx with
+   | () -> Alcotest.fail "deadline passed but check succeeded"
+   | exception Avq_error.Error (Avq_error.Timeout { limit_ms }) ->
+     Alcotest.(check (float 1e-9)) "limit reported" 0.5 limit_ms);
+  let tok = Atomic.make false in
+  Exec_ctx.begin_statement ~cancel:tok ctx;
+  Exec_ctx.check ctx;  (* not cancelled yet *)
+  Atomic.set tok true;
+  (match Exec_ctx.check ctx with
+   | () -> Alcotest.fail "cancelled token ignored"
+   | exception Avq_error.Error Avq_error.Cancelled -> ());
+  (* service-level: a configured deadline surfaces as a typed statement
+     error and bumps the timeout counter *)
+  let config =
+    { Service.default_config with Service.statement_timeout_ms = Some 0.0001 }
+  in
+  let svc = Service.create ~config cat in
+  (match Service.submit svc nation_sql with
+   | _ -> Alcotest.fail "statement should have timed out"
+   | exception Avq_error.Error (Avq_error.Timeout _) -> ());
+  let s = Service.stats svc in
+  Alcotest.(check int) "timeout counted" 1 s.Service.errors.Service.timeouts;
+  Alcotest.(check int) "call still counted" 1 s.Service.calls;
+  Alcotest.(check int) "no temp leak" 0
+    (Storage.live_temps (Catalog.storage cat))
+
+let spill_quota_enforced () =
+  let cat = Tpcd.load ~params:tiny () in
+  let ctx = Exec_ctx.create cat in
+  Exec_ctx.begin_statement ~spill_quota:2 ctx;
+  let h = Exec_ctx.temp ctx heap_schema in
+  let cap = Heap_file.page_capacity h in
+  (match
+     for i = 0 to 2 * cap do
+       ignore (Heap_file.append h [| Value.Int i; Value.Int i |])
+     done
+   with
+   | () -> Alcotest.fail "third temp page should exceed the quota"
+   | exception
+       Avq_error.Error
+         (Avq_error.Resource_exceeded { resource = "temp-pages"; limit; used })
+     ->
+     Alcotest.(check int) "limit" 2 limit;
+     Alcotest.(check int) "used" 3 used);
+  Alcotest.(check int) "rows below quota all landed" (2 * cap)
+    (Heap_file.nrows h);
+  Exec_ctx.cleanup ctx;
+  Alcotest.(check int) "no temp leak" 0
+    (Storage.live_temps (Exec_ctx.storage ctx))
+
+let pool_cancellation () =
+  let cat = Tpcd.load ~params:tiny () in
+  let svc = Service.create cat in
+  Service.Pool.with_pool ~workers:2 svc (fun pool ->
+      let futs = List.init 8 (fun _ -> Service.Pool.submit_sql pool nation_sql) in
+      List.iter Service.Pool.cancel futs;
+      let resolved =
+        List.fold_left
+          (fun n f ->
+            match Service.Pool.await f with
+            | _ -> n + 1
+            | exception Avq_error.Error Avq_error.Cancelled -> n + 1)
+          0 futs
+      in
+      Alcotest.(check int) "every future resolved (Ok or Cancelled)" 8 resolved;
+      (* the pool keeps serving after a burst of cancellations *)
+      let _, rel, _ = Service.Pool.await (Service.Pool.submit_sql pool nation_sql) in
+      Alcotest.(check bool) "pool alive" true (Relation.cardinality rel > 0);
+      Alcotest.(check int) "all jobs executed" 9 (Service.Pool.executed pool));
+  Alcotest.(check int) "no temp leak" 0
+    (Storage.live_temps (Catalog.storage cat))
+
+(* ---- qcheck soak: a 4-worker pool under a random fault schedule ---- *)
+
+let soak_sqls =
+  [
+    nation_sql;
+    "SELECT c.nation AS nation, SUM(o.totalprice) AS total FROM customer c, \
+     orders o WHERE o.ck = c.ck GROUP BY c.nation";
+    "SELECT o.ck AS ck, COUNT(*) AS n FROM orders o GROUP BY o.ck";
+  ]
+
+let counters_add_up (s : Service.stats) =
+  s.Service.hits + s.Service.rebinds + s.Service.misses
+  + s.Service.recost_fallbacks + s.Service.rebind_conflicts
+  = s.Service.calls
+
+let soak =
+  QCheck.Test.make ~count:8
+    ~name:"pool soak under faults: no leaks, no deaths, exact counters"
+    QCheck.(triple small_nat (int_bound 5) (int_bound 8))
+    (fun (seed, prob_pct, retries) ->
+      let cat = Tpcd.load ~params:tiny () in
+      let st = Catalog.storage cat in
+      (* fault-free baseline, one relation per template *)
+      let base_svc = Service.create cat in
+      let baseline =
+        List.map
+          (fun sql ->
+            let _, rel, _ = Service.submit base_svc sql in
+            rel)
+          soak_sqls
+      in
+      let spec =
+        Printf.sprintf "seed=%d;retries=%d;read:p=%.2f" seed retries
+          (float_of_int prob_pct /. 100.)
+      in
+      (match Fault.parse spec with
+       | Ok plan -> Storage.Faults.install st plan
+       | Error m -> Alcotest.fail m);
+      let svc = Service.create cat in
+      let reps = 4 in
+      let njobs = reps * List.length soak_sqls in
+      let ok = ref true in
+      Service.Pool.with_pool ~workers:4 svc (fun pool ->
+          let futs =
+            List.concat_map
+              (fun _ ->
+                List.mapi (fun i sql -> (i, Service.Pool.submit_sql pool sql))
+                  soak_sqls)
+              (List.init reps Fun.id)
+          in
+          List.iter
+            (fun (i, fut) ->
+              match Service.Pool.await fut with
+              | _, rel, _ ->
+                if not (Relation.multiset_equal (List.nth baseline i) rel)
+                then ok := false
+              | exception Avq_error.Error _ -> ()  (* typed failure: fine *)
+              | exception _ -> ok := false)
+            futs;
+          if Service.Pool.executed pool <> njobs then ok := false);
+      Storage.Faults.clear st;
+      let s = Service.stats svc in
+      !ok && counters_add_up s
+      && s.Service.calls <= njobs  (* bad statements never planned *)
+      && Storage.live_temps st = 0)
+
+let tests =
+  [
+    Alcotest.test_case "fault-plan spec parses and round-trips" `Quick parse_spec;
+    Alcotest.test_case "scheduled rules fault at exact ops" `Quick scheduled_faults;
+    Alcotest.test_case "probabilistic rules are deterministic" `Quick
+      deterministic_probability;
+    Alcotest.test_case "checksum turns corruption into typed error" `Quick
+      checksum_detects_corruption;
+    Alcotest.test_case "out-of-range rid is typed corruption" `Quick
+      bad_rid_is_typed;
+    Alcotest.test_case "retry budget exhaustion is typed" `Quick retry_exhaustion;
+    Alcotest.test_case "retries recover byte-identical results" `Quick
+      retry_recovers_identically;
+    Alcotest.test_case "timeout and cancellation are typed" `Quick
+      timeout_and_cancel;
+    Alcotest.test_case "spill quota bounds temp pages" `Quick spill_quota_enforced;
+    Alcotest.test_case "pool degrades gracefully under cancellation" `Quick
+      pool_cancellation;
+    QCheck_alcotest.to_alcotest soak;
+  ]

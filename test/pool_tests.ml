@@ -104,8 +104,7 @@ let exceptions_propagate () =
       let raised =
         match Service.Pool.await bad with
         | _ -> false
-        | exception (Parser.Parse_error _ | Lexer.Lex_error _ | Binder.Bind_error _)
-          -> true
+        | exception Avq_error.Error (Avq_error.Bad_statement _) -> true
       in
       Alcotest.(check bool) "worker-side error re-raised at await" true raised;
       let _, rel, _ = Service.Pool.await ok in

@@ -24,4 +24,5 @@ let () =
       ("service", Service_tests.tests);
       ("errorpath", Errorpath_tests.tests);
       ("pool", Pool_tests.tests);
+      ("fault", Fault_tests.tests);
     ]
