@@ -6,20 +6,30 @@
    automatically); [main] writes the pending records to BENCH_E<k>.json
    after each experiment so CI can archive a perf trajectory. *)
 module Json = struct
+  (* Schema v2: every record is {name, config, metrics} — [config] holds the
+     setup knobs that define the data point (strings), [metrics] the measured
+     quantities (numbers).  [io], [wall_ms] and [rows_per_sec] are present in
+     every record; experiments append extras ([hit_ratio], [overhead], ...).
+     The envelope carries the schema version and a run timestamp supplied by
+     the runner, so archived files from different CI runs are comparable. *)
+
+  let schema_version = 2
+
   type record = {
     rname : string;
-    rparams : (string * string) list;
-    rio : int;
-    rwall_ms : float;
-    rrows_per_sec : float;
+    rconfig : (string * string) list;
+    rmetrics : (string * float) list;
   }
 
   let pending : record list ref = ref []
 
-  let record ~name ?(params = []) ~io ~wall_ms ~rows_per_sec () =
+  let record ~name ?(config = []) ?(extra = []) ~io ~wall_ms ~rows_per_sec () =
     pending :=
-      { rname = name; rparams = params; rio = io; rwall_ms = wall_ms;
-        rrows_per_sec = rows_per_sec }
+      { rname = name;
+        rconfig = config;
+        rmetrics =
+          ("io", float_of_int io) :: ("wall_ms", wall_ms)
+          :: ("rows_per_sec", rows_per_sec) :: extra }
       :: !pending
 
   let escape s =
@@ -35,24 +45,35 @@ module Json = struct
       s;
     Buffer.contents buf
 
-  let write ~exp =
+  let num x =
+    if Float.is_nan x then "0"
+    else if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.6g" x
+
+  let write ~exp ~ts =
     let recs = List.rev !pending in
     pending := [];
     let oc = open_out (Printf.sprintf "BENCH_%s.json" exp) in
     let out fmt = Printf.fprintf oc fmt in
-    out "{\n  \"experiment\": \"%s\",\n  \"records\": [" (escape exp);
+    out "{\n  \"experiment\": \"%s\",\n  \"schema\": %d,\n  \"ts\": %.3f,\n  \"records\": ["
+      (escape exp) schema_version ts;
     List.iteri
       (fun i r ->
-        out "%s\n    { \"name\": \"%s\", \"params\": {"
+        out "%s\n    { \"name\": \"%s\", \"config\": {"
           (if i = 0 then "" else ",")
           (escape r.rname);
         List.iteri
           (fun j (k, v) ->
             out "%s\"%s\": \"%s\"" (if j = 0 then "" else ", ") (escape k)
               (escape v))
-          r.rparams;
-        out "}, \"io\": %d, \"wall_ms\": %.3f, \"rows_per_sec\": %.1f }"
-          r.rio r.rwall_ms r.rrows_per_sec)
+          r.rconfig;
+        out "}, \"metrics\": {";
+        List.iteri
+          (fun j (k, v) ->
+            out "%s\"%s\": %s" (if j = 0 then "" else ", ") (escape k) (num v))
+          r.rmetrics;
+        out "} }")
       recs;
     out "\n  ]\n}\n";
     close_out oc
@@ -91,7 +112,7 @@ let run_algo ?(work_mem = 32) ?paper_opts ?tag cat query algorithm =
   let nrows = Relation.cardinality rel in
   Json.record
     ~name:(Option.value ~default:(algo_name algorithm) tag)
-    ~params:[ ("algo", algo_name algorithm); ("work_mem", string_of_int work_mem) ]
+    ~config:[ ("algo", algo_name algorithm); ("work_mem", string_of_int work_mem) ]
     ~io:(io.Buffer_pool.reads + io.Buffer_pool.writes)
     ~wall_ms
     ~rows_per_sec:

@@ -84,6 +84,25 @@ let run () =
 
   let mismatches = check_results cat calls in
 
+  let record mode (st : Service.stats) plan_ms =
+    Bench_util.Json.record ~name:mode
+      ~config:
+        [ ("cache", mode);
+          ("calls", string_of_int n_calls);
+          ("templates", string_of_int n_templates) ]
+      ~extra:
+        [ ("hit_ratio", Service.hit_ratio st);
+          ("hits", float_of_int st.Service.hits);
+          ("rebinds", float_of_int st.Service.rebinds);
+          ("misses", float_of_int st.Service.misses);
+          ("opt_ms", st.Service.opt_ms_total) ]
+      ~io:0 ~wall_ms:plan_ms
+      ~rows_per_sec:(float_of_int n_calls /. (plan_ms /. 1000.))
+      ()
+  in
+  record "on" on on_plan_ms;
+  record "off" off off_plan_ms;
+
   let speedup = off.Service.opt_ms_total /. max 0.001 on.Service.opt_ms_total in
   Bench_util.print_table
     ~title:

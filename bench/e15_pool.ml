@@ -156,12 +156,13 @@ let run () =
     (fun r ->
       Bench_util.Json.record
         ~name:(Printf.sprintf "pool-w%d" r.rworkers)
-        ~params:
+        ~config:
           [ ("workers", string_of_int r.rworkers);
             ("calls", string_of_int n_calls);
-            ("cores", string_of_int cores);
-            ("hit_ratio", Bench_util.f2 (Service.hit_ratio r.rstats));
-            ("stale_hits", string_of_int r.rstats.Service.stale_hits) ]
+            ("cores", string_of_int cores) ]
+        ~extra:
+          [ ("hit_ratio", Service.hit_ratio r.rstats);
+            ("stale_hits", float_of_int r.rstats.Service.stale_hits) ]
         ~io:r.rio ~wall_ms:r.rwall_ms
         ~rows_per_sec:(float_of_int n_calls /. (r.rwall_ms /. 1000.))
         ())

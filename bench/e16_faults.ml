@@ -133,21 +133,23 @@ let run () =
     (fun r ->
       Bench_util.Json.record
         ~name:(Printf.sprintf "faults-p%g-r%d" r.rrate r.rretries)
-        ~params:
+        ~config:
           [ ("fault_p", Printf.sprintf "%g" r.rrate);
             ("retries", string_of_int r.rretries);
-            ("workers", string_of_int workers);
-            ("ok", string_of_int r.rok);
-            ("errors", string_of_int r.rerrors);
-            ("injected", string_of_int r.rfaults.Buffer_pool.injected);
-            ("retried", string_of_int r.rfaults.Buffer_pool.retried);
-            ("recovered", string_of_int r.rfaults.Buffer_pool.recovered);
-            ("exhausted", string_of_int r.rfaults.Buffer_pool.exhausted);
-            ("mismatches", string_of_int r.rmismatch);
-            ("leaks", string_of_int r.rleaks);
-            ("executed", string_of_int r.rexecuted);
-            ("io_faults", string_of_int r.rstats.Service.errors.Service.io_faults);
-            ("hit_ratio", Bench_util.f2 (Service.hit_ratio r.rstats)) ]
+            ("workers", string_of_int workers) ]
+        ~extra:
+          [ ("ok", float_of_int r.rok);
+            ("errors", float_of_int r.rerrors);
+            ("injected", float_of_int r.rfaults.Buffer_pool.injected);
+            ("retried", float_of_int r.rfaults.Buffer_pool.retried);
+            ("recovered", float_of_int r.rfaults.Buffer_pool.recovered);
+            ("exhausted", float_of_int r.rfaults.Buffer_pool.exhausted);
+            ("mismatches", float_of_int r.rmismatch);
+            ("leaks", float_of_int r.rleaks);
+            ("executed", float_of_int r.rexecuted);
+            ("io_faults",
+             float_of_int r.rstats.Service.errors.Service.io_faults);
+            ("hit_ratio", Service.hit_ratio r.rstats) ]
         ~io:0 ~wall_ms:r.rwall_ms
         ~rows_per_sec:(float_of_int njobs /. (r.rwall_ms /. 1000.))
         ())

@@ -1,0 +1,102 @@
+(* E17 — observability overhead.  The session layer pays for tracing only
+   when a tracer is installed: the untraced path runs the plain executor,
+   the traced path runs under per-operator profiling and synthesizes spans
+   from the profile tree after the run.  This experiment measures that
+   price on the E14-style scan -> filter -> group workload: the same
+   statement replayed through two services over one catalog — one with a
+   tracer writing to /dev/null, one without — interleaved, median of 15.
+   Acceptance: overhead <= 5% of rows/sec. *)
+
+let sql =
+  "SELECT s.prod AS prod, SUM(s.qty) AS units FROM sales s WHERE s.qty <= 3 \
+   GROUP BY s.prod"
+
+let reps = 20
+
+let time_run n f g =
+  let once h =
+    let t0 = Unix.gettimeofday () in
+    h ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Interleaved, alternating which side goes first: the second runner in a
+     pair inherits the first one's GC debt (~10% on this workload), so a
+     fixed order would charge that entirely to one side. *)
+  let ts_f = Array.make n 0. and ts_g = Array.make n 0. in
+  for i = 0 to n - 1 do
+    if i land 1 = 0 then begin
+      ts_f.(i) <- once f;
+      ts_g.(i) <- once g
+    end
+    else begin
+      ts_g.(i) <- once g;
+      ts_f.(i) <- once f
+    end
+  done;
+  let median ts =
+    Array.sort compare ts;
+    ts.(n / 2)
+  in
+  (median ts_f, median ts_g)
+
+let run () =
+  let cat =
+    Star.load
+      ~params:{ Star.default_params with days = 120; rows_per_day = 400 } ()
+  in
+  let svc_off = Service.create cat in
+  let svc_on = Service.create cat in
+  let tracer = Trace.create ~out:(open_out "/dev/null") ~owns_out:true () in
+  Service.set_tracer svc_on (Some tracer);
+  let stmt_off = Service.prepare svc_off sql in
+  let stmt_on = Service.prepare svc_on sql in
+  (* Warm both pools and caches before timing. *)
+  ignore (Service.execute svc_off stmt_off);
+  ignore (Service.execute svc_on stmt_on);
+  (* The scan reads every fact row; rows/sec is input-relative like E14. *)
+  let input_rows = (Catalog.table_exn cat "sales").Catalog.tstats.Stats.card in
+  let batch n svc stmt () =
+    for _ = 1 to n do
+      ignore (Service.execute svc stmt)
+    done
+  in
+  let t_off, t_on =
+    time_run 15 (batch reps svc_off stmt_off) (batch reps svc_on stmt_on)
+  in
+  let rps t = float_of_int (reps * input_rows) /. t in
+  let overhead = 1. -. (rps t_on /. rps t_off) in
+  let record mode t =
+    Bench_util.Json.record
+      ~name:(Printf.sprintf "obs-%s" mode)
+      ~config:
+        [ ("obs", mode);
+          ("reps", string_of_int reps);
+          ("input_rows", string_of_int input_rows) ]
+      ~extra:[ ("overhead", overhead) ]
+      ~io:0 ~wall_ms:(t *. 1000.) ~rows_per_sec:(rps t) ()
+  in
+  record "off" t_off;
+  record "on" t_on;
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "E17  Tracing + profiling overhead, %d reps of scan->filter->group \
+          over %d fact rows (acceptance: <= 5%%)"
+         reps input_rows)
+    ~header:[ "obs"; "wall-ms"; "rows/sec"; "overhead" ]
+    [
+      [ "off"; Bench_util.f1 (t_off *. 1000.); Bench_util.f1 (rps t_off); "-" ];
+      [ "on"; Bench_util.f1 (t_on *. 1000.); Bench_util.f1 (rps t_on);
+        Printf.sprintf "%.1f%%" (100. *. overhead) ];
+    ];
+  Printf.printf "\nspans emitted: %d\n" (Trace.spans_emitted tracer);
+  if overhead > 0.05 then
+    Printf.printf
+      "note: overhead %.1f%% exceeds the 5%% acceptance bound on this host \
+       — per-operator profiling dominates on small inputs; re-run on an \
+       unloaded machine before reading much into it.\n"
+      (100. *. overhead)
+  else
+    Printf.printf "overhead %.1f%% within the 5%% acceptance bound\n"
+      (100. *. overhead);
+  Trace.close tracer

@@ -23,6 +23,7 @@ let experiments =
     ("E14", E14_batchexec.run);
     ("E15", E15_pool.run);
     ("E16", E16_faults.run);
+    ("E17", E17_obs.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's
@@ -97,11 +98,12 @@ let () =
       if selected = [] then experiments
       else List.filter (fun (n, _) -> List.mem n selected) experiments
     in
+    let ts = Unix.gettimeofday () in
     List.iter
       (fun (name, run) ->
         Printf.printf "\n================ %s ================\n%!" name;
         run ();
-        Bench_util.Json.write ~exp:name;
+        Bench_util.Json.write ~exp:name ~ts;
         print_newline ())
       to_run
   end

@@ -288,8 +288,36 @@ let session_cmd =
              fail with typed IO errors (retried within the plan's budget); \
              checksum verification is turned on.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the session's metrics registry to $(docv) at the end of \
+             the replay — JSON, or Prometheus text if $(docv) ends in \
+             $(b,.prom).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Emit one span tree per statement (parse, canonicalize, plan, \
+             execute, per-operator spans) as JSONL to $(docv).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query log: statements taking at least $(docv) milliseconds \
+             are reported to stderr with their trace id.")
+  in
   let run algo db scale seed work_mem no_cache recost_ratio workers timeout_ms
-      spill_quota fault_plan file =
+      spill_quota fault_plan metrics_out trace_out slow_ms file =
     if recost_ratio < 1.0 then begin
       Format.eprintf "avq session: --recost-ratio must be >= 1.0@.";
       exit 1
@@ -332,6 +360,15 @@ let session_cmd =
       }
     in
     let svc = Service.create ~config cat in
+    (* A --slow-ms threshold without --trace-out still wants the tracer (for
+       the stderr slow log); spans just go nowhere. *)
+    let tracer =
+      match trace_out, slow_ms with
+      | None, None -> None
+      | Some path, _ -> Some (Trace.create_file ?slow_ms path)
+      | None, Some _ -> Some (Trace.create ?slow_ms ())
+    in
+    Service.set_tracer svc tracer;
     let text =
       match file with
       | Some path -> In_channel.with_open_text path In_channel.input_all
@@ -344,6 +381,24 @@ let session_cmd =
             Replay.replay_pool pool text)
     in
     Replay.report Format.std_formatter svc lines;
+    Option.iter
+      (fun tr ->
+        Trace.close tr;
+        Format.printf "trace: %d spans emitted, %d slow statements%s@."
+          (Trace.spans_emitted tr) (Trace.slow_statements tr)
+          (match trace_out with Some p -> " -> " ^ p | None -> ""))
+      tracer;
+    Option.iter
+      (fun path ->
+        let m = Service.metrics svc in
+        let body =
+          if Filename.check_suffix path ".prom" then Metrics.to_prometheus m
+          else Metrics.to_json m
+        in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc body);
+        Format.printf "metrics -> %s@." path)
+      metrics_out;
     if faults <> None then begin
       let st = Catalog.storage cat in
       let fs = Storage.Faults.stats st in
@@ -363,7 +418,8 @@ let session_cmd =
   Cmd.v (Cmd.info "session" ~doc)
     Term.(
       const run $ algo $ db $ scale $ seed $ work_mem $ no_cache $ recost_ratio
-      $ workers $ timeout_ms $ spill_quota $ fault_plan $ file)
+      $ workers $ timeout_ms $ spill_quota $ fault_plan $ metrics_out
+      $ trace_out $ slow_ms $ file)
 
 let main =
   let doc = "cost-based optimization of queries with aggregate views (EDBT'96)" in

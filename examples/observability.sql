@@ -1,0 +1,23 @@
+-- Observability demo for `avq session` (CI smoke test):
+-- EXPLAIN ANALYZE renders the estimated-vs-actual tree with per-node
+-- q-errors, and \metrics dumps the service registry mid-replay.
+--   dune exec bin/avq.exe -- session \
+--     --metrics-out metrics.json --trace-out trace.jsonl --slow-ms 500 \
+--     examples/observability.sql
+
+SELECT e.dno AS dno, AVG(e.sal) AS avg_sal FROM emp e
+WHERE e.age > 30 AND e.sal > 1000 GROUP BY e.dno;;
+
+EXPLAIN ANALYZE SELECT e.dno AS dno, SUM(e.sal) AS total FROM emp e
+WHERE e.age <= 40 GROUP BY e.dno;;
+
+-- same template, fresh constants: served from the plan cache (rebind)
+SELECT e.dno AS dno, AVG(e.sal) AS avg_sal FROM emp e
+WHERE e.age > 45 AND e.sal > 2000 GROUP BY e.dno;;
+
+EXPLAIN ANALYZE SELECT e.eno AS eno, e.sal AS sal FROM emp e
+WHERE e.sal <= 30000;;
+
+\metrics;;
+
+\metrics prom;;

@@ -15,18 +15,7 @@ let node_label = function
   | Physical.Materialize _ -> "Materialize"
   | Physical.Limit l -> Printf.sprintf "Limit %d" l.count
 
-let children = function
-  | Physical.Seq_scan _ | Physical.Index_scan _ -> []
-  | Physical.Filter f -> [ f.input ]
-  | Physical.Block_nl_join j -> [ j.left; j.right ]
-  | Physical.Index_nl_join j -> [ j.left ]
-  | Physical.Hash_join j -> [ j.left; j.right ]
-  | Physical.Merge_join j -> [ j.left; j.right ]
-  | Physical.Sort s -> [ s.input ]
-  | Physical.Hash_group g | Physical.Sort_group g -> [ g.input ]
-  | Physical.Project p -> [ p.input ]
-  | Physical.Materialize m -> [ m.input ]
-  | Physical.Limit l -> [ l.input ]
+let children = Physical.inputs
 
 let pp cat ~work_mem ppf plan =
   let rec go indent node =

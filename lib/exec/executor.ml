@@ -111,21 +111,6 @@ let step_states states fns tup =
 
 let finish_group key states = Tuple.concat key (Array.of_list (List.map Aggregate.finish states))
 
-let node_name = function
-  | Physical.Seq_scan s -> "SeqScan(" ^ s.table ^ ")"
-  | Physical.Index_scan s -> "IndexScan(" ^ s.table ^ ")"
-  | Physical.Filter _ -> "Filter"
-  | Physical.Project _ -> "Project"
-  | Physical.Materialize _ -> "Materialize"
-  | Physical.Sort _ -> "Sort"
-  | Physical.Limit _ -> "Limit"
-  | Physical.Block_nl_join _ -> "BNLJoin"
-  | Physical.Index_nl_join j -> "IndexNLJoin(" ^ j.table ^ ")"
-  | Physical.Hash_join _ -> "HashJoin"
-  | Physical.Merge_join _ -> "MergeJoin"
-  | Physical.Hash_group _ -> "HashGroup"
-  | Physical.Sort_group _ -> "SortGroup"
-
 (* ---- hash-join building blocks shared by the row and batch paths ---- *)
 
 let build_hash_table build_keys build_rows =
@@ -200,21 +185,54 @@ let guard_biter ctx (bit : Biter.t) =
   in
   { bit with Biter.next_batch }
 
+(* Open a plan node under a profile node, attributing wall time and page IO
+   spent during the open itself (blocking operators — hash build, sort,
+   group — drain their inputs here, before the first pull).  Records partial
+   open stats even when the open raises, so aborted statements keep the work
+   done so far. *)
+let profiled_open ctx prof plan raw_open =
+  let st = Exec_ctx.storage ctx in
+  let node = Profile.enter prof (Physical.op_name plan) in
+  let t0 = Unix.gettimeofday () in
+  let before = Storage.io_snapshot st in
+  let record () =
+    let io = Storage.io_since st before in
+    node.Profile.open_ms <- (Unix.gettimeofday () -. t0) *. 1000.;
+    node.Profile.open_reads <- io.Buffer_pool.reads;
+    node.Profile.open_writes <- io.Buffer_pool.writes;
+    node.Profile.open_hits <- io.Buffer_pool.hits
+  in
+  match raw_open () with
+  | v ->
+    record ();
+    Profile.leave prof;
+    (node, v)
+  | exception e ->
+    record ();
+    Profile.leave prof;
+    raise e
+
+(* Attribute page IO incurred during each pull to a profile node (inclusive
+   of the subtree, like [Profile.wrap_biter]'s wall time). *)
+let io_biter ctx (node : Profile.node) (bit : Biter.t) =
+  let st = Exec_ctx.storage ctx in
+  let next_batch () =
+    let before = Storage.io_snapshot st in
+    let r = bit.Biter.next_batch () in
+    let io = Storage.io_since st before in
+    node.Profile.reads <- node.Profile.reads + io.Buffer_pool.reads;
+    node.Profile.writes <- node.Profile.writes + io.Buffer_pool.writes;
+    node.Profile.hits <- node.Profile.hits + io.Buffer_pool.hits;
+    r
+  in
+  { bit with Biter.next_batch }
+
 let rec open_iter ctx plan : Iter.t =
   let it =
     match Exec_ctx.profiler ctx with
     | None -> open_iter_raw ctx plan
     | Some prof ->
-      let node = Profile.enter prof (node_name plan) in
-      let it =
-        match open_iter_raw ctx plan with
-        | it ->
-          Profile.leave prof;
-          it
-        | exception e ->
-          Profile.leave prof;
-          raise e
-      in
+      let node, it = profiled_open ctx prof plan (fun () -> open_iter_raw ctx plan) in
       Profile.wrap_iter node it
   in
   if Exec_ctx.guarded ctx then guard_iter ctx it else it
@@ -632,23 +650,36 @@ and sort_group ctx (g : Physical.group) =
 (* ==== batch-at-a-time path ==== *)
 
 and open_batch ctx plan : Biter.t =
-  let bit =
+  match plan with
+  | Physical.Block_nl_join _ | Physical.Index_nl_join _ | Physical.Merge_join _
+  | Physical.Sort_group _ -> (
+    (* Row-at-a-time fallback through the adapter; these operators consume
+       their inputs with interleaving the batch path cannot reproduce
+       page-for-page, so the whole subtree runs on the row path.  The root
+       gets ONE profile node (not a batch node duplicating the row node),
+       timed and IO-attributed at batch granularity by the adapter wrap. *)
     match Exec_ctx.profiler ctx with
-    | None -> open_batch_raw ctx plan
+    | None ->
+      let bit = Biter.of_iter (open_iter ctx plan) in
+      if Exec_ctx.guarded ctx then guard_biter ctx bit else bit
     | Some prof ->
-      let node = Profile.enter prof (node_name plan) in
-      let bit =
-        match open_batch_raw ctx plan with
-        | bit ->
-          Profile.leave prof;
-          bit
-        | exception e ->
-          Profile.leave prof;
-          raise e
+      let node, it =
+        profiled_open ctx prof plan (fun () -> open_iter_raw ctx plan)
       in
-      Profile.wrap_biter node bit
-  in
-  if Exec_ctx.guarded ctx then guard_biter ctx bit else bit
+      let it = if Exec_ctx.guarded ctx then guard_iter ctx it else it in
+      let bit = io_biter ctx node (Profile.wrap_biter node (Biter.of_iter it)) in
+      if Exec_ctx.guarded ctx then guard_biter ctx bit else bit)
+  | _ ->
+    let bit =
+      match Exec_ctx.profiler ctx with
+      | None -> open_batch_raw ctx plan
+      | Some prof ->
+        let node, bit =
+          profiled_open ctx prof plan (fun () -> open_batch_raw ctx plan)
+        in
+        io_biter ctx node (Profile.wrap_biter node bit)
+    in
+    if Exec_ctx.guarded ctx then guard_biter ctx bit else bit
 
 and open_batch_raw ctx plan : Biter.t =
   let cat = Exec_ctx.catalog ctx in
@@ -1039,11 +1070,21 @@ let run_measured ?(cold = true) ?executor ctx plan =
   let rel = run ?executor ctx plan in
   (rel, Storage.io_since st before)
 
-let run_profiled ?executor ctx plan =
+let run_profiled_result ?(cold = false) ?executor ctx plan =
   let prof = Profile.create () in
   Exec_ctx.set_profiler ctx (Some prof);
   Fun.protect
     ~finally:(fun () -> Exec_ctx.set_profiler ctx None)
     (fun () ->
-      let rel = run ?executor ctx plan in
-      (rel, prof))
+      match run_measured ~cold ?executor ctx plan with
+      | rel, io -> Ok (rel, io, prof)
+      | exception e ->
+        (* Keep the partial per-operator stats: a timed-out or cancelled
+           statement's profile shows where the time went before it died. *)
+        Profile.set_error prof (Printexc.to_string e);
+        Error (e, prof))
+
+let run_profiled ?executor ctx plan =
+  match run_profiled_result ~cold:false ?executor ctx plan with
+  | Ok (rel, _io, prof) -> (rel, prof)
+  | Error (e, _prof) -> raise e

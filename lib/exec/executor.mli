@@ -38,4 +38,16 @@ val run_measured :
 val run_profiled :
   ?executor:engine -> Exec_ctx.t -> Physical.t -> Relation.t * Profile.t
 (** Like {!run} but additionally collects per-operator counters (rows
-    in/out, batches, wall time) for every plan node. *)
+    in/out, batches, wall time, page IO) for every plan node. *)
+
+val run_profiled_result :
+  ?cold:bool ->
+  ?executor:engine ->
+  Exec_ctx.t ->
+  Physical.t ->
+  (Relation.t * Buffer_pool.stats * Profile.t, exn * Profile.t) result
+(** {!run_measured} + {!run_profiled} with error-tolerant profiling: on
+    failure (timeout, cancellation, fault, quota) the partial profile —
+    counters up to the point of death, marked via {!Profile.error} — is
+    returned alongside the exception instead of being dropped.  [cold]
+    defaults to [false] (warm path). *)

@@ -201,3 +201,34 @@ let rec pp_node ppf (indent, t) =
 
 let pp ppf t = pp_node ppf (0, t)
 let to_string t = Format.asprintf "%a" pp t
+
+(* Short operator name — the shared vocabulary between profile nodes,
+   trace spans and EXPLAIN ANALYZE, so actuals can be zipped back onto the
+   plan tree by name. *)
+let op_name = function
+  | Seq_scan s -> "SeqScan(" ^ s.table ^ ")"
+  | Index_scan s -> "IndexScan(" ^ s.table ^ ")"
+  | Filter _ -> "Filter"
+  | Project _ -> "Project"
+  | Materialize _ -> "Materialize"
+  | Sort _ -> "Sort"
+  | Limit _ -> "Limit"
+  | Block_nl_join _ -> "BNLJoin"
+  | Index_nl_join j -> "IndexNLJoin(" ^ j.table ^ ")"
+  | Hash_join _ -> "HashJoin"
+  | Merge_join _ -> "MergeJoin"
+  | Hash_group _ -> "HashGroup"
+  | Sort_group _ -> "SortGroup"
+
+let inputs = function
+  | Seq_scan _ | Index_scan _ -> []
+  | Filter f -> [ f.input ]
+  | Project p -> [ p.input ]
+  | Materialize m -> [ m.input ]
+  | Sort s -> [ s.input ]
+  | Limit l -> [ l.input ]
+  | Block_nl_join j -> [ j.left; j.right ]
+  | Index_nl_join j -> [ j.left ]
+  | Hash_join j -> [ j.left; j.right ]
+  | Merge_join j -> [ j.left; j.right ]
+  | Hash_group g | Sort_group g -> [ g.input ]

@@ -76,5 +76,12 @@ val sorted_on : t -> (string * string) list
 val relations : t -> (string * string) list
 (** (alias, table) of every scan in the plan. *)
 
+val op_name : t -> string
+(** Short operator name ("SeqScan(emp)", "HashJoin", ...): the shared
+    vocabulary between profile nodes, trace spans and EXPLAIN ANALYZE. *)
+
+val inputs : t -> t list
+(** Direct child plans, left to right. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -5,13 +5,27 @@
     its iterator is wrapped to count rows out, batches and wall time.  On
     the batch path [ms] is inclusive wall time of [next_batch] calls (the
     printer subtracts children to show self time); the row path only counts
-    rows — per-row clock reads would distort the path being measured. *)
+    rows — per-row clock reads would distort the path being measured.
+
+    Blocking operators (hash build, sort, group) do their input-draining
+    work while {e opening}, before the first [next_batch] — that cost lands
+    in [open_ms]/[open_reads]/[open_writes], measured by the executor around
+    the raw open call.  {!total_ms} and {!total_reads}/{!total_writes} are
+    therefore inclusive of the node's whole subtree, so a root's totals
+    match the statement's execute time and IO. *)
 
 type node = {
   pname : string;
   mutable rows_out : int;
   mutable batches : int;
-  mutable ms : float;
+  mutable ms : float;  (* inclusive wall time of next_batch pulls *)
+  mutable open_ms : float;  (* wall time spent opening (blocking work) *)
+  mutable reads : int;  (* pages read during pulls, inclusive of subtree *)
+  mutable writes : int;
+  mutable hits : int;  (* pool hits during pulls *)
+  mutable open_reads : int;  (* pages read while opening *)
+  mutable open_writes : int;
+  mutable open_hits : int;
   mutable children : node list;
 }
 
@@ -29,6 +43,25 @@ val roots : t -> node list
 val children : node -> node list
 val rows_in : node -> int
 (** Sum of the direct children's [rows_out]. *)
+
+val set_error : t -> string -> unit
+(** Mark the profile as partial: the statement failed mid-run and counters
+    reflect work done up to the failure.  First caller wins. *)
+
+val error : t -> string option
+
+val total_ms : node -> float
+(** [open_ms +. ms]: inclusive wall time for the node's subtree. *)
+
+val total_reads : node -> int
+val total_writes : node -> int
+val total_hits : node -> int
+
+val total_touches : node -> int
+(** [reads + writes + hits], open + pulls: every buffer-pool page touch in
+    the node's subtree.  The cost model prices page touches (it has no
+    caching notion), so this is the estimate-comparable actual, stable
+    whether the pool is cold or warm. *)
 
 val wrap_iter : node -> Iter.t -> Iter.t
 val wrap_biter : node -> Biter.t -> Biter.t

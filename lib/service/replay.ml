@@ -29,11 +29,12 @@ let split_statements text =
   flush ();
   List.rev !out
 
-type line = {
-  index : int;
-  sql : string;
-  outcome : (Service.planned * int, string) result;
-}
+type outcome =
+  | Executed of Service.planned * int
+  | Rendered of string
+  | Failed of string
+
+type line = { index : int; sql : string; outcome : outcome }
 
 let describe_error = function
   | Avq_error.Error e -> Avq_error.to_string e
@@ -43,32 +44,105 @@ let describe_error = function
   | Lexer.Lex_error (msg, off) -> Printf.sprintf "lex error at %d: %s" off msg
   | e -> raise e
 
+(* Session directives and statement modifiers, classified before execution.
+   [\metrics] dumps the registry; an [EXPLAIN ANALYZE] prefix runs the rest
+   of the statement under profiling and renders the annotated tree. *)
+type classified =
+  | Directive_metrics of [ `Json | `Prometheus ]
+  | Explain_analyze of string
+  | Plain of string
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let strip_prefix ~prefix s =
+  let n = String.length prefix and l = String.length s in
+  if l > n && String.lowercase_ascii (String.sub s 0 n) = prefix && is_space s.[n]
+  then Some (String.trim (String.sub s n (l - n)))
+  else None
+
+let classify sql =
+  let t = String.trim sql in
+  match String.lowercase_ascii t with
+  | "\\metrics" | "\\metrics json" -> Directive_metrics `Json
+  | "\\metrics prom" | "\\metrics prometheus" -> Directive_metrics `Prometheus
+  | _ -> (
+    match strip_prefix ~prefix:"explain analyze" t with
+    | Some rest when rest <> "" -> Explain_analyze rest
+    | _ -> Plain t)
+
+let run_metrics svc fmt_kind =
+  let m = Service.metrics svc in
+  match fmt_kind with
+  | `Json -> Metrics.to_json m
+  | `Prometheus -> Metrics.to_prometheus m
+
+(* A failed EXPLAIN ANALYZE still has a (partial) rendered tree worth
+   showing next to the error. *)
+exception Analysis_failed of exn * string
+
+let run_explain_analyze svc sql =
+  let stmt = Service.prepare svc sql in
+  let p, res, report = Service.explain_analyze svc stmt in
+  let body = Format.asprintf "%a" (Service.pp_analysis svc) (p, report) in
+  match res with
+  | Ok _ -> body
+  | Error e -> raise_notrace (Analysis_failed (e, body))
+
+(* One statement, synchronously on the service. *)
+let run_one svc sql =
+  match classify sql with
+  | Directive_metrics kind -> Rendered (run_metrics svc kind)
+  | Explain_analyze rest -> (
+    match run_explain_analyze svc rest with
+    | body -> Rendered body
+    | exception Analysis_failed (e, body) ->
+      Failed (describe_error e ^ "\n" ^ body)
+    | exception e -> Failed (describe_error e))
+  | Plain sql -> (
+    match Service.submit svc sql with
+    | p, rel, _io -> Executed (p, Relation.cardinality rel)
+    | exception e -> Failed (describe_error e))
+
 let replay svc text =
   List.mapi
-    (fun i sql ->
-      let outcome =
-        match Service.submit svc sql with
-        | p, rel, _io -> Ok (p, Relation.cardinality rel)
-        | exception e -> Error (describe_error e)
-      in
-      { index = i + 1; sql; outcome })
+    (fun i sql -> { index = i + 1; sql; outcome = run_one svc sql })
     (split_statements text)
 
-(* Pool replay: submit every statement up front, then await in order — the
-   report stays deterministic per-line while execution itself is concurrent.
-   Worker-side bind/parse errors surface through [await] per statement. *)
+(* Pool replay: plain statements are submitted to the pool up front, then
+   awaited in order — the report stays deterministic per-line while
+   execution itself is concurrent.  Directives and EXPLAIN ANALYZE run
+   synchronously at their position in the await sequence, so a [\metrics]
+   line observes every earlier statement's effect (later ones may still be
+   in flight on the workers — submission order is not completion order). *)
 let replay_pool pool text =
-  let stmts = split_statements text in
-  let futs = List.map (fun sql -> (sql, Service.Pool.submit_sql pool sql)) stmts in
+  let svc = Service.Pool.service pool in
+  let jobs =
+    List.map
+      (fun sql ->
+        match classify sql with
+        | Plain p -> (sql, `Fut (Service.Pool.submit_sql pool p))
+        | (Directive_metrics _ | Explain_analyze _) as c -> (sql, `Sync c))
+      (split_statements text)
+  in
   List.mapi
-    (fun i (sql, fut) ->
+    (fun i (sql, job) ->
       let outcome =
-        match Service.Pool.await fut with
-        | p, rel, _io -> Ok (p, Relation.cardinality rel)
-        | exception e -> Error (describe_error e)
+        match job with
+        | `Fut fut -> (
+          match Service.Pool.await fut with
+          | p, rel, _io -> Executed (p, Relation.cardinality rel)
+          | exception e -> Failed (describe_error e))
+        | `Sync (Directive_metrics kind) -> Rendered (run_metrics svc kind)
+        | `Sync (Explain_analyze rest) -> (
+          match run_explain_analyze svc rest with
+          | body -> Rendered body
+          | exception Analysis_failed (e, body) ->
+            Failed (describe_error e ^ "\n" ^ body)
+          | exception e -> Failed (describe_error e))
+        | `Sync (Plain _) -> assert false
       in
       { index = i + 1; sql; outcome })
-    futs
+    jobs
 
 let first_line sql =
   match String.index_opt sql '\n' with
@@ -79,13 +153,15 @@ let report fmt svc lines =
   List.iter
     (fun l ->
       match l.outcome with
-      | Ok (p, rows) ->
+      | Executed (p, rows) ->
         Format.fprintf fmt "[%3d] %-15s %6d rows  est %10.1f  %6.2f ms  %s@."
           l.index
           (Service.source_label p.Service.source)
           rows p.Service.est.Cost_model.cost p.Service.plan_ms
           (first_line l.sql)
-      | Error msg ->
+      | Rendered body ->
+        Format.fprintf fmt "[%3d] %s@.%s@." l.index (first_line l.sql) body
+      | Failed msg ->
         Format.fprintf fmt "[%3d] ERROR %s  %s@." l.index msg (first_line l.sql))
     lines;
   Format.fprintf fmt "@.%a@." Service.pp_stats (Service.stats svc)

@@ -3,17 +3,25 @@
     Input format matches the interactive shell: statements are terminated
     by [;;] (each statement may itself be a script of [;]-separated CREATE
     VIEWs ending in a SELECT).  Lines whose first non-blank characters are
-    [--] are comments. *)
+    [--] are comments.
+
+    Two non-SQL forms are recognized per statement:
+    - [\metrics] (or [\metrics prom]): dump the service's metrics registry
+      as JSON (or Prometheus text) at that point in the replay;
+    - [EXPLAIN ANALYZE <sql>]: run the statement under per-operator
+      profiling and render the estimated-vs-actual tree with q-errors. *)
 
 val split_statements : string -> string list
 (** Strip comment lines and split on [;;]; empty statements are dropped. *)
 
-type line = {
-  index : int;
-  sql : string;
-  outcome : (Service.planned * int, string) result;
-      (** planned + result row count, or the bind/parse error message *)
-}
+type outcome =
+  | Executed of Service.planned * int
+      (** planned + result row count of a plain statement *)
+  | Rendered of string
+      (** output of a [\metrics] directive or an [EXPLAIN ANALYZE] *)
+  | Failed of string  (** bind/parse/typed-execution error message *)
+
+type line = { index : int; sql : string; outcome : outcome }
 
 val replay : Service.t -> string -> line list
 (** Run every statement in order, executing each against the service's
@@ -21,9 +29,12 @@ val replay : Service.t -> string -> line list
     [outcome] and do not stop the replay. *)
 
 val replay_pool : Service.Pool.t -> string -> line list
-(** Like {!replay} but through a worker pool: all statements are submitted
+(** Like {!replay} but through a worker pool: plain statements are submitted
     up front and awaited in order, so the per-line report is deterministic
-    while prepare + plan + execute run concurrently on the workers. *)
+    while prepare + plan + execute run concurrently on the workers.
+    Directives and [EXPLAIN ANALYZE] run synchronously at their await
+    position (a [\metrics] line sees every earlier statement's effect;
+    later statements may still be in flight). *)
 
 val report : Format.formatter -> Service.t -> line list -> unit
 (** Human-readable per-statement lines followed by the service's cache

@@ -50,29 +50,15 @@ type t = {
      uncached = calls holds with or without failures (errors strike during
      execution, after the planning source was decided). *)
   errs : Sync.Counter.t array;
+  (* Observability: the registry aggregates every counter family this
+     service touches (buffer pool, plan cache, errors, statements, pool);
+     the tracer, when set, receives one span tree per executed statement. *)
+  metrics : Metrics.t;
+  mutable tracer : Trace.tracer option;
+  statements : Metrics.Counter.t;
+  stmt_ms : Metrics.Histogram.t;
+  stmt_io : Metrics.Histogram.t;
 }
-
-let create ?(config = default_config) cat =
-  if config.recost_ratio < 1.0 then
-    invalid_arg "Service.create: recost_ratio < 1.0";
-  {
-    cat;
-    cfg = config;
-    cache =
-      Plan_cache.create ~max_entries:config.max_entries
-        ~max_bytes:config.max_bytes ();
-    lock = Sync.create ();
-    calls = Sync.Counter.create ();
-    hits = Sync.Counter.create ();
-    rebinds = Sync.Counter.create ();
-    misses = Sync.Counter.create ();
-    recost_fallbacks = Sync.Counter.create ();
-    rebind_conflicts = Sync.Counter.create ();
-    stale_hits = Sync.Counter.create ();
-    opt_ms_total = Sync.Fsum.create ();
-    opt_ms_saved = Sync.Fsum.create ();
-    errs = Array.init 6 (fun _ -> Sync.Counter.create ());
-  }
 
 let err_slot : Avq_error.t -> int = function
   | Avq_error.Io_fault _ -> 0
@@ -82,28 +68,167 @@ let err_slot : Avq_error.t -> int = function
   | Avq_error.Cancelled -> 4
   | Avq_error.Bad_statement _ -> 5
 
+let err_kind_label = function
+  | 0 -> "io_fault"
+  | 1 -> "corruption"
+  | 2 -> "resource_exceeded"
+  | 3 -> "timeout"
+  | 4 -> "cancelled"
+  | _ -> "bad_statement"
+
 let record_error t e = Sync.Counter.incr t.errs.(err_slot e)
+
+(* Expose every pre-existing counter family through the registry as
+   sampled-at-export instruments, so the exports unify state that keeps
+   living where it is cheap to update (storage atomics, cache counters
+   behind the service lock). *)
+let register_metrics t =
+  let m = t.metrics in
+  let st = Catalog.storage t.cat in
+  let fi f = fun () -> float_of_int (f ()) in
+  Metrics.fn_counter m "avq_bufferpool_reads_total"
+    ~help:"Physical page reads (buffer-pool misses)"
+    (fi (fun () -> (Storage.io_stats st).Buffer_pool.reads));
+  Metrics.fn_counter m "avq_bufferpool_writes_total"
+    ~help:"Physical page writes (dirty evictions + flushes)"
+    (fi (fun () -> (Storage.io_stats st).Buffer_pool.writes));
+  Metrics.fn_counter m "avq_bufferpool_hits_total"
+    ~help:"Page accesses served from the pool"
+    (fi (fun () -> (Storage.io_stats st).Buffer_pool.hits));
+  Metrics.gauge m "avq_storage_temps_live"
+    ~help:"Temp heap files currently allocated"
+    (fi (fun () -> Storage.live_temps st));
+  Metrics.fn_counter m "avq_faults_injected_total"
+    ~help:"Typed faults raised by the installed fault plan"
+    (fi (fun () -> (Storage.Faults.stats st).Buffer_pool.injected));
+  Metrics.fn_counter m "avq_faults_retried_total"
+    ~help:"Retry attempts spent on faulted reads"
+    (fi (fun () -> (Storage.Faults.stats st).Buffer_pool.retried));
+  Metrics.fn_counter m "avq_faults_recovered_total"
+    ~help:"Reads that succeeded after at least one retry"
+    (fi (fun () -> (Storage.Faults.stats st).Buffer_pool.recovered));
+  Metrics.fn_counter m "avq_faults_exhausted_total"
+    ~help:"Reads that failed after the whole retry budget"
+    (fi (fun () -> (Storage.Faults.stats st).Buffer_pool.exhausted));
+  let c name help ctr =
+    Metrics.fn_counter m name ~help (fi (fun () -> Sync.Counter.get ctr))
+  in
+  c "avq_plancache_calls_total" "Plan/execute requests" t.calls;
+  c "avq_plancache_hits_total" "Cached plans served as-is" t.hits;
+  c "avq_plancache_rebinds_total" "Cached templates re-bound and served"
+    t.rebinds;
+  c "avq_plancache_misses_total" "Optimizations with no usable entry" t.misses;
+  c "avq_plancache_recost_fallbacks_total"
+    "Re-bound plans rejected by the recost guard" t.recost_fallbacks;
+  c "avq_plancache_rebind_conflicts_total" "Ambiguous re-bindings"
+    t.rebind_conflicts;
+  c "avq_plancache_stale_hits_total" "Plans served under a wrong epoch (must stay 0)"
+    t.stale_hits;
+  let cache_counters () = Sync.protect t.lock (fun () -> Plan_cache.counters t.cache) in
+  Metrics.fn_counter m "avq_plancache_evictions_total"
+    ~help:"Entries dropped to stay within capacity"
+    (fi (fun () -> (cache_counters ()).Plan_cache.evictions));
+  Metrics.fn_counter m "avq_plancache_invalidations_total"
+    ~help:"Entries dropped for a stale epoch or by invalidate_all"
+    (fi (fun () -> (cache_counters ()).Plan_cache.invalidations));
+  Metrics.gauge m "avq_plancache_entries"
+    ~help:"Current plan-cache population"
+    (fi (fun () -> (cache_counters ()).Plan_cache.entries));
+  Metrics.gauge m "avq_plancache_bytes"
+    ~help:"Current plan-cache size (bytes-ish)"
+    (fi (fun () -> (cache_counters ()).Plan_cache.bytes));
+  for i = 0 to Array.length t.errs - 1 do
+    Metrics.fn_counter m "avq_errors_total"
+      ~help:"Failed statements by typed-error kind"
+      ~labels:[ ("kind", err_kind_label i) ]
+      (fi (fun () -> Sync.Counter.get t.errs.(i)))
+  done;
+  Metrics.fn_counter m "avq_slow_statements_total"
+    ~help:"Statements at or above the tracer's slow-ms threshold" (fun () ->
+      match t.tracer with
+      | Some tr -> float_of_int (Trace.slow_statements tr)
+      | None -> 0.);
+  Metrics.fn_counter m "avq_trace_spans_total"
+    ~help:"Spans emitted by the statement tracer" (fun () ->
+      match t.tracer with
+      | Some tr -> float_of_int (Trace.spans_emitted tr)
+      | None -> 0.)
+
+let create ?(config = default_config) cat =
+  if config.recost_ratio < 1.0 then
+    invalid_arg "Service.create: recost_ratio < 1.0";
+  let metrics = Metrics.create () in
+  let t =
+    {
+      cat;
+      cfg = config;
+      cache =
+        Plan_cache.create ~max_entries:config.max_entries
+          ~max_bytes:config.max_bytes ();
+      lock = Sync.create ();
+      calls = Sync.Counter.create ();
+      hits = Sync.Counter.create ();
+      rebinds = Sync.Counter.create ();
+      misses = Sync.Counter.create ();
+      recost_fallbacks = Sync.Counter.create ();
+      rebind_conflicts = Sync.Counter.create ();
+      stale_hits = Sync.Counter.create ();
+      opt_ms_total = Sync.Fsum.create ();
+      opt_ms_saved = Sync.Fsum.create ();
+      errs = Array.init 6 (fun _ -> Sync.Counter.create ());
+      metrics;
+      tracer = None;
+      statements =
+        Metrics.counter metrics "avq_statements_total"
+          ~help:"Statements executed (successful or not)";
+      stmt_ms =
+        Metrics.histogram metrics "avq_statement_ms"
+          ~help:"Successful statement latency, planning + execution (ms)"
+          ~buckets:Metrics.Histogram.latency_ms_buckets;
+      stmt_io =
+        Metrics.histogram metrics "avq_statement_io_pages"
+          ~help:"Page IO (reads + writes) per successful statement"
+          ~buckets:Metrics.Histogram.io_pages_buckets;
+    }
+  in
+  register_metrics t;
+  t
 
 let catalog t = t.cat
 let config t = t.cfg
+let metrics t = t.metrics
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
 
 type stmt = {
   squery : Block.query;
   template : string;
   fp : Fingerprint.t;
   base_params : Value.t list;
+  parse_ms : float;  (* lex + parse + bind time (0 for prepare_query) *)
+  canon_ms : float;  (* canonicalize + fingerprint time *)
 }
 
-let prepare_query _t query =
+let make_stmt ~parse_ms query =
+  let t0 = Unix.gettimeofday () in
   let template = Canon.serialize query in
+  let fp = Fingerprint.of_string template in
   {
     squery = query;
     template;
-    fp = Fingerprint.of_string template;
+    fp;
     base_params = Canon.params query;
+    parse_ms;
+    canon_ms = (Unix.gettimeofday () -. t0) *. 1000.;
   }
 
-let prepare t sql = prepare_query t (Binder.bind_sql t.cat sql)
+let prepare_query _t query = make_stmt ~parse_ms:0. query
+
+let prepare t sql =
+  let t0 = Unix.gettimeofday () in
+  let query = Binder.bind_sql t.cat sql in
+  let parse_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  make_stmt ~parse_ms query
 
 let stmt_fingerprint s = Fingerprint.to_hex s.fp
 let stmt_params s = s.base_params
@@ -130,6 +255,7 @@ type planned = {
   source : source;
   opt_ms : float;
   plan_ms : float;
+  search : Search_stats.t;
 }
 
 let algo_tag = function
@@ -176,7 +302,8 @@ let optimize_and_cache t stmt ps query source =
           entry_bytes ~key ~template:stmt.template ~plan:r.Optimizer.plan
             ~params:ps;
       };
-  (r.Optimizer.plan, r.Optimizer.est, source, r.Optimizer.time_ms)
+  (r.Optimizer.plan, r.Optimizer.est, source, r.Optimizer.time_ms,
+   r.Optimizer.search)
 
 let plan ?params t stmt =
   let t0 = Unix.gettimeofday () in
@@ -190,7 +317,7 @@ let plan ?params t stmt =
      run serializes misses, which is exactly the pay-once semantics we want:
      a second worker racing on the same key blocks, then finds the entry and
      hits.  Cache-hit sections are microseconds. *)
-  let plan, est, source, opt_ms =
+  let plan, est, source, opt_ms, search =
     Sync.protect t.lock (fun () ->
         if not t.cfg.cache_enabled then
           optimize_and_cache t stmt ps query Uncached
@@ -219,7 +346,8 @@ let plan ?params t stmt =
             else if params_equal ps entry.Plan_cache.params then begin
               Sync.Counter.incr t.hits;
               Sync.Fsum.add t.opt_ms_saved entry.Plan_cache.opt_ms;
-              (entry.Plan_cache.plan, entry.Plan_cache.est, Hit, 0.)
+              (entry.Plan_cache.plan, entry.Plan_cache.est, Hit, 0.,
+               entry.Plan_cache.search)
             end
             else begin
               match
@@ -242,7 +370,7 @@ let plan ?params t stmt =
                 then begin
                   Sync.Counter.incr t.rebinds;
                   Sync.Fsum.add t.opt_ms_saved entry.Plan_cache.opt_ms;
-                  (plan', est', Hit_rebound, 0.)
+                  (plan', est', Hit_rebound, 0., entry.Plan_cache.search)
                 end
                 else begin
                   Sync.Counter.incr t.recost_fallbacks;
@@ -251,7 +379,134 @@ let plan ?params t stmt =
             end
         end)
   in
-  { plan; est; source; opt_ms; plan_ms = (Unix.gettimeofday () -. t0) *. 1000. }
+  {
+    plan;
+    est;
+    source;
+    opt_ms;
+    plan_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+    search;
+  }
+
+(* Where did the group-by land relative to the joins?  The paper's central
+   plan-shape decision, surfaced as a trace attr on every plan span. *)
+let group_placement plan =
+  let rec walk ~below_join acc p =
+    let acc =
+      match p with
+      | Physical.Hash_group _ | Physical.Sort_group _ ->
+        (if below_join then `Early else `Late) :: acc
+      | _ -> acc
+    in
+    let below_join =
+      below_join
+      ||
+      match p with
+      | Physical.Block_nl_join _ | Physical.Index_nl_join _
+      | Physical.Hash_join _ | Physical.Merge_join _ -> true
+      | _ -> false
+    in
+    List.fold_left (walk ~below_join) acc (Physical.inputs p)
+  in
+  match walk ~below_join:false [] plan with
+  | [] -> "none"
+  | ps ->
+    if List.mem `Early ps && List.mem `Late ps then "mixed"
+    else if List.mem `Early ps then "early"
+    else "late"
+
+(* Rebuild per-operator spans from the profile tree.  [t0] is the execute
+   span's start: operator timing is measured by the profiler, not the
+   tracer, so these are synthetic spans anchored at the execute start. *)
+let rec emit_op_spans tr ~trace_id ~parent ~t0 node =
+  let sid =
+    Trace.emit tr ~trace_id ~parent ~t0 ~dur_ms:(Profile.total_ms node)
+      ("op:" ^ node.Profile.pname)
+      [
+        ("rows_out", Trace.I node.Profile.rows_out);
+        ("batches", Trace.I node.Profile.batches);
+        ("reads", Trace.I (Profile.total_reads node));
+        ("writes", Trace.I (Profile.total_writes node));
+        ("hits", Trace.I (Profile.total_hits node));
+        ("open_ms", Trace.F node.Profile.open_ms);
+      ]
+  in
+  List.iter (emit_op_spans tr ~trace_id ~parent:sid ~t0) (Profile.children node)
+
+let plan_span_attrs t p =
+  [
+    ("source", Trace.S (source_label p.source));
+    ("algorithm", Trace.S (algo_tag t.cfg.algorithm));
+    ("opt_ms", Trace.F p.opt_ms);
+    ("est_rows", Trace.F p.est.Cost_model.rows);
+    ("est_io", Trace.F p.est.Cost_model.cost);
+    ("join_plans", Trace.I p.search.Search_stats.join_plans);
+    ("group_plans", Trace.I p.search.Search_stats.group_plans);
+    ("dp_entries", Trace.I p.search.Search_stats.entries);
+    ("pullups", Trace.I p.search.Search_stats.pullups);
+    ("group_placement", Trace.S (group_placement p.plan));
+  ]
+
+let observe_success t ~ms ~io =
+  Metrics.Histogram.observe t.stmt_ms ms;
+  Metrics.Histogram.observe t.stmt_io
+    (float_of_int (io.Buffer_pool.reads + io.Buffer_pool.writes))
+
+let execute_traced tr ctx ?params t stmt =
+  let trace_id = Trace.new_trace tr in
+  let root = Trace.start tr ~trace_id "statement" in
+  Trace.set_attr root "fingerprint" (Trace.S (Fingerprint.to_hex stmt.fp));
+  let now = Unix.gettimeofday () in
+  (* Prepare-time work, re-emitted per execution so every trace is
+     self-contained; anchored at the statement start, not when the (possibly
+     long-lived) statement was actually prepared. *)
+  ignore
+    (Trace.emit tr ~trace_id ~parent:(Trace.id root) ~t0:now
+       ~dur_ms:stmt.parse_ms "parse" []);
+  ignore
+    (Trace.emit tr ~trace_id ~parent:(Trace.id root) ~t0:now
+       ~dur_ms:stmt.canon_ms "canonicalize" []);
+  match
+    let p = plan ?params t stmt in
+    ignore
+      (Trace.emit tr ~trace_id ~parent:(Trace.id root)
+         ~t0:(Unix.gettimeofday () -. (p.plan_ms /. 1000.))
+         ~dur_ms:p.plan_ms "plan" (plan_span_attrs t p));
+    let exec_t0 = Unix.gettimeofday () in
+    let espan = Trace.start tr ~trace_id ~parent:(Trace.id root) "execute" in
+    match
+      Executor.run_profiled_result ~cold:false ~executor:t.cfg.executor ctx
+        p.plan
+    with
+    | Ok (rel, io, prof) ->
+      Trace.set_attr espan "rows" (Trace.I (Relation.cardinality rel));
+      Trace.set_attr espan "reads" (Trace.I io.Buffer_pool.reads);
+      Trace.set_attr espan "writes" (Trace.I io.Buffer_pool.writes);
+      Trace.set_attr espan "hits" (Trace.I io.Buffer_pool.hits);
+      let eid = Trace.id espan in
+      let _edur = Trace.finish espan in
+      List.iter
+        (emit_op_spans tr ~trace_id ~parent:eid ~t0:exec_t0)
+        (Profile.roots prof);
+      (p, rel, io)
+    | Error (e, prof) ->
+      Trace.set_attr espan "partial" (Trace.B true);
+      let eid = Trace.id espan in
+      let _edur = Trace.finish ~status:"error" espan in
+      List.iter
+        (emit_op_spans tr ~trace_id ~parent:eid ~t0:exec_t0)
+        (Profile.roots prof);
+      raise e
+  with
+  | p, rel, io ->
+    let dur = Trace.finish root in
+    Trace.note_slow tr ~sql:stmt.template ~dur_ms:dur ~trace_id;
+    observe_success t ~ms:dur ~io;
+    (p, rel, io)
+  | exception e ->
+    let dur = Trace.finish ~status:"error" root in
+    Trace.note_slow tr ~sql:stmt.template ~dur_ms:dur ~trace_id;
+    raise e
 
 (* Plan under the shared lock, execute on the caller's own context —
    execution (the expensive part) runs outside any lock, and the IO
@@ -262,12 +517,18 @@ let execute_on ctx ?cancel ?params t stmt =
      runs at all (the executor's initial check fires). *)
   Exec_ctx.begin_statement ?timeout_ms:t.cfg.statement_timeout_ms
     ?spill_quota:t.cfg.spill_quota_pages ?cancel ctx;
+  Metrics.Counter.incr t.statements;
   match
-    let p = plan ?params t stmt in
-    let rel, io =
-      Executor.run_measured ~cold:false ~executor:t.cfg.executor ctx p.plan
-    in
-    (p, rel, io)
+    match t.tracer with
+    | Some tr -> execute_traced tr ctx ?params t stmt
+    | None ->
+      let t0 = Unix.gettimeofday () in
+      let p = plan ?params t stmt in
+      let rel, io =
+        Executor.run_measured ~cold:false ~executor:t.cfg.executor ctx p.plan
+      in
+      observe_success t ~ms:((Unix.gettimeofday () -. t0) *. 1000.) ~io;
+      (p, rel, io)
   with
   | r -> r
   | exception e ->
@@ -281,6 +542,49 @@ let execute ?params t stmt =
   execute_on ctx ?params t stmt
 
 let submit t sql = execute t (prepare t sql)
+
+(* EXPLAIN ANALYZE: plan through the cache like any statement, run under
+   per-operator profiling, zip actuals onto the plan next to the model's
+   estimates.  A failing run still produces the (partial) annotated tree. *)
+let explain_analyze ?params t stmt =
+  let ctx = Exec_ctx.create ~work_mem:t.cfg.work_mem t.cat in
+  Exec_ctx.begin_statement ?timeout_ms:t.cfg.statement_timeout_ms
+    ?spill_quota:t.cfg.spill_quota_pages ctx;
+  Metrics.Counter.incr t.statements;
+  let p = plan ?params t stmt in
+  let t0 = Unix.gettimeofday () in
+  match
+    Executor.run_profiled_result ~cold:false ~executor:t.cfg.executor ctx
+      p.plan
+  with
+  | Ok (rel, io, prof) ->
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    observe_success t ~ms:(p.plan_ms +. wall_ms) ~io;
+    ( p,
+      Ok rel,
+      Explain_analyze.of_profile t.cat ~work_mem:t.cfg.work_mem p.plan ~io
+        ~wall_ms prof )
+  | Error (e, prof) ->
+    (match Avq_error.of_exn e with
+     | Some te -> record_error t te
+     | None -> ());
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let io = { Buffer_pool.reads = 0; writes = 0; hits = 0 } in
+    ( p,
+      Error e,
+      Explain_analyze.of_profile t.cat ~work_mem:t.cfg.work_mem p.plan ~io
+        ~wall_ms prof )
+
+let pp_analysis t ppf (p, report) =
+  Format.fprintf ppf
+    "plan: source=%s algorithm=%s opt_ms=%.2f plan_ms=%.2f@\n\
+     search: join_plans=%d group_plans=%d dp_entries=%d pullups=%d \
+     group_placement=%s@\n\
+     %a"
+    (source_label p.source) (algo_tag t.cfg.algorithm) p.opt_ms p.plan_ms
+    p.search.Search_stats.join_plans p.search.Search_stats.group_plans
+    p.search.Search_stats.entries p.search.Search_stats.pullups
+    (group_placement p.plan) Explain_analyze.pp report
 
 type error_stats = {
   io_faults : int;
@@ -480,6 +784,16 @@ module Pool = struct
     in
     pool.domains <-
       List.init workers (fun _ -> Domain.spawn (worker pool));
+    (* Re-creating a pool over the same service re-points these at the new
+       pool (same name+labels replaces in the registry). *)
+    Metrics.gauge svc.metrics "avq_pool_workers"
+      ~help:"Executor worker domains" (fun () -> float_of_int pool.nworkers);
+    Metrics.gauge svc.metrics "avq_pool_queue_depth"
+      ~help:"Jobs waiting in the pool queue" (fun () ->
+        float_of_int (protect pool.qm (fun () -> Queue.length pool.jobs)));
+    Metrics.fn_counter svc.metrics "avq_pool_executed_total"
+      ~help:"Jobs completed by the pool (successfully or not)" (fun () ->
+        float_of_int (Sync.Counter.get pool.executed));
     pool
 
   let workers t = t.nworkers

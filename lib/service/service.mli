@@ -94,6 +94,9 @@ type planned = {
   source : source;
   opt_ms : float;  (** optimizer time this call actually spent (0 on hits) *)
   plan_ms : float;  (** end-to-end planning time incl. cache work *)
+  search : Search_stats.t;
+      (** optimizer search effort (from the original optimization when the
+          plan was served from cache) *)
 }
 
 val plan : ?params:Value.t list -> t -> stmt -> planned
@@ -119,6 +122,39 @@ val submit : t -> string -> planned * Relation.t * Buffer_pool.stats
 (** One-shot convenience: {!prepare} then {!execute}, sharing the cache. *)
 
 (** {1 Observability} *)
+
+val metrics : t -> Metrics.t
+(** The service's metrics registry: buffer-pool, plan-cache, error,
+    statement and pool families, exportable as JSON
+    ({!Metrics.to_json}) or Prometheus text ({!Metrics.to_prometheus}). *)
+
+val set_tracer : t -> Trace.tracer option -> unit
+(** Install (or remove) the statement tracer.  When set, every
+    {!execute}/{!execute_on} emits one span tree — statement → parse /
+    canonicalize / plan / execute, with per-operator child spans under
+    execute — and slow statements hit the tracer's slow-query log. *)
+
+val tracer : t -> Trace.tracer option
+
+val explain_analyze :
+  ?params:Value.t list ->
+  t ->
+  stmt ->
+  planned * (Relation.t, exn) result * Explain_analyze.t
+(** Plan through the cache like any statement, run under per-operator
+    profiling, and return the annotated estimated-vs-actual tree.  A failing
+    run still returns the (partial) tree with its [error] set; typed errors
+    are counted as usual. *)
+
+val pp_analysis :
+  t -> Format.formatter -> planned * Explain_analyze.t -> unit
+(** Render {!explain_analyze} output: an optimizer header (plan source,
+    algorithm, search-effort counters, group-by placement) followed by the
+    per-node estimated-vs-actual tree with q-errors. *)
+
+val group_placement : Physical.t -> string
+(** Where group-bys sit relative to joins in a plan: ["early"] (below a
+    join — the paper's push-down shape), ["late"], ["mixed"] or ["none"]. *)
 
 type error_stats = {
   io_faults : int;

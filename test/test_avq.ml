@@ -25,4 +25,5 @@ let () =
       ("errorpath", Errorpath_tests.tests);
       ("pool", Pool_tests.tests);
       ("fault", Fault_tests.tests);
+      ("obs", Obs_tests.tests);
     ]
