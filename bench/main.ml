@@ -24,6 +24,7 @@ let experiments =
     ("E15", E15_pool.run);
     ("E16", E16_faults.run);
     ("E17", E17_obs.run);
+    ("E18", E18_matview.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's

@@ -20,13 +20,24 @@ type t = {
   mutable table_list : table list;
   mutable fks : foreign_key list;
   mutable epoch : int;
+  (* Per-table write version: bumped by every insert/replace of that table.
+     Consumers tracking derived state (materialized views) compare absorbed
+     versions against these to decide staleness without being invalidated by
+     unrelated tables' writes (the global epoch moves on every change). *)
+  versions : (string, int) Hashtbl.t;
 }
 
 let create ?frames () =
-  { storage = Storage.create ?frames (); table_list = []; fks = []; epoch = 0 }
+  { storage = Storage.create ?frames (); table_list = []; fks = []; epoch = 0;
+    versions = Hashtbl.create 16 }
 
 let epoch t = t.epoch
 let bump_epoch t = t.epoch <- t.epoch + 1
+
+let table_version t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.versions name)
+
+let bump_version t name = Hashtbl.replace t.versions name (table_version t name + 1)
 
 let storage t = t.storage
 
@@ -101,6 +112,103 @@ let add_table t ~name ~columns ~pk ?(index = []) ?cluster rows =
   t.table_list <- t.table_list @ [ tbl ];
   bump_epoch t;
   tbl
+
+let replace_table t tbl' =
+  t.table_list <-
+    List.map
+      (fun x -> if String.equal x.tname tbl'.tname then tbl' else x)
+      t.table_list
+
+let insert t ~table rows =
+  let tbl = table_exn t table in
+  if rows = [] then []
+  else begin
+    let arity = Schema.arity tbl.tschema in
+    (* A synthesized [_rid] key never appears in user-facing INSERTs; assign
+       the next internal tuple ids (the heap is append-only, so
+       [nrows + i] is fresh and monotonic). *)
+    let hidden_rid = tbl.primary_key = [ "_rid" ] in
+    let next_rid = Heap_file.nrows tbl.heap in
+    let rows =
+      List.mapi
+        (fun i r ->
+          let a = Tuple.arity r in
+          if a = arity then r
+          else if hidden_rid && a = arity - 1 then
+            Tuple.concat r [| Value.Int (next_rid + i) |]
+          else
+            invalid_arg
+              (Printf.sprintf "Catalog.insert %s: row arity %d, expected %d"
+                 table a (if hidden_rid then arity - 1 else arity)))
+        rows
+    in
+    let rids = Storage.Table.insert tbl.heap rows in
+    List.iter
+      (fun (cname, idx) ->
+        let col = Schema.find_exn tbl.tschema cname in
+        List.iter2
+          (fun row rid -> Btree.insert idx (Tuple.get row col) rid)
+          rows rids)
+      tbl.indexes;
+    (* Incremental statistics: exact cardinality and page count, value
+       bounds widened to cover the new rows.  NDV and histograms are left
+       as analyzed (they can only be refreshed by a scan; {!refresh_stats}
+       makes them exact again). *)
+    let n = List.length rows in
+    let widen i cs =
+      let vmin, vmax =
+        List.fold_left
+          (fun (lo, hi) row ->
+            let v = Tuple.get row i in
+            ( (if Value.compare v lo < 0 then v else lo),
+              if Value.compare v hi > 0 then v else hi ))
+          (cs.Stats.vmin, cs.Stats.vmax)
+          rows
+      in
+      { cs with Stats.vmin; vmax }
+    in
+    let tstats =
+      { tbl.tstats with
+        Stats.card = tbl.tstats.Stats.card + n;
+        pages = Heap_file.npages tbl.heap;
+        columns = Array.mapi widen tbl.tstats.Stats.columns }
+    in
+    replace_table t { tbl with tstats };
+    bump_version t table;
+    bump_epoch t;
+    rows
+  end
+
+let drop_table t name =
+  let tbl = table_exn t name in
+  Heap_file.drop tbl.heap;
+  t.table_list <-
+    List.filter (fun x -> not (String.equal x.tname name)) t.table_list;
+  t.fks <-
+    List.filter
+      (fun fk ->
+        not (String.equal fk.fk_table name || String.equal fk.pk_table name))
+      t.fks;
+  Hashtbl.remove t.versions name;
+  bump_epoch t
+
+let replace_rows t name rows =
+  let tbl = table_exn t name in
+  let columns =
+    List.map (fun c -> (c.Schema.cname, c.Schema.cty)) (Schema.columns tbl.tschema)
+  in
+  let index = List.map fst tbl.indexes in
+  let saved_fks = t.fks in
+  Heap_file.drop tbl.heap;
+  t.table_list <-
+    List.filter (fun x -> not (String.equal x.tname name)) t.table_list;
+  let tbl' =
+    add_table t ~name ~columns ~pk:tbl.primary_key ~index ?cluster:tbl.clustered
+      rows
+  in
+  t.fks <- saved_fks;
+  bump_version t name;
+  tbl'
 
 let add_foreign_key t ~from:(ft, fc) ~refs:(pt, pc) =
   let ftbl = table_exn t ft and ptbl = table_exn t pt in

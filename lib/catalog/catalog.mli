@@ -47,6 +47,12 @@ val bump_epoch : t -> unit
 (** Force an epoch bump without changing the catalog (testing and external
     invalidation hooks). *)
 
+val table_version : t -> string -> int
+(** Per-table write version: 0 at load, bumped by every {!insert} and
+    {!replace_rows} of that table.  Lets derived state (materialized views)
+    track staleness per base table instead of being invalidated by the
+    global {!epoch}, which moves on every catalog change. *)
+
 val refresh_stats : t -> unit
 (** Re-run the analyze pass of every table from its current heap contents
     and bump the epoch.  Cheap on the synthetic workloads (full scan per
@@ -67,6 +73,29 @@ val add_table :
     the heap is clustered on the first PK column (rows are sorted by it).
     @raise Invalid_argument if the name is taken, a PK/index column is
     unknown, or the data is empty. *)
+
+val insert : t -> table:string -> Tuple.t list -> Tuple.t list
+(** Append rows to a table: heap append, index maintenance, incremental
+    statistics (cardinality and page count exact; min/max widened; NDV and
+    histograms stay as last analyzed until {!refresh_stats}), then a table
+    version bump and an epoch bump (so cached plans are invalidated).
+    Rows carry the visible columns; when the key is a synthesized [_rid]
+    the internal tuple id is appended here.  Returns the stored full-width
+    rows (maintenance of derived state needs the stored form).
+    @raise Invalid_argument on an unknown table or wrong arity. *)
+
+val drop_table : t -> string -> unit
+(** Remove a table: heap pages released, catalog entry, foreign keys
+    touching it and its write version dropped, epoch bumped.
+    @raise Invalid_argument on an unknown table. *)
+
+val replace_rows : t -> string -> Tuple.t list -> table
+(** Atomically swap a table's contents (materialized-view maintenance and
+    REFRESH): the heap is rebuilt from [rows] (full schema width, including
+    any [_rid] values), statistics re-analyzed, indexes rebuilt; keys,
+    clustering and indexed columns are preserved.  Bumps the table version
+    and the epoch.
+    @raise Invalid_argument on an unknown table or empty [rows]. *)
 
 val add_foreign_key :
   t -> from:string * string -> refs:string * string -> unit

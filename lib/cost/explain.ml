@@ -1,11 +1,14 @@
 let node_label = function
-  | Physical.Seq_scan s -> Printf.sprintf "SeqScan %s AS %s" s.table s.alias
+  | Physical.Seq_scan s ->
+    Printf.sprintf "SeqScan %s AS %s" (Physical.display_table s.table) s.alias
   | Physical.Index_scan s ->
-    Printf.sprintf "IndexScan %s AS %s on %s" s.table s.alias s.column
+    Printf.sprintf "IndexScan %s AS %s on %s" (Physical.display_table s.table)
+      s.alias s.column
   | Physical.Filter _ -> "Filter"
   | Physical.Block_nl_join _ -> "BNLJoin"
   | Physical.Index_nl_join j ->
-    Printf.sprintf "IndexNLJoin %s AS %s on %s" j.table j.alias j.column
+    Printf.sprintf "IndexNLJoin %s AS %s on %s" (Physical.display_table j.table)
+      j.alias j.column
   | Physical.Hash_join _ -> "HashJoin"
   | Physical.Merge_join _ -> "MergeJoin"
   | Physical.Sort _ -> "Sort"

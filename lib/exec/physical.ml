@@ -125,6 +125,21 @@ let rec relations = function
   | Materialize m -> relations m.input
   | Limit l -> relations l.input
 
+(* Materialized-view extents are backed by hidden [__mv_<name>] heap
+   tables; display them as [mv:<name>] so EXPLAIN (and the op names that
+   EXPLAIN ANALYZE zips actuals onto) attribute work to the view the user
+   created, not to an internal table id. *)
+let mv_prefix = "__mv_"
+
+let display_table t =
+  if String.length t > String.length mv_prefix
+     && String.sub t 0 (String.length mv_prefix) = mv_prefix
+  then
+    "mv:"
+    ^ String.sub t (String.length mv_prefix)
+        (String.length t - String.length mv_prefix)
+  else t
+
 let preds_str ps = String.concat " AND " (List.map Expr.pred_to_string ps)
 let cols_str cs = String.concat ", " (List.map Schema.column_to_string cs)
 
@@ -140,7 +155,7 @@ let rec pp_node ppf (indent, t) =
   let child c = (indent + 2, c) in
   match t with
   | Seq_scan s ->
-    Format.fprintf ppf "%sSeqScan %s AS %s%s" pad s.table s.alias
+    Format.fprintf ppf "%sSeqScan %s AS %s%s" pad (display_table s.table) s.alias
       (if s.filter = [] then "" else " [" ^ preds_str s.filter ^ "]")
   | Index_scan s ->
     let b side = function
@@ -148,7 +163,7 @@ let rec pp_node ppf (indent, t) =
       | Some (v, incl) ->
         Printf.sprintf " %s%s %s" side (if incl then "=" else "") (Value.to_string v)
     in
-    Format.fprintf ppf "%sIndexScan %s AS %s on %s%s%s%s" pad s.table s.alias s.column
+    Format.fprintf ppf "%sIndexScan %s AS %s on %s%s%s%s" pad (display_table s.table) s.alias s.column
       (b ">" s.lo) (b "<" s.hi)
       (if s.filter = [] then "" else " [" ^ preds_str s.filter ^ "]")
   | Filter f ->
@@ -158,7 +173,7 @@ let rec pp_node ppf (indent, t) =
     Format.fprintf ppf "%sBNLJoin [%s]@\n%a@\n%a" pad (preds_str j.cond) pp_node
       (child j.left) pp_node (child j.right)
   | Index_nl_join j ->
-    Format.fprintf ppf "%sIndexNLJoin %s AS %s via %s = %s%s@\n%a" pad j.table
+    Format.fprintf ppf "%sIndexNLJoin %s AS %s via %s = %s%s@\n%a" pad (display_table j.table)
       j.alias j.column
       (Schema.column_to_string j.outer_key)
       (if j.cond = [] then "" else " [" ^ preds_str j.cond ^ "]")
@@ -206,15 +221,15 @@ let to_string t = Format.asprintf "%a" pp t
    trace spans and EXPLAIN ANALYZE, so actuals can be zipped back onto the
    plan tree by name. *)
 let op_name = function
-  | Seq_scan s -> "SeqScan(" ^ s.table ^ ")"
-  | Index_scan s -> "IndexScan(" ^ s.table ^ ")"
+  | Seq_scan s -> "SeqScan(" ^ display_table s.table ^ ")"
+  | Index_scan s -> "IndexScan(" ^ display_table s.table ^ ")"
   | Filter _ -> "Filter"
   | Project _ -> "Project"
   | Materialize _ -> "Materialize"
   | Sort _ -> "Sort"
   | Limit _ -> "Limit"
   | Block_nl_join _ -> "BNLJoin"
-  | Index_nl_join j -> "IndexNLJoin(" ^ j.table ^ ")"
+  | Index_nl_join j -> "IndexNLJoin(" ^ display_table j.table ^ ")"
   | Hash_join _ -> "HashJoin"
   | Merge_join _ -> "MergeJoin"
   | Hash_group _ -> "HashGroup"

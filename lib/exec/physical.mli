@@ -80,6 +80,12 @@ val op_name : t -> string
 (** Short operator name ("SeqScan(emp)", "HashJoin", ...): the shared
     vocabulary between profile nodes, trace spans and EXPLAIN ANALYZE. *)
 
+val display_table : string -> string
+(** User-facing name of a scanned table: materialized-view extents
+    ([__mv_<name>] heaps) render as [mv:<name>], anything else as itself.
+    Used by every plan printer so EXPLAIN output attributes IO to the view
+    the user created rather than an internal backing table. *)
+
 val inputs : t -> t list
 (** Direct child plans, left to right. *)
 

@@ -1,0 +1,661 @@
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let backing_prefix = "__mv_"
+let cnt_name = "cnt"
+
+type partial = P_sum of Expr.t | P_min of Expr.t | P_max of Expr.t
+
+type view = {
+  mv_name : string;
+  mv_sql : string;
+  mv_def : Block.view;
+  mv_backing : string;
+  mv_keys : (Schema.column * string) list;
+  mv_partials : (partial * string * Datatype.t) list;
+  mutable mv_versions : (string * int) list;
+  mutable mv_maintain : bool;
+}
+
+type counters = {
+  mutable attempts : int;
+  mutable hits : int;
+  mutable cost_rejections : int;
+  mutable stale_skips : int;
+  mutable deltas : int;
+  mutable delta_rows : int;
+  mutable refreshes : int;
+}
+
+type t = { mutable reg_views : view list; stats : counters }
+
+let create () =
+  { reg_views = [];
+    stats =
+      { attempts = 0; hits = 0; cost_rejections = 0; stale_skips = 0;
+        deltas = 0; delta_rows = 0; refreshes = 0 } }
+
+let views t = t.reg_views
+let stats t = t.stats
+
+let find t name =
+  List.find_opt (fun v -> String.equal v.mv_name name) t.reg_views
+
+let find_exn t name =
+  match find t name with
+  | Some v -> v
+  | None -> err "unknown materialized view %s" name
+
+let base_tables v =
+  List.sort_uniq String.compare
+    (List.map (fun r -> r.Block.r_table) v.Block.v_rels)
+
+let is_fresh cat mv =
+  List.for_all
+    (fun (tb, ver) -> Catalog.table_version cat tb = ver)
+    mv.mv_versions
+
+let set_maintenance t name on = (find_exn t name).mv_maintain <- on
+
+(* ---- extent planning -------------------------------------------------- *)
+
+let partial_arg = function P_sum e | P_min e | P_max e -> e
+
+let partial_key = function
+  | P_sum e -> "s:" ^ Expr.to_string e
+  | P_min e -> "m:" ^ Expr.to_string e
+  | P_max e -> "x:" ^ Expr.to_string e
+
+(* Partials an aggregate needs beyond the group count.  COUNT of a column
+   equals the row count here because the engine does not model NULLs. *)
+let needed_partials (a : Aggregate.t) =
+  match a.Aggregate.func, a.Aggregate.arg with
+  | (Aggregate.Count_star | Aggregate.Count), _ -> []
+  | Aggregate.Sum, Some e | Aggregate.Avg, Some e -> [ P_sum e ]
+  | Aggregate.Min, Some e -> [ P_min e ]
+  | Aggregate.Max, Some e -> [ P_max e ]
+  | Aggregate.Udf _, _ | _, None ->
+    invalid_arg "Matview: non-decomposable aggregate (binder must reject)"
+
+(* One extent column per distinct partial; s<i>/m<i>/x<i> naming leaves
+   the SQL-visible namespace alone. *)
+let plan_partials aggs =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] and ns = ref 0 and nm = ref 0 and nx = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun p ->
+          let k = partial_key p in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            let name =
+              match p with
+              | P_sum _ -> incr ns; Printf.sprintf "s%d" (!ns - 1)
+              | P_min _ -> incr nm; Printf.sprintf "m%d" (!nm - 1)
+              | P_max _ -> incr nx; Printf.sprintf "x%d" (!nx - 1)
+            in
+            out := (p, name, Expr.type_of (partial_arg p)) :: !out
+          end)
+        (needed_partials a))
+    aggs;
+  List.rev !out
+
+let partial_agg (p, name, _) =
+  match p with
+  | P_sum e -> Aggregate.make Aggregate.Sum ~arg:e name
+  | P_min e -> Aggregate.make Aggregate.Min ~arg:e name
+  | P_max e -> Aggregate.make Aggregate.Max ~arg:e name
+
+(* The query whose result is the extent: the view's SPJ part grouped by its
+   keys, computing the group count and every partial. *)
+let extent_query (v : Block.view) keys partials =
+  let aggs =
+    Aggregate.make Aggregate.Count_star cnt_name :: List.map partial_agg partials
+  in
+  { Block.q_views = [];
+    q_rels = v.Block.v_rels;
+    q_preds = v.Block.v_preds;
+    q_grouped = true;
+    q_keys = v.Block.v_keys;
+    q_aggs = aggs;
+    q_having = [];
+    q_select =
+      List.map (fun (c, n) -> Block.Sel_col (c, n)) keys
+      @ List.map (fun a -> Block.Sel_agg a) aggs;
+    q_order = [];
+    q_limit = None }
+
+let run_extent ~options cat q reason =
+  let r = Optimizer.optimize ~options cat q in
+  let ctx = Exec_ctx.create ~work_mem:options.Optimizer.work_mem cat in
+  let rel =
+    Fun.protect ~finally:(fun () -> Exec_ctx.cleanup ctx) (fun () ->
+        Executor.run ctx r.Optimizer.plan)
+  in
+  if Relation.is_empty rel then
+    err "materialized view %s: defining query selects no rows" reason;
+  Relation.tuples rel
+
+let current_versions cat v =
+  List.map (fun tb -> (tb, Catalog.table_version cat tb)) (base_tables v)
+
+let create_view ?(options = Optimizer.default_options) cat t ~name ~sql def =
+  if find t name <> None then err "materialized view %s already exists" name;
+  if Catalog.find_table cat name <> None then
+    err "materialized view %s: a table of that name exists" name;
+  let backing = backing_prefix ^ name in
+  let keys = List.mapi (fun i c -> (c, Printf.sprintf "k%d" i)) def.Block.v_keys in
+  let partials = plan_partials def.Block.v_aggs in
+  let versions = current_versions cat def in
+  let rows = run_extent ~options cat (extent_query def keys partials) name in
+  let columns =
+    List.map (fun ((c : Schema.column), n) -> (n, c.Schema.cty)) keys
+    @ ((cnt_name, Datatype.Int)
+       :: List.map (fun (_, n, ty) -> (n, ty)) partials)
+  in
+  ignore
+    (Catalog.add_table cat ~name:backing ~columns ~pk:(List.map snd keys) rows);
+  let mv =
+    { mv_name = name; mv_sql = sql; mv_def = def; mv_backing = backing;
+      mv_keys = keys; mv_partials = partials; mv_versions = versions;
+      mv_maintain = true }
+  in
+  t.reg_views <- t.reg_views @ [ mv ];
+  mv
+
+let drop cat t name =
+  let mv = find_exn t name in
+  Catalog.drop_table cat mv.mv_backing;
+  t.reg_views <- List.filter (fun v -> v != mv) t.reg_views
+
+let refresh ?(options = Optimizer.default_options) cat t name =
+  let mv = find_exn t name in
+  let versions = current_versions cat mv.mv_def in
+  let rows =
+    run_extent ~options cat (extent_query mv.mv_def mv.mv_keys mv.mv_partials)
+      name
+  in
+  ignore (Catalog.replace_rows cat mv.mv_backing rows);
+  mv.mv_versions <- versions;
+  t.stats.refreshes <- t.stats.refreshes + 1
+
+let row_count cat mv = Heap_file.nrows (Catalog.table_exn cat mv.mv_backing).Catalog.heap
+
+(* ---- incremental maintenance ------------------------------------------ *)
+
+let merge_partial p a b =
+  match p with
+  | P_sum _ -> Value.add a b
+  | P_min _ -> Value.min_value a b
+  | P_max _ -> Value.max_value a b
+
+(* Fold the inserted base rows into the extent: group the delta exactly as
+   the view does, then coalesce delta groups into existing extent rows
+   (decomposability: COUNT/SUM add, MIN/MAX take the extremum) and append
+   rows for new groups.  [replace_rows] re-sorts, re-analyzes and re-indexes
+   the extent and bumps the epoch, so cached plans over the old extent die. *)
+let apply_delta cat t mv ~table ~rows =
+  let r = List.hd mv.mv_def.Block.v_rels in
+  let tbl = Catalog.table_exn cat table in
+  let schema = Schema.rename_qualifier tbl.Catalog.tschema r.Block.r_alias in
+  let preds = List.map (Expr.compile_pred schema) mv.mv_def.Block.v_preds in
+  let key_idxs =
+    List.map (fun (c, _) -> Expr.resolve_column schema c) mv.mv_keys
+  in
+  let evals =
+    List.map (fun (p, _, _) -> Expr.compile schema (partial_arg p)) mv.mv_partials
+  in
+  let groups = Hashtbl.create 16 in
+  let nrows = ref 0 in
+  List.iter
+    (fun row ->
+      if List.for_all (fun p -> p row) preds then begin
+        incr nrows;
+        let k = List.map (Tuple.get row) key_idxs in
+        let vals = Array.of_list (List.map (fun f -> f row) evals) in
+        match Hashtbl.find_opt groups k with
+        | None -> Hashtbl.add groups k (ref 1, vals)
+        | Some (c, acc) ->
+          incr c;
+          List.iteri
+            (fun i (p, _, _) -> acc.(i) <- merge_partial p acc.(i) vals.(i))
+            mv.mv_partials
+      end)
+    rows;
+  if Hashtbl.length groups > 0 then begin
+    let nkeys = List.length mv.mv_keys in
+    let btbl = Catalog.table_exn cat mv.mv_backing in
+    let existing = Array.of_seq (Heap_file.to_seq btbl.Catalog.heap) in
+    let by_key = Hashtbl.create (Array.length existing) in
+    Array.iteri
+      (fun i row -> Hashtbl.replace by_key (List.init nkeys (Tuple.get row)) i)
+      existing;
+    let fresh_rows = ref [] in
+    Hashtbl.iter
+      (fun k (c, vals) ->
+        match Hashtbl.find_opt by_key k with
+        | Some i ->
+          let row = Array.copy existing.(i) in
+          row.(nkeys) <- Value.add row.(nkeys) (Value.Int !c);
+          List.iteri
+            (fun j (p, _, _) ->
+              row.(nkeys + 1 + j) <- merge_partial p row.(nkeys + 1 + j) vals.(j))
+            mv.mv_partials;
+          existing.(i) <- row
+        | None ->
+          fresh_rows :=
+            Array.of_list (k @ (Value.Int !c :: Array.to_list vals))
+            :: !fresh_rows)
+      groups;
+    ignore
+      (Catalog.replace_rows cat mv.mv_backing
+         (Array.to_list existing @ !fresh_rows));
+    t.stats.deltas <- t.stats.deltas + 1;
+    t.stats.delta_rows <- t.stats.delta_rows + !nrows
+  end
+
+let on_insert cat t ~table ~rows =
+  List.iter
+    (fun mv ->
+      let touches =
+        List.exists
+          (fun r -> String.equal r.Block.r_table table)
+          mv.mv_def.Block.v_rels
+      in
+      if touches then begin
+        let single =
+          match mv.mv_def.Block.v_rels with [ _ ] -> true | _ -> false
+        in
+        (* Absorb only when this insert is the sole unabsorbed change —
+           otherwise the extent no longer reflects any consistent base
+           state and must be REFRESHed from scratch. *)
+        let fresh_but_this =
+          List.for_all
+            (fun (tb, ver) ->
+              let cur = Catalog.table_version cat tb in
+              if String.equal tb table then ver + 1 = cur else ver = cur)
+            mv.mv_versions
+        in
+        if single && mv.mv_maintain && fresh_but_this then begin
+          apply_delta cat t mv ~table ~rows;
+          mv.mv_versions <-
+            List.map
+              (fun (tb, ver) ->
+                if String.equal tb table then (tb, ver + 1) else (tb, ver))
+              mv.mv_versions
+        end
+        (* else: the view is now stale; matching skips it until REFRESH. *)
+      end)
+    t.reg_views
+
+(* ---- matching and rewrite --------------------------------------------- *)
+
+type rewrite = {
+  rw_view : view;
+  rw_q : Block.query;  (** re-aggregation query over the extent *)
+  rw_project : (Expr.t * Schema.column) list;  (** final output projection *)
+  rw_order : Schema.column list;
+  rw_limit : int option;
+}
+
+(* In-order per-table pairing of view aliases with query aliases; self-join
+   symmetric matches beyond textual order are not explored. *)
+let alias_map v_rels q_rels =
+  let tables rels =
+    List.sort_uniq String.compare (List.map (fun r -> r.Block.r_table) rels)
+  in
+  let vt = tables v_rels and qt = tables q_rels in
+  if vt <> qt then None
+  else begin
+    let of_table rels t =
+      List.filter_map
+        (fun r ->
+          if String.equal r.Block.r_table t then Some r.Block.r_alias else None)
+        rels
+    in
+    let rec zip acc = function
+      | [] -> Some acc
+      | t :: rest ->
+        let va = of_table v_rels t and qa = of_table q_rels t in
+        if List.length va <> List.length qa then None
+        else zip (acc @ List.combine va qa) rest
+    in
+    zip [] vt
+  end
+
+(* Remove one occurrence of each view predicate (compared textually after
+   alias mapping) from the query's conjuncts; the leftover conjuncts are
+   residual and must be evaluable on the extent. *)
+let consume_preds vpred_strs qpreds =
+  let rec remove s = function
+    | [] -> None
+    | p :: rest ->
+      if String.equal (Expr.pred_to_string p) s then Some rest
+      else Option.map (fun r -> p :: r) (remove s rest)
+  in
+  List.fold_left
+    (fun acc s -> Option.bind acc (remove s))
+    (Some qpreds) vpred_strs
+
+type derived =
+  | D_plain of Aggregate.t
+  | D_avg of { ss : Aggregate.t; cc : Aggregate.t }
+
+let match_view mv (q : Block.query) =
+  if q.Block.q_views <> [] || not q.Block.q_grouped then None
+  else if mv.mv_def.Block.v_having <> [] then None
+  else
+    match alias_map mv.mv_def.Block.v_rels q.Block.q_rels with
+    | None -> None
+    | Some amap ->
+      let exception No_match in
+      (try
+         let map_alias a =
+           match List.assoc_opt a amap with
+           | Some qa -> qa
+           | None -> raise No_match
+         in
+         let to_query_side c =
+           Some { c with Schema.cqual = map_alias c.Schema.cqual }
+         in
+         (* 1. every view predicate appears among the query's conjuncts *)
+         let vpred_strs =
+           List.map
+             (fun p -> Expr.pred_to_string (Expr.subst_columns to_query_side p))
+             mv.mv_def.Block.v_preds
+         in
+         let residual =
+           match consume_preds vpred_strs q.Block.q_preds with
+           | Some r -> r
+           | None -> raise No_match
+         in
+         (* Query-side base column -> extent column, for the view's keys. *)
+         let key_subst =
+           List.map
+             (fun ((kc : Schema.column), ext) ->
+               ( (map_alias kc.Schema.cqual, kc.Schema.cname),
+                 Schema.column ~qual:mv.mv_name ext kc.Schema.cty ))
+             mv.mv_keys
+         in
+         let subst_key (c : Schema.column) =
+           List.assoc_opt (c.Schema.cqual, c.Schema.cname) key_subst
+         in
+         let subst_key_exn c =
+           match subst_key c with Some c' -> c' | None -> raise No_match
+         in
+         (* 2. residual predicates touch only grouping columns of the view *)
+         let residual' =
+           List.map
+             (fun p ->
+               List.iter
+                 (fun c -> ignore (subst_key_exn c))
+                 (Expr.pred_columns p);
+               Expr.subst_columns subst_key p)
+             residual
+         in
+         (* 3. the query's groups coarsen the view's groups *)
+         let keys' = List.map subst_key_exn q.Block.q_keys in
+         (* 4. every aggregate re-aggregates from a stored partial *)
+         let cnt_col = Schema.column ~qual:mv.mv_name cnt_name Datatype.Int in
+         let partial_col kind e =
+           (* [e] is the query-side argument — already in query aliases; only
+              the view's stored partials need mapping before comparison. *)
+           let s = Expr.to_string (partial_arg e) in
+           match
+             List.find_opt
+               (fun (p, _, _) ->
+                 (match p, e with
+                 | P_sum _, P_sum _ | P_min _, P_min _ | P_max _, P_max _ ->
+                   true
+                 | _ -> false)
+                 && String.equal
+                      (Expr.to_string
+                         (Expr.subst_expr_columns to_query_side
+                            (partial_arg p)))
+                      s)
+               mv.mv_partials
+           with
+           | Some (_, n, ty) -> Schema.column ~qual:mv.mv_name n ty
+           | None -> ignore kind; raise No_match
+         in
+         let derive (a : Aggregate.t) =
+           match a.Aggregate.func, a.Aggregate.arg with
+           | (Aggregate.Count_star | Aggregate.Count), _ ->
+             D_plain
+               (Aggregate.make Aggregate.Sum ~arg:(Expr.Col cnt_col)
+                  a.Aggregate.out_name)
+           | Aggregate.Sum, Some e ->
+             D_plain
+               (Aggregate.make Aggregate.Sum
+                  ~arg:(Expr.Col (partial_col `S (P_sum e)))
+                  a.Aggregate.out_name)
+           | Aggregate.Min, Some e ->
+             D_plain
+               (Aggregate.make Aggregate.Min
+                  ~arg:(Expr.Col (partial_col `M (P_min e)))
+                  a.Aggregate.out_name)
+           | Aggregate.Max, Some e ->
+             D_plain
+               (Aggregate.make Aggregate.Max
+                  ~arg:(Expr.Col (partial_col `X (P_max e)))
+                  a.Aggregate.out_name)
+           | Aggregate.Avg, Some e ->
+             let ss =
+               Aggregate.make Aggregate.Sum
+                 ~arg:(Expr.Col (partial_col `S (P_sum e)))
+                 (a.Aggregate.out_name ^ "$ss")
+             in
+             let cc =
+               Aggregate.make Aggregate.Sum ~arg:(Expr.Col cnt_col)
+                 (a.Aggregate.out_name ^ "$cc")
+             in
+             D_avg { ss; cc }
+           | _ -> raise No_match
+         in
+         let derived = List.map (fun a -> (a, derive a)) q.Block.q_aggs in
+         let aggs' =
+           List.concat_map
+             (fun (_, d) ->
+               match d with
+               | D_plain a -> [ a ]
+               | D_avg { ss; cc } -> [ ss; cc ])
+             derived
+         in
+         let avg_outs =
+           List.filter_map
+             (fun ((a : Aggregate.t), d) ->
+               match d with
+               | D_avg _ -> Some a.Aggregate.out_name
+               | D_plain _ -> None)
+             derived
+         in
+         let agg_outs =
+           List.map (fun (a : Aggregate.t) -> a.Aggregate.out_name) q.Block.q_aggs
+         in
+         (* 5. HAVING passes through on unchanged aggregate names; an AVG
+            reference has no single derived column, so no match. *)
+         let having' =
+           List.map
+             (fun p ->
+               Expr.subst_columns
+                 (fun c ->
+                   if List.mem c.Schema.cname avg_outs then raise No_match
+                   else if List.mem c.Schema.cname agg_outs then None
+                   else Some (subst_key_exn c))
+                 p)
+             q.Block.q_having
+         in
+         (* 6. select list and final projection *)
+         let derived_of out =
+           snd
+             (List.find
+                (fun ((a : Aggregate.t), _) ->
+                  String.equal a.Aggregate.out_name out)
+                derived)
+         in
+         let select' =
+           List.concat_map
+             (function
+               | Block.Sel_col (c, n) -> [ Block.Sel_col (subst_key_exn c, n) ]
+               | Block.Sel_agg a -> (
+                 match derived_of a.Aggregate.out_name with
+                 | D_plain a' -> [ Block.Sel_agg a' ]
+                 | D_avg { ss; cc } -> [ Block.Sel_agg ss; Block.Sel_agg cc ]))
+             q.Block.q_select
+         in
+         let project =
+           List.map
+             (function
+               | Block.Sel_col ((c : Schema.column), n) ->
+                 let out = Schema.column n c.Schema.cty in
+                 (Expr.Col out, out)
+               | Block.Sel_agg a -> (
+                 let out_name = a.Aggregate.out_name in
+                 match derived_of out_name with
+                 | D_plain a' ->
+                   let ty = Aggregate.result_type a' in
+                   let out = Schema.column out_name ty in
+                   (Expr.Col out, out)
+                 | D_avg { ss; cc } ->
+                   let c n ty = Expr.col n ty in
+                   ( Expr.Binop
+                       ( Expr.Div,
+                         c ss.Aggregate.out_name (Aggregate.result_type ss),
+                         c cc.Aggregate.out_name (Aggregate.result_type cc) ),
+                     Schema.column out_name Datatype.Float )))
+             q.Block.q_select
+         in
+         let order =
+           List.map
+             (fun n ->
+               match
+                 List.find_opt
+                   (fun (_, (c : Schema.column)) ->
+                     String.equal c.Schema.cname n)
+                   project
+               with
+               | Some (_, c) -> c
+               | None -> raise No_match)
+             q.Block.q_order
+         in
+         Some
+           { rw_view = mv;
+             rw_q =
+               { Block.q_views = [];
+                 q_rels =
+                   [ { Block.r_alias = mv.mv_name; r_table = mv.mv_backing } ];
+                 q_preds = residual';
+                 q_grouped = true;
+                 q_keys = keys';
+                 q_aggs = aggs';
+                 q_having = having';
+                 q_select = select';
+                 q_order = [];
+                 q_limit = None };
+             rw_project = project;
+             rw_order = order;
+             rw_limit = q.Block.q_limit }
+       with No_match -> None)
+
+(* Optimize the re-aggregation query, then restore the original output
+   shape: projection in the query's select order (AVG recomposed as
+   sum/count), ORDER BY, LIMIT. *)
+let plan_rewrite ~options cat rw =
+  let inner = Optimizer.optimize ~options cat rw.rw_q in
+  let plan =
+    Physical.Project { input = inner.Optimizer.plan; cols = rw.rw_project }
+  in
+  let plan =
+    match rw.rw_order with
+    | [] -> plan
+    | cols -> Physical.Sort { input = plan; cols }
+  in
+  let plan =
+    match rw.rw_limit with
+    | None -> plan
+    | Some count -> Physical.Limit { input = plan; count }
+  in
+  let est = Cost_model.estimate cat ~work_mem:options.Optimizer.work_mem plan in
+  { inner with Optimizer.plan; est }
+
+type decision =
+  | No_views
+  | No_match
+  | Stale of string list
+  | Chosen of { view : string; base_cost : float; view_cost : float }
+  | Rejected_cost of { view : string; base_cost : float; view_cost : float }
+  | From_cache of string option
+
+let decision_to_string = function
+  | No_views -> "no views"
+  | No_match -> "no matching view"
+  | Stale vs -> Printf.sprintf "stale: %s" (String.concat ", " vs)
+  | Chosen { view; base_cost; view_cost } ->
+    Printf.sprintf "view %s (cost %.1f vs base %.1f)" view view_cost base_cost
+  | Rejected_cost { view; base_cost; view_cost } ->
+    Printf.sprintf "view %s rejected (cost %.1f vs base %.1f)" view view_cost
+      base_cost
+  | From_cache None -> "cached base plan"
+  | From_cache (Some v) -> Printf.sprintf "cached view plan (%s)" v
+
+let rewritten_view = function
+  | Chosen { view; _ } -> Some view
+  | From_cache v -> v
+  | No_views | No_match | Stale _ | Rejected_cost _ -> None
+
+let rewrites ?(options = Optimizer.default_options) cat t q =
+  List.filter_map
+    (fun mv ->
+      match match_view mv q with
+      | Some rw when is_fresh cat mv ->
+        Some (mv.mv_name, plan_rewrite ~options cat rw)
+      | _ -> None)
+    t.reg_views
+
+let optimize ?(options = Optimizer.default_options) cat t q =
+  let base = Optimizer.optimize ~options cat q in
+  if t.reg_views = [] then (base, No_views)
+  else begin
+    t.stats.attempts <- t.stats.attempts + 1;
+    let matched =
+      List.filter_map
+        (fun mv -> Option.map (fun rw -> (mv, rw)) (match_view mv q))
+        t.reg_views
+    in
+    let fresh, stale = List.partition (fun (mv, _) -> is_fresh cat mv) matched in
+    match fresh with
+    | [] ->
+      if matched = [] then (base, No_match)
+      else begin
+        t.stats.stale_skips <- t.stats.stale_skips + 1;
+        (base, Stale (List.map (fun (mv, _) -> mv.mv_name) stale))
+      end
+    | _ ->
+      let best =
+        List.fold_left
+          (fun acc (mv, rw) ->
+            let r = plan_rewrite ~options cat rw in
+            match acc with
+            | Some (_, br)
+              when br.Optimizer.est.Cost_model.cost
+                   <= r.Optimizer.est.Cost_model.cost ->
+              acc
+            | _ -> Some (mv, r))
+          None fresh
+      in
+      let mv, r = Option.get best in
+      let base_cost = base.Optimizer.est.Cost_model.cost in
+      let view_cost = r.Optimizer.est.Cost_model.cost in
+      if view_cost < base_cost then begin
+        t.stats.hits <- t.stats.hits + 1;
+        ( { r with
+            Optimizer.time_ms = base.Optimizer.time_ms +. r.Optimizer.time_ms },
+          Chosen { view = mv.mv_name; base_cost; view_cost } )
+      end
+      else begin
+        t.stats.cost_rejections <- t.stats.cost_rejections + 1;
+        (base, Rejected_cost { view = mv.mv_name; base_cost; view_cost })
+      end
+  end

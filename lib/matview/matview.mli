@@ -1,0 +1,131 @@
+(** Materialized aggregate views: extent storage, view-matching rewrite and
+    incremental maintenance.
+
+    A view is a single-block aggregate query (GROUP BY required, all
+    aggregates decomposable).  Its extent is stored as a regular heap table
+    [__mv_<name>] holding the grouping columns, the group count and one
+    column per distinct partial aggregate (SUM/MIN/MAX argument); AVG is
+    recorded as SUM + the count.  A query is answered from the extent when
+
+    - its FROM matches the view's relations (per-table, in textual order),
+    - the view's predicates all appear among the query's conjuncts and the
+      residual conjuncts touch only the view's grouping columns,
+    - its grouping columns are a subset of the view's (the view's groups
+      refine the query's), and
+    - every aggregate re-aggregates from a stored partial (COUNT → SUM of
+      the count; SUM/MIN/MAX over the matching partial; AVG recomposed as
+      SUM(sum)/SUM(count) in a final projection).
+
+    The rewritten plan competes with the base plan on estimated page IO;
+    the cheaper one wins.  Appends to a view's single base table are folded
+    into the extent incrementally; any unabsorbed base change leaves the
+    view stale, and stale views are never used to answer queries (REFRESH
+    recomputes the extent from scratch). *)
+
+exception Error of string
+
+val backing_prefix : string
+(** ["__mv_"] — extent tables are named [__mv_<view name>]. *)
+
+type partial = P_sum of Expr.t | P_min of Expr.t | P_max of Expr.t
+
+type view = {
+  mv_name : string;
+  mv_sql : string;  (** original definition text, for [\dm] *)
+  mv_def : Block.view;
+  mv_backing : string;
+  mv_keys : (Schema.column * string) list;
+      (** (underlying grouping column, extent column name) *)
+  mv_partials : (partial * string * Datatype.t) list;
+  mutable mv_versions : (string * int) list;
+      (** absorbed {!Catalog.table_version} per base table *)
+  mutable mv_maintain : bool;  (** fold appends in incrementally? *)
+}
+
+type counters = {
+  mutable attempts : int;  (** optimizations with at least one view *)
+  mutable hits : int;  (** rewrites chosen by cost *)
+  mutable cost_rejections : int;  (** matched but base plan was cheaper *)
+  mutable stale_skips : int;  (** matched but every candidate was stale *)
+  mutable deltas : int;  (** incremental maintenance batches applied *)
+  mutable delta_rows : int;  (** base rows folded in by those batches *)
+  mutable refreshes : int;
+}
+
+type t
+(** Registry of live views (owned by the session service, which serializes
+    access under its statement lock). *)
+
+val create : unit -> t
+val views : t -> view list
+val find : t -> string -> view option
+val stats : t -> counters
+
+val create_view :
+  ?options:Optimizer.options ->
+  Catalog.t -> t -> name:string -> sql:string -> Block.view -> view
+(** Evaluate the defining query and store the extent as a catalog table
+    (primary key = grouping columns).  @raise Error on a duplicate name or
+    when the defining query selects no rows. *)
+
+val drop : Catalog.t -> t -> string -> unit
+(** Drop the extent table and forget the view.  @raise Error if unknown. *)
+
+val refresh : ?options:Optimizer.options -> Catalog.t -> t -> string -> unit
+(** Recompute the extent from scratch and mark the view fresh.
+    @raise Error if unknown or the defining query now selects no rows. *)
+
+val set_maintenance : t -> string -> bool -> unit
+(** Toggle incremental maintenance for one view (default on).  With it off,
+    appends to base tables leave the view stale until REFRESH. *)
+
+val is_fresh : Catalog.t -> view -> bool
+(** Have all base-table versions been absorbed? *)
+
+val row_count : Catalog.t -> view -> int
+(** Rows in the extent (groups of the view). *)
+
+val on_insert : Catalog.t -> t -> table:string -> rows:Tuple.t list -> unit
+(** Notify the registry of rows just appended to [table] (full stored
+    width, as returned by {!Catalog.insert}).  Views over that single table
+    that are otherwise fresh and have maintenance on absorb the delta;
+    every other affected view silently becomes stale. *)
+
+type rewrite = {
+  rw_view : view;
+  rw_q : Block.query;  (** re-aggregation query over the extent *)
+  rw_project : (Expr.t * Schema.column) list;  (** final output projection *)
+  rw_order : Schema.column list;
+  rw_limit : int option;
+}
+
+val match_view : view -> Block.query -> rewrite option
+(** Structural matching only — freshness and cost are the caller's
+    concern. *)
+
+type decision =
+  | No_views
+  | No_match
+  | Stale of string list  (** matched views, all stale *)
+  | Chosen of { view : string; base_cost : float; view_cost : float }
+  | Rejected_cost of { view : string; base_cost : float; view_cost : float }
+  | From_cache of string option
+      (** plan served from the plan cache; the view it was built from, if
+          any (recorded by the service, not produced by {!optimize}) *)
+
+val decision_to_string : decision -> string
+
+val rewritten_view : decision -> string option
+(** The view the returned plan reads from, if any. *)
+
+val optimize :
+  ?options:Optimizer.options ->
+  Catalog.t -> t -> Block.query -> Optimizer.result * decision
+(** Cost-based choice between the base plan and the cheapest fresh matching
+    view rewrite. *)
+
+val rewrites :
+  ?options:Optimizer.options ->
+  Catalog.t -> t -> Block.query -> (string * Optimizer.result) list
+(** All fresh matching rewrites with their plans, regardless of cost —
+    differential tests use this to force the view path. *)

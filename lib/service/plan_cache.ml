@@ -7,6 +7,7 @@ type entry = {
   search : Search_stats.t;
   opt_ms : float;
   epoch : int;
+  mv : string option;
   bytes : int;
 }
 

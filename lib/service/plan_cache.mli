@@ -17,6 +17,12 @@ type entry = {
   search : Search_stats.t;
   opt_ms : float;  (** what the original optimization cost *)
   epoch : int;  (** catalog epoch at optimization time *)
+  mv : string option;
+      (** materialized view the plan reads from, when it is a view rewrite.
+          Such a plan embeds the view's covered predicates implicitly (their
+          constants are baked into the extent's contents), so it must never
+          be re-bound to different parameters — the service re-optimizes
+          instead of rebinding when this is set. *)
   bytes : int;
 }
 

@@ -49,7 +49,11 @@ let describe_error = function
    of the statement under profiling and renders the annotated tree. *)
 type classified =
   | Directive_metrics of [ `Json | `Prometheus ]
+  | Directive_matviews
   | Explain_analyze of string
+  | Update of string
+      (** INSERT or MATERIALIZED VIEW DDL: mutates shared state, so pool
+          replay treats it as a barrier *)
   | Plain of string
 
 let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
@@ -62,13 +66,26 @@ let strip_prefix ~prefix s =
 
 let classify sql =
   let t = String.trim sql in
-  match String.lowercase_ascii t with
+  let lt = String.lowercase_ascii t in
+  let has_prefix p =
+    String.length lt > String.length p
+    && String.sub lt 0 (String.length p) = p
+    && is_space lt.[String.length p]
+  in
+  match lt with
   | "\\metrics" | "\\metrics json" -> Directive_metrics `Json
   | "\\metrics prom" | "\\metrics prometheus" -> Directive_metrics `Prometheus
-  | _ -> (
-    match strip_prefix ~prefix:"explain analyze" t with
-    | Some rest when rest <> "" -> Explain_analyze rest
-    | _ -> Plain t)
+  | "\\dm" -> Directive_matviews
+  | _ ->
+    if
+      has_prefix "insert" || has_prefix "create materialized"
+      || has_prefix "drop materialized"
+      || has_prefix "refresh materialized"
+    then Update t
+    else (
+      match strip_prefix ~prefix:"explain analyze" t with
+      | Some rest when rest <> "" -> Explain_analyze rest
+      | _ -> Plain t)
 
 let run_metrics svc fmt_kind =
   let m = Service.metrics svc in
@@ -88,16 +105,23 @@ let run_explain_analyze svc sql =
   | Ok _ -> body
   | Error e -> raise_notrace (Analysis_failed (e, body))
 
+let run_update svc sql =
+  match Service.exec_statement svc sql with
+  | tag -> Rendered tag
+  | exception e -> Failed (describe_error e)
+
 (* One statement, synchronously on the service. *)
 let run_one svc sql =
   match classify sql with
   | Directive_metrics kind -> Rendered (run_metrics svc kind)
+  | Directive_matviews -> Rendered (Service.render_matviews svc)
   | Explain_analyze rest -> (
     match run_explain_analyze svc rest with
     | body -> Rendered body
     | exception Analysis_failed (e, body) ->
       Failed (describe_error e ^ "\n" ^ body)
     | exception e -> Failed (describe_error e))
+  | Update sql -> run_update svc sql
   | Plain sql -> (
     match Service.submit svc sql with
     | p, rel, _io -> Executed (p, Relation.cardinality rel)
@@ -108,41 +132,56 @@ let replay svc text =
     (fun i sql -> { index = i + 1; sql; outcome = run_one svc sql })
     (split_statements text)
 
-(* Pool replay: plain statements are submitted to the pool up front, then
-   awaited in order — the report stays deterministic per-line while
-   execution itself is concurrent.  Directives and EXPLAIN ANALYZE run
-   synchronously at their position in the await sequence, so a [\metrics]
-   line observes every earlier statement's effect (later ones may still be
-   in flight on the workers — submission order is not completion order). *)
+(* Pool replay: runs of consecutive read-only statements are submitted to
+   the pool up front, then awaited in order — the report stays
+   deterministic per-line while execution itself is concurrent.  Updates
+   (INSERT, MATERIALIZED VIEW DDL) are barriers: an update runs alone,
+   after every earlier statement has completed and before any later one is
+   submitted, so concurrent readers never race a catalog mutation and every
+   statement sees a well-defined database state.  Directives and EXPLAIN
+   ANALYZE run synchronously at their position in the await sequence, so a
+   [\metrics] line observes every earlier statement's effect (later ones in
+   the same run may still be in flight on the workers). *)
 let replay_pool pool text =
   let svc = Service.Pool.service pool in
-  let jobs =
-    List.map
-      (fun sql ->
-        match classify sql with
-        | Plain p -> (sql, `Fut (Service.Pool.submit_sql pool p))
-        | (Directive_metrics _ | Explain_analyze _) as c -> (sql, `Sync c))
-      (split_statements text)
+  let results = ref [] in
+  let pending = ref [] in
+  let await_outcome = function
+    | `Fut fut -> (
+      match Service.Pool.await fut with
+      | p, rel, _io -> Executed (p, Relation.cardinality rel)
+      | exception e -> Failed (describe_error e))
+    | `Sync (Directive_metrics kind) -> Rendered (run_metrics svc kind)
+    | `Sync Directive_matviews -> Rendered (Service.render_matviews svc)
+    | `Sync (Explain_analyze rest) -> (
+      match run_explain_analyze svc rest with
+      | body -> Rendered body
+      | exception Analysis_failed (e, body) ->
+        Failed (describe_error e ^ "\n" ^ body)
+      | exception e -> Failed (describe_error e))
+    | `Sync (Plain _ | Update _) -> assert false
   in
+  let flush () =
+    List.iter
+      (fun (sql, job) -> results := (sql, await_outcome job) :: !results)
+      (List.rev !pending);
+    pending := []
+  in
+  List.iter
+    (fun sql ->
+      match classify sql with
+      | Update u ->
+        flush ();
+        results := (sql, run_update svc u) :: !results
+      | Plain p ->
+        pending := (sql, `Fut (Service.Pool.submit_sql pool p)) :: !pending
+      | (Directive_metrics _ | Directive_matviews | Explain_analyze _) as c ->
+        pending := (sql, `Sync c) :: !pending)
+    (split_statements text);
+  flush ();
   List.mapi
-    (fun i (sql, job) ->
-      let outcome =
-        match job with
-        | `Fut fut -> (
-          match Service.Pool.await fut with
-          | p, rel, _io -> Executed (p, Relation.cardinality rel)
-          | exception e -> Failed (describe_error e))
-        | `Sync (Directive_metrics kind) -> Rendered (run_metrics svc kind)
-        | `Sync (Explain_analyze rest) -> (
-          match run_explain_analyze svc rest with
-          | body -> Rendered body
-          | exception Analysis_failed (e, body) ->
-            Failed (describe_error e ^ "\n" ^ body)
-          | exception e -> Failed (describe_error e))
-        | `Sync (Plain _) -> assert false
-      in
-      { index = i + 1; sql; outcome })
-    jobs
+    (fun i (sql, outcome) -> { index = i + 1; sql; outcome })
+    (List.rev !results)
 
 let first_line sql =
   match String.index_opt sql '\n' with
@@ -154,11 +193,16 @@ let report fmt svc lines =
     (fun l ->
       match l.outcome with
       | Executed (p, rows) ->
-        Format.fprintf fmt "[%3d] %-15s %6d rows  est %10.1f  %6.2f ms  %s@."
+        let mv =
+          match Matview.rewritten_view p.Service.rewrite with
+          | Some v -> Printf.sprintf "  [mv:%s]" v
+          | None -> ""
+        in
+        Format.fprintf fmt "[%3d] %-15s %6d rows  est %10.1f  %6.2f ms  %s%s@."
           l.index
           (Service.source_label p.Service.source)
           rows p.Service.est.Cost_model.cost p.Service.plan_ms
-          (first_line l.sql)
+          (first_line l.sql) mv
       | Rendered body ->
         Format.fprintf fmt "[%3d] %s@.%s@." l.index (first_line l.sql) body
       | Failed msg ->

@@ -5,11 +5,17 @@
     VIEWs ending in a SELECT).  Lines whose first non-blank characters are
     [--] are comments.
 
-    Two non-SQL forms are recognized per statement:
+    Three non-SQL forms are recognized per statement:
     - [\metrics] (or [\metrics prom]): dump the service's metrics registry
       as JSON (or Prometheus text) at that point in the replay;
+    - [\dm]: list materialized views (name, group count, freshness,
+      absorbed base-table versions, definition);
     - [EXPLAIN ANALYZE <sql>]: run the statement under per-operator
-      profiling and render the estimated-vs-actual tree with q-errors. *)
+      profiling and render the estimated-vs-actual tree with q-errors.
+
+    Mutating statements (INSERT, CREATE / DROP / REFRESH MATERIALIZED
+    VIEW) are routed through {!Service.exec_statement} and report a
+    completion tag instead of a row count. *)
 
 val split_statements : string -> string list
 (** Strip comment lines and split on [;;]; empty statements are dropped. *)
@@ -29,12 +35,14 @@ val replay : Service.t -> string -> line list
     [outcome] and do not stop the replay. *)
 
 val replay_pool : Service.Pool.t -> string -> line list
-(** Like {!replay} but through a worker pool: plain statements are submitted
-    up front and awaited in order, so the per-line report is deterministic
-    while prepare + plan + execute run concurrently on the workers.
-    Directives and [EXPLAIN ANALYZE] run synchronously at their await
-    position (a [\metrics] line sees every earlier statement's effect;
-    later statements may still be in flight). *)
+(** Like {!replay} but through a worker pool: runs of consecutive read-only
+    statements are submitted up front and awaited in order, so the per-line
+    report is deterministic while prepare + plan + execute run concurrently
+    on the workers.  Mutating statements are barriers: each runs alone,
+    after all earlier statements completed and before any later one is
+    submitted.  Directives and [EXPLAIN ANALYZE] run synchronously at their
+    await position (a [\metrics] line sees every earlier statement's
+    effect; later statements in the same run may still be in flight). *)
 
 val report : Format.formatter -> Service.t -> line list -> unit
 (** Human-readable per-statement lines followed by the service's cache

@@ -33,6 +33,7 @@ type t = {
   cat : Catalog.t;
   cfg : config;
   cache : Plan_cache.t;
+  mviews : Matview.t;
   lock : Sync.t;
   calls : Sync.Counter.t;
   hits : Sync.Counter.t;
@@ -137,6 +138,32 @@ let register_metrics t =
   Metrics.gauge m "avq_plancache_bytes"
     ~help:"Current plan-cache size (bytes-ish)"
     (fi (fun () -> (cache_counters ()).Plan_cache.bytes));
+  let mc name help f =
+    Metrics.fn_counter m name ~help
+      (fi (fun () -> f (Matview.stats t.mviews)))
+  in
+  mc "avq_matview_rewrite_attempts_total"
+    "Optimizations that considered at least one materialized view"
+    (fun s -> s.Matview.attempts);
+  mc "avq_matview_rewrite_hits_total"
+    "Plans answered from a materialized view (cost-chosen)"
+    (fun s -> s.Matview.hits);
+  mc "avq_matview_rewrite_cost_rejections_total"
+    "View rewrites discarded because the base plan was cheaper"
+    (fun s -> s.Matview.cost_rejections);
+  mc "avq_matview_rewrite_stale_skips_total"
+    "Optimizations whose only matching views were stale"
+    (fun s -> s.Matview.stale_skips);
+  mc "avq_matview_maintenance_deltas_total"
+    "Incremental maintenance batches folded into extents"
+    (fun s -> s.Matview.deltas);
+  mc "avq_matview_maintenance_rows_total"
+    "Base rows absorbed by incremental maintenance"
+    (fun s -> s.Matview.delta_rows);
+  mc "avq_matview_refreshes_total" "Full REFRESH recomputations"
+    (fun s -> s.Matview.refreshes);
+  Metrics.gauge m "avq_matviews" ~help:"Live materialized views"
+    (fi (fun () -> List.length (Matview.views t.mviews)));
   for i = 0 to Array.length t.errs - 1 do
     Metrics.fn_counter m "avq_errors_total"
       ~help:"Failed statements by typed-error kind"
@@ -165,6 +192,7 @@ let create ?(config = default_config) cat =
       cache =
         Plan_cache.create ~max_entries:config.max_entries
           ~max_bytes:config.max_bytes ();
+      mviews = Matview.create ();
       lock = Sync.create ();
       calls = Sync.Counter.create ();
       hits = Sync.Counter.create ();
@@ -196,6 +224,7 @@ let create ?(config = default_config) cat =
 
 let catalog t = t.cat
 let config t = t.cfg
+let matviews t = t.mviews
 let metrics t = t.metrics
 let set_tracer t tr = t.tracer <- tr
 let tracer t = t.tracer
@@ -256,6 +285,7 @@ type planned = {
   opt_ms : float;
   plan_ms : float;
   search : Search_stats.t;
+  rewrite : Matview.decision;
 }
 
 let algo_tag = function
@@ -284,7 +314,7 @@ let entry_bytes ~key ~template ~plan ~params =
   + String.length template + String.length key + (24 * List.length params) + 128
 
 let optimize_and_cache t stmt ps query source =
-  let r = Optimizer.optimize ~options:(options t) t.cat query in
+  let r, decision = Matview.optimize ~options:(options t) t.cat t.mviews query in
   Sync.Fsum.add t.opt_ms_total r.Optimizer.time_ms;
   let key = cache_key t stmt in
   if t.cfg.cache_enabled then
@@ -298,12 +328,13 @@ let optimize_and_cache t stmt ps query source =
         search = r.Optimizer.search;
         opt_ms = r.Optimizer.time_ms;
         epoch = Catalog.epoch t.cat;
+        mv = Matview.rewritten_view decision;
         bytes =
           entry_bytes ~key ~template:stmt.template ~plan:r.Optimizer.plan
             ~params:ps;
       };
   (r.Optimizer.plan, r.Optimizer.est, source, r.Optimizer.time_ms,
-   r.Optimizer.search)
+   r.Optimizer.search, decision)
 
 let plan ?params t stmt =
   let t0 = Unix.gettimeofday () in
@@ -317,7 +348,7 @@ let plan ?params t stmt =
      run serializes misses, which is exactly the pay-once semantics we want:
      a second worker racing on the same key blocks, then finds the entry and
      hits.  Cache-hit sections are microseconds. *)
-  let plan, est, source, opt_ms, search =
+  let plan, est, source, opt_ms, search, rewrite =
     Sync.protect t.lock (fun () ->
         if not t.cfg.cache_enabled then
           optimize_and_cache t stmt ps query Uncached
@@ -347,7 +378,16 @@ let plan ?params t stmt =
               Sync.Counter.incr t.hits;
               Sync.Fsum.add t.opt_ms_saved entry.Plan_cache.opt_ms;
               (entry.Plan_cache.plan, entry.Plan_cache.est, Hit, 0.,
-               entry.Plan_cache.search)
+               entry.Plan_cache.search,
+               Matview.From_cache entry.Plan_cache.mv)
+            end
+            else if entry.Plan_cache.mv <> None then begin
+              (* A view-rewritten plan folded the view's covered predicates
+                 into the extent's contents; re-binding it to different
+                 parameters would silently answer the wrong query.  Always
+                 re-optimize for new parameters instead. *)
+              Sync.Counter.incr t.misses;
+              optimize_and_cache t stmt ps query Miss
             end
             else begin
               match
@@ -370,7 +410,8 @@ let plan ?params t stmt =
                 then begin
                   Sync.Counter.incr t.rebinds;
                   Sync.Fsum.add t.opt_ms_saved entry.Plan_cache.opt_ms;
-                  (plan', est', Hit_rebound, 0., entry.Plan_cache.search)
+                  (plan', est', Hit_rebound, 0., entry.Plan_cache.search,
+                   Matview.From_cache None)
                 end
                 else begin
                   Sync.Counter.incr t.recost_fallbacks;
@@ -386,6 +427,7 @@ let plan ?params t stmt =
     opt_ms;
     plan_ms = (Unix.gettimeofday () -. t0) *. 1000.;
     search;
+    rewrite;
   }
 
 (* Where did the group-by land relative to the joins?  The paper's central
@@ -446,6 +488,9 @@ let plan_span_attrs t p =
     ("pullups", Trace.I p.search.Search_stats.pullups);
     ("group_placement", Trace.S (group_placement p.plan));
   ]
+  @ (match Matview.rewritten_view p.rewrite with
+    | Some v -> [ ("matview", Trace.S v) ]
+    | None -> [])
 
 let observe_success t ~ms ~io =
   Metrics.Histogram.observe t.stmt_ms ms;
@@ -472,6 +517,16 @@ let execute_traced tr ctx ?params t stmt =
       (Trace.emit tr ~trace_id ~parent:(Trace.id root)
          ~t0:(Unix.gettimeofday () -. (p.plan_ms /. 1000.))
          ~dur_ms:p.plan_ms "plan" (plan_span_attrs t p));
+    (match p.rewrite with
+     | Matview.No_views -> ()
+     | d ->
+       ignore
+         (Trace.emit tr ~trace_id ~parent:(Trace.id root)
+            ~t0:(Unix.gettimeofday ()) ~dur_ms:0. "view_rewrite"
+            (("decision", Trace.S (Matview.decision_to_string d))
+            :: (match Matview.rewritten_view d with
+               | Some v -> [ ("view", Trace.S v) ]
+               | None -> []))));
     let exec_t0 = Unix.gettimeofday () in
     let espan = Trace.start tr ~trace_id ~parent:(Trace.id root) "execute" in
     match
@@ -663,6 +718,103 @@ let pp_stats fmt s =
     s.errors.timeouts s.errors.cancellations s.errors.bad_statements
 
 let invalidate_all t = Sync.protect t.lock (fun () -> Plan_cache.clear t.cache)
+
+(* ==== DML / materialized-view DDL ==== *)
+
+let bad_stmt fmt =
+  Format.kasprintf
+    (fun m ->
+      let e = Avq_error.Bad_statement m in
+      Avq_error.error e)
+    fmt
+
+(* Execute one non-SELECT statement under the service lock (the lock also
+   guards the matview registry, and holding it across the catalog mutation
+   means no planner observes a half-applied write).  The epoch bump inside
+   [Catalog.insert] / the extent swap invalidates cached plans on their next
+   lookup.  Returns a human-readable completion tag. *)
+let exec_statement t sql =
+  let count_err = record_error t in
+  let guard f =
+    try f () with
+    | Matview.Error m ->
+      let e = Avq_error.Bad_statement m in
+      count_err e; Avq_error.error e
+    | Binder.Bind_error m ->
+      let e = Avq_error.Bad_statement ("bind: " ^ m) in
+      count_err e; Avq_error.error e
+    | Invalid_argument m ->
+      let e = Avq_error.Bad_statement m in
+      count_err e; Avq_error.error e
+  in
+  Metrics.Counter.incr t.statements;
+  match Parser.parse_script sql with
+  | [ Sql_ast.S_insert { it_table; it_rows } ] ->
+    guard (fun () ->
+        if
+          String.length it_table >= String.length Matview.backing_prefix
+          && String.sub it_table 0 (String.length Matview.backing_prefix)
+             = Matview.backing_prefix
+        then bad_stmt "INSERT into a materialized-view extent is not allowed";
+        let rows = Binder.bind_insert t.cat ~table:it_table it_rows in
+        Sync.protect t.lock (fun () ->
+            let stored = Catalog.insert t.cat ~table:it_table rows in
+            Matview.on_insert t.cat t.mviews ~table:it_table ~rows:stored;
+            Printf.sprintf "INSERT %d" (List.length stored)))
+  | [ Sql_ast.S_create_matview { mv_name; mv_body } ] ->
+    guard (fun () ->
+        let def = Binder.bind_matview_body t.cat ~name:mv_name mv_body in
+        let sql_text = Pretty.select_to_string mv_body in
+        Sync.protect t.lock (fun () ->
+            let mv =
+              Matview.create_view ~options:(options t) t.cat t.mviews
+                ~name:mv_name ~sql:sql_text def
+            in
+            Printf.sprintf "CREATE MATERIALIZED VIEW %s (%d groups)" mv_name
+              (Matview.row_count t.cat mv)))
+  | [ Sql_ast.S_drop_matview name ] ->
+    guard (fun () ->
+        Sync.protect t.lock (fun () ->
+            Matview.drop t.cat t.mviews name;
+            Printf.sprintf "DROP MATERIALIZED VIEW %s" name))
+  | [ Sql_ast.S_refresh_matview name ] ->
+    guard (fun () ->
+        Sync.protect t.lock (fun () ->
+            Matview.refresh ~options:(options t) t.cat t.mviews name;
+            let mv = Option.get (Matview.find t.mviews name) in
+            Printf.sprintf "REFRESH MATERIALIZED VIEW %s (%d groups)" name
+              (Matview.row_count t.cat mv)))
+  | _ -> bad_stmt "expected exactly one INSERT / MATERIALIZED VIEW statement"
+
+let render_matviews t =
+  Sync.protect t.lock (fun () ->
+      match Matview.views t.mviews with
+      | [] -> "no materialized views"
+      | vs ->
+        let buf = Buffer.create 256 in
+        List.iteri
+          (fun i mv ->
+            if i > 0 then Buffer.add_char buf '\n';
+            let state =
+              if Matview.is_fresh t.cat mv then "fresh"
+              else "STALE (refresh required)"
+            in
+            let versions =
+              String.concat ", "
+                (List.map
+                   (fun (tb, v) ->
+                     let cur = Catalog.table_version t.cat tb in
+                     if cur = v then Printf.sprintf "%s@%d" tb v
+                     else Printf.sprintf "%s@%d (now %d)" tb v cur)
+                   mv.Matview.mv_versions)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s: %d groups, %s, absorbed %s\n  AS %s"
+                 mv.Matview.mv_name
+                 (Matview.row_count t.cat mv)
+                 state versions mv.Matview.mv_sql))
+          vs;
+        Buffer.contents buf)
 
 (* ==== concurrent worker pool ==== *)
 

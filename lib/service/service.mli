@@ -97,6 +97,9 @@ type planned = {
   search : Search_stats.t;
       (** optimizer search effort (from the original optimization when the
           plan was served from cache) *)
+  rewrite : Matview.decision;
+      (** what the materialized-view matcher decided for this plan
+          ([From_cache] when the plan was served from the cache) *)
 }
 
 val plan : ?params:Value.t list -> t -> stmt -> planned
@@ -198,6 +201,30 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val invalidate_all : t -> unit
 (** Drop every cached plan, counting each as an invalidation. *)
+
+(** {1 Writes and materialized views}
+
+    The only mutating statements the engine supports:
+    [INSERT INTO t VALUES ...] and
+    [CREATE / DROP / REFRESH MATERIALIZED VIEW].  They run under the
+    service lock; the catalog epoch bump invalidates cached plans, and
+    inserts are offered to the matview registry for incremental
+    maintenance. *)
+
+val matviews : t -> Matview.t
+(** The service's materialized-view registry (access it only from the
+    statement path or tests — the service lock guards it). *)
+
+val exec_statement : t -> string -> string
+(** Execute one INSERT / CREATE / DROP / REFRESH MATERIALIZED VIEW
+    statement, returning a completion tag such as ["INSERT 3"].
+    Raises [Avq_error.Error (Bad_statement _)] (counted in
+    {!error_stats}) on anything else or on bind/definition errors. *)
+
+val render_matviews : t -> string
+(** Multi-line listing for the [\dm] session directive: per view its name,
+    group count, freshness, absorbed base-table versions and defining
+    query. *)
 
 (** {1 Concurrent worker pool}
 

@@ -515,6 +515,9 @@ let bind_script cat script =
     | [] -> err "script contains no SELECT statement"
     | [ S_select sel ] -> bind ~views cat sel
     | S_select _ :: _ -> err "only the final statement may be a SELECT"
+    | (S_insert _ | S_create_matview _ | S_drop_matview _ | S_refresh_matview _)
+      :: _ ->
+      err "INSERT / MATERIALIZED VIEW statements must be submitted on their own"
     | S_create_view v :: rest ->
       if List.mem_assoc v.cv_name views then err "duplicate view %s" v.cv_name;
       process ((v.cv_name, (v.cv_cols, v.cv_body)) :: views) rest
@@ -522,3 +525,58 @@ let bind_script cat script =
   process [] script
 
 let bind_sql cat src = bind_script cat (Parser.parse_script src)
+
+(* ---- write path and materialized views ---- *)
+
+(* Visible columns of a table: everything except the hidden [_rid] key the
+   catalog synthesizes for tables loaded without a declared primary key. *)
+let visible_columns (tbl : Catalog.table) =
+  List.filter
+    (fun (c : Schema.column) -> not (String.equal c.Schema.cname "_rid"))
+    (Schema.columns tbl.Catalog.tschema)
+
+let bind_insert cat ~table rows =
+  let tbl =
+    match Catalog.find_table cat table with
+    | Some tbl -> tbl
+    | None -> err "INSERT: unknown table %s" table
+  in
+  let cols = visible_columns tbl in
+  let arity = List.length cols in
+  let literal = function
+    | E_int i -> Value.Int i
+    | E_float f -> Value.Float f
+    | E_string s -> Value.String s
+    | E_col _ | E_binop _ -> err "INSERT: VALUES rows must be literals"
+  in
+  List.map
+    (fun row ->
+      if List.length row <> arity then
+        err "INSERT into %s: expected %d values, got %d" table arity
+          (List.length row);
+      Tuple.make
+        (List.map2
+           (fun (c : Schema.column) e ->
+             let v = literal e in
+             match v, c.Schema.cty with
+             | Value.Int i, Datatype.Float -> Value.Float (float_of_int i)
+             | v, ty when Datatype.equal (Value.type_of v) ty -> v
+             | v, ty ->
+               err "INSERT into %s: column %s expects %s, got %s" table
+                 c.Schema.cname (Datatype.to_string ty)
+                 (Datatype.to_string (Value.type_of v)))
+           cols row))
+    rows
+
+let bind_matview_body cat ~name body =
+  if body.s_having <> None then
+    err "materialized view %s: HAVING is not supported (filter at query time)"
+      name;
+  let v = bind_aggregate_view cat ~outer_alias:name ~explicit_cols:None body in
+  List.iter
+    (fun (a : Aggregate.t) ->
+      if not (Aggregate.is_decomposable a) then
+        err "materialized view %s: aggregate %s is not decomposable" name
+          (Aggregate.to_string a))
+    v.Block.v_aggs;
+  v

@@ -23,3 +23,17 @@ val bind_script : Catalog.t -> Sql_ast.script -> Block.query
 
 val bind_sql : Catalog.t -> string -> Block.query
 (** Parse and bind a script given as text. *)
+
+val bind_insert :
+  Catalog.t -> table:string -> Sql_ast.sexpr list list -> Tuple.t list
+(** Type-check the literal VALUES rows of an INSERT against the table's
+    visible columns (the hidden [_rid] key, when present, is assigned by
+    {!Catalog.insert}).  Integer literals are coerced into Float columns.
+    @raise Bind_error on an unknown table, wrong arity or a type clash. *)
+
+val bind_matview_body : Catalog.t -> name:string -> Sql_ast.select -> Block.view
+(** Bind the defining query of [CREATE MATERIALIZED VIEW name AS ...] as a
+    {!Block.view} whose alias is the view's name.  The body must be a
+    single-block aggregate query (GROUP BY required; DISTINCT, HAVING,
+    ORDER BY and LIMIT rejected) whose aggregates are all decomposable.
+    @raise Bind_error otherwise. *)

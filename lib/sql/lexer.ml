@@ -28,6 +28,7 @@ let keywords =
     "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "AS"; "AND"; "OR";
     "ORDER"; "LIMIT"; "BETWEEN"; "IN"; "DISTINCT";
     "NOT"; "CREATE"; "VIEW"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "ALL";
+    "INSERT"; "INTO"; "VALUES"; "MATERIALIZED"; "DROP"; "REFRESH";
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

@@ -350,8 +350,56 @@ and parse_select_body st =
   in
   { s_distinct; s_items; s_from; s_where; s_group; s_having; s_order; s_limit }
 
+let parse_insert st =
+  eat_kw st "INSERT";
+  eat_kw st "INTO";
+  let it_table = ident st in
+  eat_kw st "VALUES";
+  let parse_row () =
+    eat st Lexer.LPAREN;
+    let rec values () =
+      let v = parse_expr st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        v :: values ()
+      end
+      else [ v ]
+    in
+    let vs = values () in
+    eat st Lexer.RPAREN;
+    vs
+  in
+  let rec rows () =
+    let r = parse_row () in
+    if peek st = Lexer.COMMA then begin
+      advance st;
+      r :: rows ()
+    end
+    else [ r ]
+  in
+  S_insert { it_table; it_rows = rows () }
+
 let parse_statement st =
   match peek st with
+  | Lexer.KW "INSERT" -> parse_insert st
+  | Lexer.KW "DROP" ->
+    advance st;
+    eat_kw st "MATERIALIZED";
+    eat_kw st "VIEW";
+    S_drop_matview (ident st)
+  | Lexer.KW "REFRESH" ->
+    advance st;
+    eat_kw st "MATERIALIZED";
+    eat_kw st "VIEW";
+    S_refresh_matview (ident st)
+  | Lexer.KW "CREATE" when fst st.toks.(st.pos + 1) = Lexer.KW "MATERIALIZED" ->
+    advance st;
+    eat_kw st "MATERIALIZED";
+    eat_kw st "VIEW";
+    let mv_name = ident st in
+    eat_kw st "AS";
+    let mv_body = parse_select_body st in
+    S_create_matview { mv_name; mv_body }
   | Lexer.KW "CREATE" ->
     advance st;
     eat_kw st "VIEW";

@@ -101,6 +101,15 @@ let statement_to_string = function
       | Some cs -> " (" ^ String.concat ", " cs ^ ")"
     in
     Printf.sprintf "CREATE VIEW %s%s AS %s" v.cv_name cols (select_to_string v.cv_body)
+  | S_insert i ->
+    let row vs = "(" ^ String.concat ", " (List.map expr_to_string vs) ^ ")" in
+    Printf.sprintf "INSERT INTO %s VALUES %s" i.it_table
+      (String.concat ", " (List.map row i.it_rows))
+  | S_create_matview v ->
+    Printf.sprintf "CREATE MATERIALIZED VIEW %s AS %s" v.mv_name
+      (select_to_string v.mv_body)
+  | S_drop_matview n -> "DROP MATERIALIZED VIEW " ^ n
+  | S_refresh_matview n -> "REFRESH MATERIALIZED VIEW " ^ n
 
 let script_to_string script =
   String.concat ";\n" (List.map statement_to_string script)

@@ -48,5 +48,15 @@ type statement =
       cv_cols : string list option;  (* optional explicit column names *)
       cv_body : select;
     }
+  | S_insert of {
+      it_table : string;
+      it_rows : sexpr list list;  (* VALUES rows, literal expressions *)
+    }
+  | S_create_matview of {
+      mv_name : string;
+      mv_body : select;  (* single-block aggregate query over base tables *)
+    }
+  | S_drop_matview of string
+  | S_refresh_matview of string
 
 type script = statement list

@@ -50,6 +50,12 @@ let reset_io t = Buffer_pool.reset_stats t.pool
 let io_snapshot _t = Buffer_pool.local_stats ()
 let io_since _t before = Buffer_pool.diff (Buffer_pool.local_stats ()) before
 
+(* ---- table write path ---- *)
+
+module Table = struct
+  let insert heap rows = List.map (Heap_file.append heap) rows
+end
+
 (* ---- fault injection ---- *)
 
 (* Installing a plan arms the buffer pool (every read/write/alloc, heap,

@@ -57,6 +57,18 @@ val io_since : t -> Buffer_pool.stats -> Buffer_pool.stats
 (** [io_since t before] — IO this domain incurred since [before] was
     taken with {!io_snapshot}. *)
 
+(** {2 Table write path} *)
+
+module Table : sig
+  val insert : Heap_file.t -> Tuple.t list -> Page.rid list
+  (** Append rows to a table's heap file in order, returning their rids
+      (page IO charged through the pool; checksums maintained
+      incrementally).  The storage layer only appends — keeping statistics,
+      indexes and the catalog epoch in step is {!Catalog.insert}'s job, so
+      callers should go through the catalog unless they are loading raw
+      data. *)
+end
+
 (** {2 Fault injection}
 
     Installing a {!Fault.t} plan makes matching buffer-pool operations (heap,

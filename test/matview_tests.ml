@@ -1,0 +1,486 @@
+(* Materialized aggregate views: the structural matching rules, the
+   cost-based choice between base plan and rewrite, differential
+   correctness of view-answered queries (including after appends absorbed
+   by incremental maintenance), the guarantee that stale views never
+   answer queries, and the session-level statement surface (INSERT /
+   CREATE / DROP / REFRESH MATERIALIZED VIEW, plan-cache invalidation,
+   [\dm] rendering). *)
+
+let small = { Emp_dept.default_params with emps = 400; depts = 8; seed = 7 }
+let load () = Emp_dept.load ~params:small ()
+let bind cat sql = Binder.bind_sql cat sql
+
+let mk_view ?(name = "by_dept") cat sql =
+  let reg = Matview.create () in
+  let def = Binder.bind_matview_body cat ~name (Parser.parse_select sql) in
+  let v = Matview.create_view cat reg ~name ~sql def in
+  (reg, v)
+
+(* Stores: count, SUM(sal), SUM(age) (from the AVG), MIN(sal), MAX(age). *)
+let wide_view_sql =
+  "SELECT e.dno AS dno, COUNT(*) AS c, SUM(e.sal) AS ssal, AVG(e.age) AS \
+   aage, MIN(e.sal) AS mnsal, MAX(e.age) AS mxage FROM emp e GROUP BY e.dno"
+
+let run_plan cat plan =
+  let ctx = Exec_ctx.create cat in
+  Fun.protect
+    ~finally:(fun () -> Exec_ctx.cleanup ctx)
+    (fun () -> Executor.run ctx plan)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ---- structural matching ---------------------------------------------- *)
+
+let matching_rules () =
+  let cat = load () in
+  let _reg, v = mk_view cat wide_view_sql in
+  let matches sql = Matview.match_view v (bind cat sql) <> None in
+  Alcotest.(check bool) "same grouping, covered aggregate" true
+    (matches "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e GROUP BY e.dno");
+  Alcotest.(check bool) "base-table alias is irrelevant" true
+    (matches "SELECT x.dno AS d, COUNT(*) AS c FROM emp x GROUP BY x.dno");
+  Alcotest.(check bool) "scalar aggregation: [] refines any grouping" true
+    (matches "SELECT MAX(e.age) AS m FROM emp e");
+  Alcotest.(check bool) "residual predicate on a view key" true
+    (matches
+       "SELECT e.dno AS d, AVG(e.age) AS a FROM emp e WHERE e.dno > 3 GROUP \
+        BY e.dno");
+  Alcotest.(check bool) "COUNT of a column reads the stored count" true
+    (matches "SELECT e.dno AS d, COUNT(e.sal) AS c FROM emp e GROUP BY e.dno");
+  Alcotest.(check bool) "SUM rides on the partial AVG stored" true
+    (matches "SELECT e.dno AS d, SUM(e.age) AS s FROM emp e GROUP BY e.dno");
+  Alcotest.(check bool) "grouping column missing from the view" false
+    (matches "SELECT e.age AS a, COUNT(*) AS c FROM emp e GROUP BY e.age");
+  Alcotest.(check bool) "residual predicate on a non-key column" false
+    (matches
+       "SELECT e.dno AS d, COUNT(*) AS c FROM emp e WHERE e.sal > 100 GROUP \
+        BY e.dno");
+  Alcotest.(check bool) "aggregate argument with no stored partial" false
+    (matches "SELECT e.dno AS d, SUM(e.eno) AS s FROM emp e GROUP BY e.dno");
+  Alcotest.(check bool) "MIN has no partial for that argument" false
+    (matches "SELECT e.dno AS d, MIN(e.age) AS m FROM emp e GROUP BY e.dno");
+  Alcotest.(check bool) "different base table" false
+    (matches "SELECT d.dno AS d, COUNT(*) AS c FROM dept d GROUP BY d.dno")
+
+let predicate_subsumption () =
+  let cat = load () in
+  let _reg, v =
+    mk_view ~name:"seniors" cat
+      "SELECT e.dno AS dno, COUNT(*) AS c, SUM(e.sal) AS s FROM emp e WHERE \
+       e.age > 40 GROUP BY e.dno"
+  in
+  let matches sql = Matview.match_view v (bind cat sql) <> None in
+  Alcotest.(check bool) "query repeats the view predicate" true
+    (matches
+       "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e WHERE e.age > 40 GROUP \
+        BY e.dno");
+  Alcotest.(check bool) "view predicate absent from the query" false
+    (matches "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e GROUP BY e.dno");
+  Alcotest.(check bool) "extra residual conjunct on a key is fine" true
+    (matches
+       "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e WHERE e.age > 40 AND \
+        e.dno > 2 GROUP BY e.dno");
+  Alcotest.(check bool) "a different constant is not subsumed" false
+    (matches
+       "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e WHERE e.age > 41 GROUP \
+        BY e.dno")
+
+let order_limit_passthrough () =
+  let cat = load () in
+  let reg, _v = mk_view cat wide_view_sql in
+  let q =
+    bind cat
+      "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e GROUP BY e.dno ORDER BY \
+       s LIMIT 3"
+  in
+  match Matview.rewrites cat reg q with
+  | [ (name, res) ] ->
+    Alcotest.(check string) "rewrite uses the view" "by_dept" name;
+    let base = run_plan cat (Optimizer.optimize cat q).Optimizer.plan in
+    let viewed = run_plan cat res.Optimizer.plan in
+    Alcotest.(check int) "LIMIT applies" 3 (Relation.cardinality viewed);
+    Alcotest.(check bool) "ordered + limited results agree" true
+      (Relation.multiset_equal base viewed)
+  | l -> Alcotest.failf "expected one rewrite, got %d" (List.length l)
+
+(* ---- differential: base plan vs forced view plan ---------------------- *)
+
+(* Every aggregate the wide view can answer (SUM(e.age) via AVG's partial). *)
+let agg_pool =
+  [|
+    "COUNT(*)"; "COUNT(e.sal)"; "SUM(e.sal)"; "AVG(e.sal)"; "MIN(e.sal)";
+    "SUM(e.age)"; "AVG(e.age)"; "MAX(e.age)";
+  |]
+
+let case_to_sql (mask, pred, grouped) =
+  let aggs =
+    List.filteri
+      (fun i _ -> mask land (1 lsl i) <> 0)
+      (Array.to_list agg_pool)
+  in
+  let aggs = if aggs = [] then [ agg_pool.(0) ] else aggs in
+  let sel = List.mapi (fun i a -> Printf.sprintf "%s AS a%d" a i) aggs in
+  let sel = if grouped then "e.dno AS d" :: sel else sel in
+  Printf.sprintf "SELECT %s FROM emp e%s%s"
+    (String.concat ", " sel)
+    (match pred with
+    | None -> ""
+    | Some k -> Printf.sprintf " WHERE e.dno > %d" k)
+    (if grouped then " GROUP BY e.dno" else "")
+
+let gen_case =
+  QCheck.Gen.(triple (int_range 1 255) (opt (int_range 0 6)) bool)
+
+let differential_prop =
+  QCheck.Test.make ~count:20
+    ~name:"view plan and base plan agree (incl. after absorbed appends)"
+    (QCheck.make gen_case ~print:case_to_sql)
+    (fun case ->
+      let sql = case_to_sql case in
+      let cat = load () in
+      let reg, v = mk_view cat wide_view_sql in
+      let check_round tag =
+        let q = bind cat sql in
+        let rewrites = Matview.rewrites cat reg q in
+        if rewrites = [] then
+          QCheck.Test.fail_reportf "%s: no rewrite for %s" tag sql;
+        let base = run_plan cat (Optimizer.optimize cat q).Optimizer.plan in
+        List.for_all
+          (fun (_, res) ->
+            Relation.multiset_equal base (run_plan cat res.Optimizer.plan)
+            || QCheck.Test.fail_reportf "%s: results differ for %s" tag sql)
+          rewrites
+      in
+      let ok0 = check_round "initial" in
+      (* Interleave appends; maintenance is on, so the view must keep up. *)
+      let next = ref 1_000_000 in
+      let insert n =
+        let rows =
+          List.init n (fun i ->
+              let id = !next + i in
+              Tuple.make
+                [
+                  Value.Int id;
+                  Value.Int (id mod small.Emp_dept.depts);
+                  Value.Int (1000 + ((id * 37) mod 8000));
+                  Value.Int (18 + (id mod 48));
+                ])
+        in
+        next := !next + n;
+        let stored = Catalog.insert cat ~table:"emp" rows in
+        Matview.on_insert cat reg ~table:"emp" ~rows:stored
+      in
+      insert 7;
+      let ok1 = check_round "after one batch" in
+      insert 13;
+      let ok2 = check_round "after two batches" in
+      ok0 && ok1 && ok2 && Matview.is_fresh cat v
+      && (Matview.stats reg).Matview.deltas >= 2)
+
+(* ---- cost-based decision ---------------------------------------------- *)
+
+let cost_chooses_view () =
+  let cat = load () in
+  let reg, _ = mk_view cat wide_view_sql in
+  let q = bind cat "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e GROUP BY e.dno" in
+  let res, decision = Matview.optimize cat reg q in
+  (match decision with
+  | Matview.Chosen { view; base_cost; view_cost } ->
+    Alcotest.(check string) "view chosen" "by_dept" view;
+    Alcotest.(check bool) "view estimated cheaper" true (view_cost < base_cost)
+  | d -> Alcotest.failf "expected Chosen, got %s" (Matview.decision_to_string d));
+  Alcotest.(check bool) "plan reads the extent" true
+    (List.exists
+       (fun (_, t) -> String.equal t "__mv_by_dept")
+       (Physical.relations res.Optimizer.plan));
+  Alcotest.(check bool) "plan text names the view, not the backing table" true
+    (contains (Physical.to_string res.Optimizer.plan) "mv:by_dept"
+    && not (contains (Physical.to_string res.Optimizer.plan) "__mv_"));
+  let s = Matview.stats reg in
+  Alcotest.(check int) "hit counted" 1 s.Matview.hits;
+  Alcotest.(check int) "attempt counted" 1 s.Matview.attempts
+
+let cost_rejects_wide_extent () =
+  let cat = load () in
+  (* One group per emp row and nine extent columns against emp's four: the
+     extent is strictly more pages than the base table, so the base plan
+     must win even though the view matches. *)
+  let reg, _ =
+    mk_view ~name:"per_emp" cat
+      "SELECT e.eno AS eno, COUNT(*) AS c, SUM(e.sal) AS s1, SUM(e.age) AS \
+       s2, SUM(e.dno) AS s3, MIN(e.sal) AS m1, MAX(e.sal) AS x1, MIN(e.age) \
+       AS m2, MAX(e.age) AS x2 FROM emp e GROUP BY e.eno"
+  in
+  let q = bind cat "SELECT e.eno AS k, SUM(e.sal) AS s FROM emp e GROUP BY e.eno" in
+  let res, decision = Matview.optimize cat reg q in
+  (match decision with
+  | Matview.Rejected_cost { base_cost; view_cost; _ } ->
+    Alcotest.(check bool) "base plan no dearer than the view" true
+      (base_cost <= view_cost)
+  | d ->
+    Alcotest.failf "expected Rejected_cost, got %s"
+      (Matview.decision_to_string d));
+  Alcotest.(check bool) "plan does not touch the extent" true
+    (List.for_all
+       (fun (_, t) -> String.equal t "emp")
+       (Physical.relations res.Optimizer.plan));
+  let s = Matview.stats reg in
+  Alcotest.(check int) "rejection counted" 1 s.Matview.cost_rejections;
+  Alcotest.(check int) "no hit" 0 s.Matview.hits
+
+(* ---- staleness and maintenance ---------------------------------------- *)
+
+let stale_views_never_answer () =
+  let cat = load () in
+  let reg, v = mk_view cat wide_view_sql in
+  Matview.set_maintenance reg "by_dept" false;
+  let stored =
+    Catalog.insert cat ~table:"emp"
+      [ Tuple.make [ Value.Int 999_001; Value.Int 0; Value.Int 7777; Value.Int 30 ] ]
+  in
+  Matview.on_insert cat reg ~table:"emp" ~rows:stored;
+  Alcotest.(check bool) "unabsorbed append leaves the view stale" false
+    (Matview.is_fresh cat v);
+  let q = bind cat "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e GROUP BY e.dno" in
+  Alcotest.(check int) "no forced rewrite from a stale view" 0
+    (List.length (Matview.rewrites cat reg q));
+  let res, decision = Matview.optimize cat reg q in
+  (match decision with
+  | Matview.Stale [ "by_dept" ] -> ()
+  | d -> Alcotest.failf "expected Stale, got %s" (Matview.decision_to_string d));
+  Alcotest.(check bool) "stale skip counted" true
+    ((Matview.stats reg).Matview.stale_skips >= 1);
+  Alcotest.(check bool) "base plan only" true
+    (List.for_all
+       (fun (_, t) -> String.equal t "emp")
+       (Physical.relations res.Optimizer.plan));
+  let base_answer = run_plan cat res.Optimizer.plan in
+  (* REFRESH recomputes the extent and restores the rewrite. *)
+  Matview.refresh cat reg "by_dept";
+  Alcotest.(check bool) "fresh after refresh" true (Matview.is_fresh cat v);
+  Alcotest.(check int) "refresh counted" 1 (Matview.stats reg).Matview.refreshes;
+  (match snd (Matview.optimize cat reg q) with
+  | Matview.Chosen _ -> ()
+  | d ->
+    Alcotest.failf "expected Chosen after refresh, got %s"
+      (Matview.decision_to_string d));
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check bool) "post-refresh rewrite sees the append" true
+        (Relation.multiset_equal base_answer (run_plan cat r.Optimizer.plan)))
+    (Matview.rewrites cat reg q)
+
+let insert_dept cat reg =
+  let stored =
+    Catalog.insert cat ~table:"dept"
+      [ Tuple.make [ Value.Int 99; Value.Int 1; Value.String "dept099" ] ]
+  in
+  Matview.on_insert cat reg ~table:"dept" ~rows:stored
+
+let maintenance_matches_refresh () =
+  (* Few emps over many depts so appends create brand-new groups too. *)
+  let params = { Emp_dept.default_params with emps = 12; depts = 16; seed = 3 } in
+  let cat = Emp_dept.load ~params () in
+  let reg, v = mk_view cat wide_view_sql in
+  let groups0 = Matview.row_count cat v in
+  let insert rows =
+    let stored = Catalog.insert cat ~table:"emp" rows in
+    Matview.on_insert cat reg ~table:"emp" ~rows:stored
+  in
+  let row id dno sal age =
+    Tuple.make [ Value.Int id; Value.Int dno; Value.Int sal; Value.Int age ]
+  in
+  insert [ row 500 0 9100 21; row 501 15 4200 55; row 502 15 4300 56 ];
+  insert [ row 503 14 8800 33 ];
+  Alcotest.(check bool) "deltas absorbed, view still fresh" true
+    (Matview.is_fresh cat v);
+  Alcotest.(check bool) "appends to unseen depts created groups" true
+    (Matview.row_count cat v > groups0);
+  (* Appends to an unrelated table must not stale the view. *)
+  insert_dept cat reg;
+  Alcotest.(check bool) "append to another table is irrelevant" true
+    (Matview.is_fresh cat v);
+  let read_extent () =
+    run_plan cat
+      (Physical.Seq_scan { alias = "m"; table = "__mv_by_dept"; filter = [] })
+  in
+  let incremental = read_extent () in
+  Matview.refresh cat reg "by_dept";
+  Alcotest.(check bool) "incremental extent equals recomputed extent" true
+    (Relation.multiset_equal incremental (read_extent ()));
+  let s = Matview.stats reg in
+  Alcotest.(check bool) "delta batches counted" true (s.Matview.deltas >= 2);
+  Alcotest.(check bool) "delta rows counted" true (s.Matview.delta_rows >= 4)
+
+(* ---- write path: catalog + binder ------------------------------------- *)
+
+let catalog_insert_bumps_versions () =
+  let cat = load () in
+  let e0 = Catalog.epoch cat in
+  let v0 = Catalog.table_version cat "emp" in
+  let stored =
+    Catalog.insert cat ~table:"emp"
+      [ Tuple.make [ Value.Int 999_001; Value.Int 0; Value.Int 1; Value.Int 18 ] ]
+  in
+  Alcotest.(check int) "row stored at full width" 4
+    (Tuple.arity (List.hd stored));
+  Alcotest.(check int) "table version bumped" (v0 + 1)
+    (Catalog.table_version cat "emp");
+  Alcotest.(check int) "other tables untouched" 0
+    (Catalog.table_version cat "dept");
+  Alcotest.(check bool) "epoch bumped (plan cache invalidates)" true
+    (Catalog.epoch cat > e0)
+
+let insert_rows_of sql =
+  match Parser.parse_script sql with
+  | [ Sql_ast.S_insert { it_table; it_rows } ] -> (it_table, it_rows)
+  | _ -> Alcotest.fail "expected a single INSERT"
+
+let bind_insert_checks () =
+  let cat = Catalog.create ~frames:32 () in
+  ignore
+    (Catalog.add_table cat ~name:"t"
+       ~columns:[ ("k", Datatype.Int); ("v", Datatype.Float) ]
+       ~pk:[ "k" ]
+       [ Tuple.make [ Value.Int 0; Value.Float 1.5 ] ]);
+  let tbl, rows = insert_rows_of "INSERT INTO t VALUES (1, 2), (3, 4.5)" in
+  (match Binder.bind_insert cat ~table:tbl rows with
+  | [ r1; r2 ] ->
+    Alcotest.(check bool) "integer literal coerced into Float column" true
+      (Tuple.get r1 1 = Value.Float 2.);
+    Alcotest.(check bool) "float literal kept" true
+      (Tuple.get r2 1 = Value.Float 4.5)
+  | l -> Alcotest.failf "expected two rows, got %d" (List.length l));
+  let rejected name sql =
+    let tbl, rows = insert_rows_of sql in
+    try
+      ignore (Binder.bind_insert cat ~table:tbl rows);
+      Alcotest.failf "%s: should have been rejected" name
+    with Binder.Bind_error _ -> ()
+  in
+  rejected "wrong arity" "INSERT INTO t VALUES (1, 2.0, 3)";
+  rejected "type clash" "INSERT INTO t VALUES ('a', 2.0)";
+  rejected "unknown table" "INSERT INTO missing VALUES (1)"
+
+(* ---- session surface: statements, plan cache, \dm --------------------- *)
+
+let check_source name expected (p : Service.planned) =
+  Alcotest.(check string) name
+    (Service.source_label expected)
+    (Service.source_label p.Service.source)
+
+let insert_invalidates_plan_cache () =
+  let cat = load () in
+  let svc = Service.create cat in
+  let stmt =
+    Service.prepare svc
+      "SELECT e.dno AS dno, COUNT(*) AS c FROM emp e GROUP BY e.dno"
+  in
+  let total rel =
+    Relation.fold
+      (fun acc t ->
+        match Tuple.get t 1 with Value.Int n -> acc + n | _ -> acc)
+      0 rel
+  in
+  check_source "first plan misses" Service.Miss (Service.plan svc stmt);
+  check_source "second plan hits" Service.Hit (Service.plan svc stmt);
+  let _, before, _ = Service.execute svc stmt in
+  Alcotest.(check string) "completion tag" "INSERT 2"
+    (Service.exec_statement svc
+       "INSERT INTO emp VALUES (999001, 0, 5000, 33), (999002, 1, 6000, 44)");
+  check_source "INSERT invalidates the cached plan" Service.Miss
+    (Service.plan svc stmt);
+  let _, after, _ = Service.execute svc stmt in
+  Alcotest.(check int) "re-planned result sees the appended rows"
+    (total before + 2) (total after);
+  let s = Service.stats svc in
+  Alcotest.(check bool) "invalidation counted" true
+    (s.Service.invalidations >= 1);
+  Alcotest.(check int) "no stale plan was ever served" 0 s.Service.stale_hits
+
+let statement_surface () =
+  let cat = load () in
+  let svc = Service.create cat in
+  Alcotest.(check string) "create tag"
+    "CREATE MATERIALIZED VIEW by_dept (8 groups)"
+    (Service.exec_statement svc
+       "CREATE MATERIALIZED VIEW by_dept AS SELECT e.dno AS dno, SUM(e.sal) \
+        AS s FROM emp e GROUP BY e.dno");
+  let dm = Service.render_matviews svc in
+  Alcotest.(check bool) "\\dm lists the view" true (contains dm "by_dept");
+  Alcotest.(check bool) "\\dm reports fresh" true (contains dm "fresh");
+  let stmt =
+    Service.prepare svc
+      "SELECT e.dno AS dno, SUM(e.sal) AS s FROM emp e GROUP BY e.dno"
+  in
+  let p = Service.plan svc stmt in
+  (match p.Service.rewrite with
+  | Matview.Chosen { view = "by_dept"; _ } -> ()
+  | d ->
+    Alcotest.failf "expected the view to answer, got %s"
+      (Matview.decision_to_string d));
+  Alcotest.(check bool) "EXPLAIN names the view, not the backing table" true
+    (contains (Physical.to_string p.Service.plan) "mv:by_dept"
+    && not (contains (Physical.to_string p.Service.plan) "__mv_"));
+  (match (Service.plan svc stmt).Service.rewrite with
+  | Matview.From_cache (Some "by_dept") -> ()
+  | d ->
+    Alcotest.failf "expected the cache to remember the view, got %s"
+      (Matview.decision_to_string d));
+  (* With maintenance off an INSERT leaves the view stale — and a stale
+     view must never answer. *)
+  Matview.set_maintenance (Service.matviews svc) "by_dept" false;
+  Alcotest.(check string) "insert tag" "INSERT 1"
+    (Service.exec_statement svc "INSERT INTO emp VALUES (999001, 0, 7777, 30)");
+  Alcotest.(check bool) "\\dm reports STALE" true
+    (contains (Service.render_matviews svc) "STALE");
+  (match (Service.plan svc stmt).Service.rewrite with
+  | Matview.Stale [ "by_dept" ] -> ()
+  | d ->
+    Alcotest.failf "expected Stale after the append, got %s"
+      (Matview.decision_to_string d));
+  Alcotest.(check string) "refresh tag"
+    "REFRESH MATERIALIZED VIEW by_dept (8 groups)"
+    (Service.exec_statement svc "REFRESH MATERIALIZED VIEW by_dept");
+  (match (Service.plan svc stmt).Service.rewrite with
+  | Matview.Chosen _ -> ()
+  | d ->
+    Alcotest.failf "expected Chosen after REFRESH, got %s"
+      (Matview.decision_to_string d));
+  (try
+     ignore
+       (Service.exec_statement svc "INSERT INTO __mv_by_dept VALUES (0, 1, 2)");
+     Alcotest.fail "INSERT into an extent must be rejected"
+   with Avq_error.Error (Avq_error.Bad_statement _) -> ());
+  Alcotest.(check string) "drop tag" "DROP MATERIALIZED VIEW by_dept"
+    (Service.exec_statement svc "DROP MATERIALIZED VIEW by_dept");
+  Alcotest.(check bool) "\\dm is empty again" true
+    (contains (Service.render_matviews svc) "no materialized views");
+  Alcotest.(check bool) "backing table dropped from the catalog" true
+    (Catalog.find_table cat "__mv_by_dept" = None)
+
+let tests =
+  [
+    Alcotest.test_case "matching rules" `Quick matching_rules;
+    Alcotest.test_case "predicate subsumption" `Quick predicate_subsumption;
+    Alcotest.test_case "ORDER BY / LIMIT pass through" `Quick
+      order_limit_passthrough;
+    QCheck_alcotest.to_alcotest differential_prop;
+    Alcotest.test_case "cost picks the view when cheaper" `Quick
+      cost_chooses_view;
+    Alcotest.test_case "cost rejects a wider extent" `Quick
+      cost_rejects_wide_extent;
+    Alcotest.test_case "stale views never answer" `Quick
+      stale_views_never_answer;
+    Alcotest.test_case "incremental maintenance equals refresh" `Quick
+      maintenance_matches_refresh;
+    Alcotest.test_case "catalog insert bumps versions" `Quick
+      catalog_insert_bumps_versions;
+    Alcotest.test_case "INSERT binding" `Quick bind_insert_checks;
+    Alcotest.test_case "INSERT invalidates the plan cache" `Quick
+      insert_invalidates_plan_cache;
+    Alcotest.test_case "statement surface and \\dm" `Quick statement_surface;
+  ]

@@ -59,6 +59,7 @@ let dummy_entry key =
                pullups = 0 };
     opt_ms = 0.;
     epoch = 0;
+    mv = None;
     bytes = 100;
   }
 

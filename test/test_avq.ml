@@ -21,6 +21,7 @@ let () =
       ("sql", Sql_tests.tests @ Sql_tests.more_tests @ Sql_tests.sugar_tests);
       ("workload", Workload_tests.tests @ Workload_tests.fuzz_tests);
       ("star", Star_tests.tests);
+      ("matview", Matview_tests.tests);
       ("service", Service_tests.tests);
       ("errorpath", Errorpath_tests.tests);
       ("pool", Pool_tests.tests);
