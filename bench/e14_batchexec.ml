@@ -61,7 +61,9 @@ let bench_pipeline ~cat ~name ~input_rows plan =
   let record engine t =
     Bench_util.Json.record
       ~name:(Printf.sprintf "%s.%s" name engine)
-      ~config:[ ("engine", engine); ("input_rows", string_of_int input_rows) ]
+      ~config:
+        [ ("engine", engine); ("dop", "1");
+          ("input_rows", string_of_int input_rows) ]
       ~io:(io (if engine = "row" then io_row else io_batch))
       ~wall_ms:(t *. 1000.) ~rows_per_sec:(rps t) ()
   in

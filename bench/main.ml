@@ -25,6 +25,7 @@ let experiments =
     ("E16", E16_faults.run);
     ("E17", E17_obs.run);
     ("E18", E18_matview.run);
+    ("E19", E19_parallel.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's

@@ -46,6 +46,21 @@ let work_mem =
     & opt int 32
     & info [ "work-mem" ] ~docv:"PAGES" ~doc:"Operator memory budget in pages.")
 
+let dop =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "dop" ] ~docv:"N"
+        ~doc:
+          "Degree of intra-query parallelism: eligible plans run their scan \
+           pipeline on $(docv) morsel worker domains (1 = serial).")
+
+let check_dop dop =
+  if dop < 1 then begin
+    Format.eprintf "avq: --dop must be >= 1@.";
+    exit 1
+  end
+
 let sql_arg =
   Arg.(
     value
@@ -70,7 +85,8 @@ let read_sql = function
   | Some s -> s
   | None -> In_channel.input_all In_channel.stdin
 
-let options algorithm work_mem = { Optimizer.default_options with algorithm; work_mem }
+let options algorithm work_mem dop =
+  { Optimizer.default_options with algorithm; work_mem; dop }
 
 let with_query db scale seed sql f =
   let cat = load_db db scale seed in
@@ -89,10 +105,11 @@ let with_query db scale seed sql f =
 (* ---- commands ---- *)
 
 let explain_cmd =
-  let run algo db scale seed work_mem sql =
+  let run algo db scale seed work_mem dop sql =
+    check_dop dop;
     with_query db scale seed sql (fun cat query ->
         Format.printf "Canonical form:@.%a@.@." Block.pp query;
-        let r = Optimizer.optimize ~options:(options algo work_mem) cat query in
+        let r = Optimizer.optimize ~options:(options algo work_mem dop) cat query in
         Format.printf "Plan (estimated %a):@.%a@." Cost_model.pp_est r.Optimizer.est
           Physical.pp r.Optimizer.plan;
         Format.printf "@.Per-node estimates:@.%a" (Explain.pp cat ~work_mem)
@@ -114,19 +131,20 @@ let explain_cmd =
   in
   let doc = "Show the canonical multi-block form and the chosen plan." in
   Cmd.v (Cmd.info "explain" ~doc)
-    Term.(const run $ algo $ db $ scale $ seed $ work_mem $ sql_arg)
+    Term.(const run $ algo $ db $ scale $ seed $ work_mem $ dop $ sql_arg)
 
 let run_cmd =
-  let run algo db scale seed work_mem sql =
+  let run algo db scale seed work_mem dop sql =
+    check_dop dop;
     with_query db scale seed sql (fun cat query ->
-        let r = Optimizer.optimize ~options:(options algo work_mem) cat query in
+        let r = Optimizer.optimize ~options:(options algo work_mem dop) cat query in
         let ctx = Exec_ctx.create ~work_mem cat in
         let rel, io = Executor.run_measured ctx r.Optimizer.plan in
         Format.printf "%a@.@.(%a)@." Relation.pp rel Buffer_pool.pp_stats io)
   in
   let doc = "Optimize and execute a query, printing the result and measured IO." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ algo $ db $ scale $ seed $ work_mem $ sql_arg)
+    Term.(const run $ algo $ db $ scale $ seed $ work_mem $ dop $ sql_arg)
 
 let compare_cmd =
   let run db scale seed work_mem sql =
@@ -135,7 +153,9 @@ let compare_cmd =
           "meas-reads" "meas-writes" "rows";
         List.iter
           (fun (name, algorithm) ->
-            let r = Optimizer.optimize ~options:(options algorithm work_mem) cat query in
+            let r =
+              Optimizer.optimize ~options:(options algorithm work_mem 1) cat query
+            in
             let ctx = Exec_ctx.create ~work_mem cat in
             let rel, io = Executor.run_measured ctx r.Optimizer.plan in
             Format.printf "%-14s %12.1f %12d %10d %8d@." name
@@ -316,8 +336,8 @@ let session_cmd =
             "Slow-query log: statements taking at least $(docv) milliseconds \
              are reported to stderr with their trace id.")
   in
-  let run algo db scale seed work_mem no_cache recost_ratio workers timeout_ms
-      spill_quota fault_plan metrics_out trace_out slow_ms file =
+  let run algo db scale seed work_mem dop no_cache recost_ratio workers
+      timeout_ms spill_quota fault_plan metrics_out trace_out slow_ms file =
     if recost_ratio < 1.0 then begin
       Format.eprintf "avq session: --recost-ratio must be >= 1.0@.";
       exit 1
@@ -326,6 +346,7 @@ let session_cmd =
       Format.eprintf "avq session: --workers must be >= 1@.";
       exit 1
     end;
+    check_dop dop;
     (match timeout_ms with
      | Some ms when ms <= 0. ->
        Format.eprintf "avq session: --timeout-ms must be > 0@.";
@@ -357,6 +378,7 @@ let session_cmd =
         recost_ratio;
         statement_timeout_ms = timeout_ms;
         spill_quota_pages = spill_quota;
+        dop;
       }
     in
     let svc = Service.create ~config cat in
@@ -417,9 +439,9 @@ let session_cmd =
   in
   Cmd.v (Cmd.info "session" ~doc)
     Term.(
-      const run $ algo $ db $ scale $ seed $ work_mem $ no_cache $ recost_ratio
-      $ workers $ timeout_ms $ spill_quota $ fault_plan $ metrics_out
-      $ trace_out $ slow_ms $ file)
+      const run $ algo $ db $ scale $ seed $ work_mem $ dop $ no_cache
+      $ recost_ratio $ workers $ timeout_ms $ spill_quota $ fault_plan
+      $ metrics_out $ trace_out $ slow_ms $ file)
 
 let main =
   let doc = "cost-based optimization of queries with aggregate views (EDBT'96)" in

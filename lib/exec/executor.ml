@@ -106,6 +106,39 @@ let int_agg_plan schema (aggs : Aggregate.t list) =
   let ks = List.filter_map one aggs in
   if List.length ks = List.length aggs then Some (Array.of_list ks) else None
 
+(* Loop-style variants of the fast-path kernels, shared with the parallel
+   partial-aggregation workers (closure-free on the per-row path). *)
+let int_row_fits ia tup =
+  let n = Array.length ia in
+  let rec go j =
+    j >= n
+    || (match Array.unsafe_get ia j with
+       | ICount -> true
+       | ISum idx -> (
+         match Array.unsafe_get tup idx with Value.Int _ -> true | _ -> false))
+       && go (j + 1)
+  in
+  go 0
+
+let int_apply ia acc tup =
+  for j = 0 to Array.length ia - 1 do
+    match Array.unsafe_get ia j with
+    | ICount -> Array.unsafe_set acc j (Array.unsafe_get acc j + 1)
+    | ISum idx -> (
+      match Array.unsafe_get tup idx with
+      | Value.Int x -> Array.unsafe_set acc j (Array.unsafe_get acc j + x)
+      | _ -> assert false)
+  done
+
+let int_upgrade ia (aggs : Aggregate.t list) acc =
+  Array.of_list
+    (List.mapi
+       (fun j (_ : Aggregate.t) ->
+         match ia.(j) with
+         | ICount -> Aggregate.count_state acc.(j)
+         | ISum _ -> Aggregate.sum_state (Value.Int acc.(j)))
+       aggs)
+
 let step_states states fns tup =
   List.map2 (fun st f -> Aggregate.step st (f tup)) states fns
 
@@ -227,6 +260,63 @@ let io_biter ctx (node : Profile.node) (bit : Biter.t) =
   in
   { bit with Biter.next_batch }
 
+(* ---- exchange segment compilation ----
+
+   A parallel segment is the scan spine the morsel workers evaluate
+   independently: heap scan -> filters -> projections -> hash-join probes.
+   It compiles to one shared, domain-safe transform (the closures capture
+   only immutable schemas, column indices and read-only hash tables;
+   batches are immutable records), applied by each worker to the batches
+   its claimed page ranges produce. *)
+
+type segment = {
+  seg_heap : Heap_file.t;
+  seg_scan_schema : Schema.t;
+  seg_schema : Schema.t;  (* output schema of the transform *)
+  seg_fn : Batch.t -> Batch.t option;  (* [None] = morsel filtered away *)
+}
+
+exception Unsupported_segment
+
+(* Serial and parallel scans must agree on morsel boundaries: morsel [m]
+   covers pages [m*ppb, (m+1)*ppb), exactly the page ranges
+   [scan_batches] walks. *)
+let morsel_geometry heap =
+  let npages = Heap_file.npages heap in
+  let cap = Heap_file.page_capacity heap in
+  let ppb = max 1 (Batch.default_rows / cap) in
+  let n_morsels = if npages = 0 then 0 else ((npages + ppb - 1) / ppb) in
+  (npages, ppb, n_morsels)
+
+(* Pre-register [worker-<i>] profile nodes under the node currently being
+   opened (the exchange), returning the callback that fills them with the
+   team's counters once the workers join. *)
+let worker_profile_nodes ctx ~dop =
+  match Exec_ctx.profiler ctx with
+  | None -> None
+  | Some prof ->
+    let dop = Exchange.clamp_dop dop in
+    let nodes =
+      Array.init dop (fun i ->
+          let n = Profile.enter prof (Printf.sprintf "worker-%d" i) in
+          Profile.leave prof;
+          n)
+    in
+    Some
+      (fun (stats : Exchange.wstats array) ->
+        Array.iteri
+          (fun i (ws : Exchange.wstats) ->
+            if i < Array.length nodes then begin
+              let n = nodes.(i) in
+              n.Profile.rows_out <- ws.Exchange.wrows;
+              n.Profile.batches <- ws.Exchange.wbatches;
+              n.Profile.ms <- ws.Exchange.wms;
+              n.Profile.reads <- ws.Exchange.wio.Buffer_pool.reads;
+              n.Profile.writes <- ws.Exchange.wio.Buffer_pool.writes;
+              n.Profile.hits <- ws.Exchange.wio.Buffer_pool.hits
+            end)
+          stats)
+
 let rec open_iter ctx plan : Iter.t =
   let it =
     match Exec_ctx.profiler ctx with
@@ -317,6 +407,11 @@ and open_iter_raw ctx plan : Iter.t =
     merge_join ctx ~left:j.left ~right:j.right ~keys:j.keys ~cond:j.cond
   | Physical.Hash_group g -> hash_group ctx g
   | Physical.Sort_group g -> sort_group ctx g
+  (* The row engine stays serial: exchange/repartition are transparent
+     pass-throughs, so a parallel plan evaluated row-at-a-time produces the
+     same rows as its serial shape. *)
+  | Physical.Exchange e -> open_iter ctx e.input
+  | Physical.Repartition r -> open_iter ctx r.input
 
 (* Block nested-loop join: buffer (work_mem - 1) pages of outer tuples, then
    rescan the inner once per block.  The inner must be rescannable; a
@@ -786,7 +881,24 @@ and open_batch_raw ctx plan : Biter.t =
   | Physical.Hash_join j ->
     batch_hash_join ctx ~left:j.left ~right:j.right ~keys:j.keys ~cond:j.cond
       ~build_side:j.build_side
-  | Physical.Hash_group g -> batch_hash_group ctx g
+  | Physical.Hash_group g -> (
+    (* Parallel partial aggregation: when the group sits on an exchange
+       whose segment the workers can run, fuse scan + partials into the
+       workers and merge here.  Otherwise the exchange still parallelizes
+       the scan and this group consumes the resequenced stream serially. *)
+    match g.Physical.input with
+    | Physical.Exchange e
+      when Exchange.parallel_group_ok g.Physical.aggs
+           && Exchange.segment_ok e.input -> (
+      match open_parallel_group ctx g ~dop:e.dop e.input with
+      | bit -> bit
+      | exception Unsupported_segment -> batch_hash_group ctx g)
+    | _ -> batch_hash_group ctx g)
+  | Physical.Exchange e -> open_exchange ctx ~dop:e.dop e.input
+  | Physical.Repartition r ->
+    (* Only meaningful as a build-side marker inside an exchange segment;
+       anywhere else it is a transparent pass-through. *)
+    open_batch ctx r.input
   | Physical.Block_nl_join _ | Physical.Index_nl_join _ | Physical.Merge_join _
   | Physical.Sort_group _ ->
     (* Row-at-a-time fallback through the adapter; these operators consume
@@ -1039,6 +1151,400 @@ and batch_hash_group ctx (g : Physical.group) : Biter.t =
       List.rev_map (fun k -> finish_group k (TH.find table k)) !order
   in
   let result = Biter.of_rows out_schema (Array.of_list rows) in
+  if g.Physical.having = [] then result
+  else batch_filter (compile_batch_preds out_schema g.Physical.having) result
+
+(* ==== morsel-driven parallel path (Physical.Exchange) ==== *)
+
+and compile_segment ctx plan : segment =
+  let cat = Exec_ctx.catalog ctx in
+  match plan with
+  | Physical.Seq_scan s ->
+    let tbl = Catalog.table_exn cat s.table in
+    let schema = Schema.rename_qualifier tbl.Catalog.tschema s.alias in
+    let kernels =
+      if s.filter = [] then [] else compile_batch_preds schema s.filter
+    in
+    let fn b =
+      let b = List.fold_left (fun b k -> k b) b kernels in
+      if Batch.is_empty b then None else Some b
+    in
+    { seg_heap = tbl.Catalog.heap; seg_scan_schema = schema;
+      seg_schema = schema; seg_fn = fn }
+  | Physical.Filter f ->
+    let seg = compile_segment ctx f.input in
+    let kernels = compile_batch_preds seg.seg_schema f.pred in
+    let fn b =
+      match seg.seg_fn b with
+      | None -> None
+      | Some b ->
+        let b = List.fold_left (fun b k -> k b) b kernels in
+        if Batch.is_empty b then None else Some b
+    in
+    { seg with seg_fn = fn }
+  | Physical.Project p ->
+    let seg = compile_segment ctx p.input in
+    let fns =
+      Array.of_list
+        (List.map (fun (e, _) -> Expr.compile seg.seg_schema e) p.cols)
+    in
+    let out_schema = Schema.of_columns (List.map snd p.cols) in
+    let project tup = Array.map (fun f -> f tup) fns in
+    let fn b = Option.map (Batch.map out_schema project) (seg.seg_fn b) in
+    { seg with seg_schema = out_schema; seg_fn = fn }
+  | Physical.Hash_join j ->
+    let build_plan, probe_plan =
+      match j.build_side with
+      | `Right -> (j.right, j.left)
+      | `Left -> (j.left, j.right)
+    in
+    let nparts, build_inner =
+      match build_plan with
+      | Physical.Repartition r -> (Exchange.clamp_dop r.dop, r.input)
+      | p -> (1, p)
+    in
+    let seg = compile_segment ctx probe_plan in
+    (* The build side is evaluated once, serially, on the consuming domain
+       (it may be an arbitrary plan). *)
+    let build_bit = open_batch ctx build_inner in
+    let build_schema = build_bit.Biter.schema in
+    let build_rows = Biter.to_list build_bit in
+    let build_pages =
+      Page.pages_for ~rows:(List.length build_rows)
+        ~row_bytes:(Schema.byte_width build_schema)
+    in
+    (* A spilling (grace) build has no parallel form with identical output
+       order; the caller falls back to the serial plan. *)
+    if build_pages > Exec_ctx.work_mem ctx then raise Unsupported_segment;
+    let probe_schema = seg.seg_schema in
+    let out_schema, emit, build_keys, probe_keys =
+      match j.build_side with
+      | `Right ->
+        ( Schema.append probe_schema build_schema,
+          (fun pt bt -> Tuple.concat pt bt),
+          resolve_all build_schema (List.map snd j.keys),
+          resolve_all probe_schema (List.map fst j.keys) )
+      | `Left ->
+        ( Schema.append build_schema probe_schema,
+          (fun pt bt -> Tuple.concat bt pt),
+          resolve_all build_schema (List.map fst j.keys),
+          resolve_all probe_schema (List.map snd j.keys) )
+    in
+    let keep = compile_preds out_schema j.cond in
+    let tables =
+      if nparts = 1 then [| build_hash_table build_keys build_rows |]
+      else begin
+        (* Partitioned parallel build: a key's rows all hash to one
+           partition and keep their input order there, so each slice's
+           table reproduces the serial table's bucket lists exactly. *)
+        let parts = Array.make nparts [] in
+        List.iter
+          (fun bt ->
+            let p = part_hash nparts build_keys bt in
+            parts.(p) <- bt :: parts.(p))
+          build_rows;
+        let parts = Array.map List.rev parts in
+        let tabs = Array.map (fun _ -> TH.create 0) parts in
+        let (_ : unit array * Exchange.wstats array) =
+          Exchange.fold ~ctx ~dop:nparts ~n_morsels:nparts
+            ~worker:(fun ~wid:_ ~stats:_ _wctx ~claim ->
+              let rec loop () =
+                match claim () with
+                | None -> ()
+                | Some p ->
+                  tabs.(p) <- build_hash_table build_keys parts.(p);
+                  loop ()
+              in
+              loop ())
+            ()
+        in
+        tabs
+      end
+    in
+    let lookup pt =
+      let k = Tuple.project_arr pt probe_keys in
+      let tbl =
+        if nparts = 1 then tables.(0)
+        else tables.((Tuple_key.hash k land max_int) mod nparts)
+      in
+      match TH.find_opt tbl k with None -> [] | Some bts -> bts
+    in
+    let fn b =
+      match seg.seg_fn b with
+      | None -> None
+      | Some pb ->
+        let out = ref [] in
+        let n = ref 0 in
+        Batch.iter
+          (fun pt ->
+            List.iter
+              (fun bt ->
+                let o = emit pt bt in
+                if keep o then begin
+                  out := o :: !out;
+                  incr n
+                end)
+              (lookup pt))
+          pb;
+        if !n = 0 then None
+        else begin
+          let arr = Array.make !n [||] in
+          List.iteri (fun i t -> arr.(!n - 1 - i) <- t) !out;
+          Some (Batch.of_rows out_schema arr)
+        end
+    in
+    { seg with seg_schema = out_schema; seg_fn = fn }
+  | _ -> raise Unsupported_segment
+
+(* Exchange as a streaming operator: workers run the segment morsel-wise,
+   the consumer resequences.  Unsupported segments degrade to the serial
+   plan (the exchange becomes a pass-through), keeping results correct for
+   any plan shape the rewrite or the plan cache may hand us. *)
+and open_exchange ctx ~dop input : Biter.t =
+  if not (Exchange.segment_ok input) then open_batch ctx input
+  else
+    match compile_segment ctx input with
+    | exception Unsupported_segment -> open_batch ctx input
+    | seg ->
+      let npages, ppb, n_morsels = morsel_geometry seg.seg_heap in
+      let morsel ~wid:_ _wctx m =
+        let p0 = m * ppb in
+        let np = min ppb (npages - p0) in
+        let rows, lo, len =
+          Heap_file.scan_segment seg.seg_heap ~page:p0 ~npages:np
+        in
+        seg.seg_fn (Batch.of_segment seg.seg_scan_schema rows ~lo ~len)
+      in
+      let on_done = worker_profile_nodes ctx ~dop in
+      Exchange.gather ~ctx ~dop ~schema:seg.seg_schema ~n_morsels ~morsel
+        ?on_done ()
+
+(* Hash group over an exchange: each worker folds its morsels into a
+   private partial-aggregate table; the consumer merges the partials with
+   [Aggregate.merge] (the same partial algebra the matview extents use)
+   and orders groups by their first appearance in the serial stream, so
+   output is byte-identical to the serial operator. *)
+and open_parallel_group ctx (g : Physical.group) ~dop input : Biter.t =
+  let cat = Exec_ctx.catalog ctx in
+  let seg = compile_segment ctx input in
+  let in_schema = seg.seg_schema in
+  let out_schema = Physical.schema cat (Physical.Hash_group g) in
+  let key_idx = resolve_all in_schema g.Physical.keys in
+  let fns = agg_arg_fns in_schema g.Physical.aggs in
+  let npages, ppb, n_morsels = morsel_geometry seg.seg_heap in
+  (* The exchange is fused into this operator, but observability should
+     still show it: mirror it as a profile child with per-worker nodes. *)
+  let xnode, on_done =
+    match Exec_ctx.profiler ctx with
+    | None -> (None, None)
+    | Some prof ->
+      let xn =
+        Profile.enter prof (Physical.op_name (Physical.Exchange { input; dop }))
+      in
+      let fill = worker_profile_nodes ctx ~dop in
+      Profile.leave prof;
+      (Some xn, fill)
+  in
+  let scan_morsel m =
+    let p0 = m * ppb in
+    let np = min ppb (npages - p0) in
+    let rows, lo, len = Heap_file.scan_segment seg.seg_heap ~page:p0 ~npages:np in
+    seg.seg_fn (Batch.of_segment seg.seg_scan_schema rows ~lo ~len)
+  in
+  (* Worker partial tables record, per group, the aggregate partial plus
+     the group's first (morsel, row position) — the row's rank in the
+     serial stream — so ordering merged groups by the minimum (m, pos)
+     reproduces the serial first-seen output order. *)
+  let rows, wstats =
+    match key_idx, int_agg_plan in_schema g.Physical.aggs with
+    | [| ki |], Some ia ->
+      (* Unboxed fast path, mirroring the serial single-int-key kernel:
+         each group's partial is a plain [int array] until a mis-typed row
+         upgrades it to generic states; partials merge by elementwise
+         addition (or [Aggregate.merge] once upgraded). *)
+      let fns_arr = Array.of_list fns in
+      let naggs = Array.length fns_arr in
+      let step_gen st tup =
+        for j = 0 to naggs - 1 do
+          Array.unsafe_set st j
+            (Aggregate.step (Array.unsafe_get st j)
+               ((Array.unsafe_get fns_arr j) tup))
+        done
+      in
+      let worker ~wid:_ ~stats:(ws : Exchange.wstats) _wctx ~claim =
+        let table = VH.create 256 in
+        let rec loop () =
+          match claim () with
+          | None -> ()
+          | Some m ->
+            (match scan_morsel m with
+             | None -> ()
+             | Some b ->
+               let pos = ref 0 in
+               Batch.iter
+                 (fun tup ->
+                   let k = Array.unsafe_get tup ki in
+                   (match VH.find_opt table k with
+                    | Some (cell, _, _) -> (
+                      match !cell with
+                      | `Fast acc ->
+                        if int_row_fits ia tup then int_apply ia acc tup
+                        else begin
+                          let st = int_upgrade ia g.Physical.aggs acc in
+                          step_gen st tup;
+                          cell := `Slow st
+                        end
+                      | `Slow st -> step_gen st tup)
+                    | None ->
+                      let cell =
+                        if int_row_fits ia tup then begin
+                          let acc = Array.make naggs 0 in
+                          int_apply ia acc tup;
+                          `Fast acc
+                        end
+                        else begin
+                          let st = Array.of_list (init_states g.Physical.aggs) in
+                          step_gen st tup;
+                          `Slow st
+                        end
+                      in
+                      VH.add table k (ref cell, m, !pos));
+                   incr pos;
+                   ws.Exchange.wrows <- ws.Exchange.wrows + 1)
+                 b;
+               ws.Exchange.wbatches <- ws.Exchange.wbatches + 1);
+            loop ()
+        in
+        loop ();
+        table
+      in
+      let tables, wstats =
+        Exchange.fold ~ctx ~dop ~n_morsels ~worker ?on_done ()
+      in
+      let to_states = function
+        | `Fast acc -> int_upgrade ia g.Physical.aggs acc
+        | `Slow st -> st
+      in
+      let merged = VH.create 256 in
+      Array.iter
+        (fun t ->
+          VH.iter
+            (fun k (cell, m, p) ->
+              match VH.find_opt merged k with
+              | None -> VH.replace merged k (!cell, m, p)
+              | Some (c0, m0, p0) ->
+                (* Earlier-stream partial first, like the serial fold. *)
+                let a, b, fm, fp =
+                  if (m0, p0) <= (m, p) then (c0, !cell, m0, p0)
+                  else (!cell, c0, m, p)
+                in
+                let c =
+                  match a, b with
+                  | `Fast x, `Fast y ->
+                    `Fast (Array.init naggs (fun j -> x.(j) + y.(j)))
+                  | _ ->
+                    let sa = to_states a and sb = to_states b in
+                    `Slow (Array.init naggs (fun j ->
+                               Aggregate.merge sa.(j) sb.(j)))
+                in
+                VH.replace merged k (c, fm, fp))
+            t)
+        tables;
+      let entries =
+        List.sort
+          (fun (_, _, m1, p1) (_, _, m2, p2) -> compare (m1, p1) (m2, p2))
+          (VH.fold (fun k (c, m, p) acc -> (k, c, m, p) :: acc) merged [])
+      in
+      let rows =
+        Array.of_list
+          (List.map
+             (fun (k, c, _, _) ->
+               match c with
+               | `Fast acc ->
+                 Tuple.concat [| k |]
+                   (Array.init naggs (fun j -> Value.Int acc.(j)))
+               | `Slow st -> finish_group [| k |] (Array.to_list st))
+             entries)
+      in
+      (rows, wstats)
+    | _ ->
+      let worker ~wid:_ ~stats:(ws : Exchange.wstats) _wctx ~claim =
+        let table : (Aggregate.state list ref * int * int) TH.t =
+          TH.create 256
+        in
+        let rec loop () =
+          match claim () with
+          | None -> ()
+          | Some m ->
+            (match scan_morsel m with
+             | None -> ()
+             | Some b ->
+               let pos = ref 0 in
+               Batch.iter
+                 (fun tup ->
+                   let k = Tuple.project_arr tup key_idx in
+                   (match TH.find_opt table k with
+                    | Some (states, _, _) ->
+                      states := step_states !states fns tup
+                    | None ->
+                      TH.add table k
+                        ( ref (step_states (init_states g.Physical.aggs) fns tup),
+                          m, !pos ));
+                   incr pos;
+                   ws.Exchange.wrows <- ws.Exchange.wrows + 1)
+                 b;
+               ws.Exchange.wbatches <- ws.Exchange.wbatches + 1);
+            loop ()
+        in
+        loop ();
+        table
+      in
+      let tables, wstats =
+        Exchange.fold ~ctx ~dop ~n_morsels ~worker ?on_done ()
+      in
+      let merged : (Aggregate.state list * int * int) TH.t = TH.create 256 in
+      Array.iter
+        (fun t ->
+          TH.iter
+            (fun k (states, m, p) ->
+              match TH.find_opt merged k with
+              | None -> TH.replace merged k (!states, m, p)
+              | Some (states0, m0, p0) ->
+                (* Merge earlier-stream partial first, so any
+                   order-sensitive tie in [Aggregate.merge] resolves like
+                   the serial fold. *)
+                let a, b, fm, fp =
+                  if (m0, p0) <= (m, p) then (states0, !states, m0, p0)
+                  else (!states, states0, m, p)
+                in
+                TH.replace merged k (List.map2 Aggregate.merge a b, fm, fp))
+            t)
+        tables;
+      let entries =
+        List.sort
+          (fun (_, _, m1, p1) (_, _, m2, p2) -> compare (m1, p1) (m2, p2))
+          (TH.fold (fun k (states, m, p) acc -> (k, states, m, p) :: acc)
+             merged [])
+      in
+      let rows =
+        Array.of_list
+          (List.map (fun (k, states, _, _) -> finish_group k states) entries)
+      in
+      (rows, wstats)
+  in
+  (match xnode with
+   | Some xn ->
+     Array.iter
+       (fun (ws : Exchange.wstats) ->
+         xn.Profile.rows_out <- xn.Profile.rows_out + ws.Exchange.wrows;
+         xn.Profile.batches <- xn.Profile.batches + ws.Exchange.wbatches;
+         xn.Profile.ms <- Float.max xn.Profile.ms ws.Exchange.wms;
+         xn.Profile.reads <- xn.Profile.reads + ws.Exchange.wio.Buffer_pool.reads;
+         xn.Profile.writes <- xn.Profile.writes + ws.Exchange.wio.Buffer_pool.writes;
+         xn.Profile.hits <- xn.Profile.hits + ws.Exchange.wio.Buffer_pool.hits)
+       wstats
+   | None -> ());
+  let result = Biter.of_rows out_schema rows in
   if g.Physical.having = [] then result
   else batch_filter (compile_batch_preds out_schema g.Physical.having) result
 

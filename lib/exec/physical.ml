@@ -39,6 +39,8 @@ type t =
   | Project of { input : t; cols : (Expr.t * Schema.column) list }
   | Materialize of { input : t }
   | Limit of { input : t; count : int }
+  | Exchange of { input : t; dop : int }
+  | Repartition of { input : t; dop : int; keys : Schema.column list }
 
 and group = {
   input : t;
@@ -81,6 +83,8 @@ let rec schema cat = function
   | Project p -> Schema.of_columns (List.map snd p.cols)
   | Materialize m -> schema cat m.input
   | Limit l -> schema cat l.input
+  | Exchange e -> schema cat e.input
+  | Repartition r -> schema cat r.input
 
 let key_name (c : Schema.column) = (c.Schema.cqual, c.Schema.cname)
 
@@ -108,7 +112,12 @@ let rec sorted_on = function
       | _ -> []
     in
     prefix (sorted_on p.input)
-  | Seq_scan _ | Block_nl_join _ | Index_nl_join _ | Hash_join _ | Hash_group _ ->
+  (* The exchange consumer resequences morsels into producer order, so any
+     order the input had is preserved. Repartition interleaves partitions
+     and guarantees nothing. *)
+  | Exchange e -> sorted_on e.input
+  | Seq_scan _ | Block_nl_join _ | Index_nl_join _ | Hash_join _ | Hash_group _
+  | Repartition _ ->
     []
 
 let rec relations = function
@@ -124,6 +133,8 @@ let rec relations = function
   | Project p -> relations p.input
   | Materialize m -> relations m.input
   | Limit l -> relations l.input
+  | Exchange e -> relations e.input
+  | Repartition r -> relations r.input
 
 (* Materialized-view extents are backed by hidden [__mv_<name>] heap
    tables; display them as [mv:<name>] so EXPLAIN (and the op names that
@@ -213,6 +224,12 @@ let rec pp_node ppf (indent, t) =
     Format.fprintf ppf "%sMaterialize@\n%a" pad pp_node (child m.input)
   | Limit l ->
     Format.fprintf ppf "%sLimit %d@\n%a" pad l.count pp_node (child l.input)
+  | Exchange e ->
+    Format.fprintf ppf "%sExchange dop=%d@\n%a" pad e.dop pp_node
+      (child e.input)
+  | Repartition r ->
+    Format.fprintf ppf "%sRepartition dop=%d [%s]@\n%a" pad r.dop
+      (cols_str r.keys) pp_node (child r.input)
 
 let pp ppf t = pp_node ppf (0, t)
 let to_string t = Format.asprintf "%a" pp t
@@ -234,6 +251,8 @@ let op_name = function
   | Merge_join _ -> "MergeJoin"
   | Hash_group _ -> "HashGroup"
   | Sort_group _ -> "SortGroup"
+  | Exchange e -> Printf.sprintf "Exchange(dop=%d)" e.dop
+  | Repartition r -> Printf.sprintf "Repartition(dop=%d)" r.dop
 
 let inputs = function
   | Seq_scan _ | Index_scan _ -> []
@@ -247,3 +266,5 @@ let inputs = function
   | Hash_join j -> [ j.left; j.right ]
   | Merge_join j -> [ j.left; j.right ]
   | Hash_group g | Sort_group g -> [ g.input ]
+  | Exchange e -> [ e.input ]
+  | Repartition r -> [ r.input ]

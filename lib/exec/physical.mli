@@ -55,6 +55,14 @@ type t =
       (** spool the input to a temp file, then stream it (rescannable) *)
   | Limit of { input : t; count : int }
       (** emit at most [count] rows, then stop pulling *)
+  | Exchange of { input : t; dop : int }
+      (** evaluate [input] morsel-wise on [dop] worker domains and gather
+          the output batches, resequenced into producer order so results
+          are byte-identical to a serial run *)
+  | Repartition of { input : t; dop : int; keys : Schema.column list }
+      (** hash-partition marker on a hash-join build side under an
+          [Exchange]: the build table is split by hash of [keys] so [dop]
+          workers each build their slice in parallel *)
 
 and group = {
   input : t;

@@ -113,7 +113,19 @@ let rec walk cat plan : Schema.t =
         let keys = List.map key_name g.keys in
         if not (is_prefix keys (Physical.sorted_on g.input)) then
           fail "sort-group input not sorted on the grouping keys"
-      | _ -> ()));
+      | _ -> ())
+   | Physical.Exchange e ->
+     if e.dop < 1 then fail "exchange dop must be >= 1";
+     ignore (walk cat e.input)
+   | Physical.Repartition r ->
+     if r.dop < 1 then fail "repartition dop must be >= 1";
+     let inner = walk cat r.input in
+     List.iter
+       (fun k ->
+         try ignore (Expr.resolve_column inner k)
+         with Expr.Unresolved_column msg ->
+           fail "unresolved repartition key: %s" msg)
+       r.keys);
   schema
 
 let check cat plan =

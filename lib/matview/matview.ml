@@ -325,19 +325,81 @@ let alias_map v_rels q_rels =
     zip [] vt
   end
 
-(* Remove one occurrence of each view predicate (compared textually after
-   alias mapping) from the query's conjuncts; the leftover conjuncts are
-   residual and must be evaluable on the extent. *)
-let consume_preds vpred_strs qpreds =
-  let rec remove s = function
+(* [col <cmp> const] range predicates, normalized so the column is on the
+   left (flipping the comparison when the literal form has it on the
+   right). *)
+let flip_cmp = function
+  | Expr.Lt -> Expr.Gt
+  | Expr.Le -> Expr.Ge
+  | Expr.Gt -> Expr.Lt
+  | Expr.Ge -> Expr.Le
+  | (Expr.Eq | Expr.Ne) as c -> c
+
+let norm_range = function
+  | Expr.Cmp (op, Expr.Col c, Expr.Const v) -> Some (op, c, v)
+  | Expr.Cmp (op, Expr.Const v, Expr.Col c) -> Some (flip_cmp op, c, v)
+  | _ -> None
+
+(* Does the query conjunct [query] imply the (alias-mapped) view predicate
+   [view]?  Only single-column ranges against constants are decided: a
+   stronger bound on the same column in the same direction (or an equality
+   inside the view's half-range) implies the view predicate.  [Ne] view
+   predicates are left to textual matching — deciding them needs the
+   column's domain. *)
+let implies ~view ~query =
+  match norm_range view, norm_range query with
+  | Some (vo, vc, vk), Some (qo, qc, qk) when Schema.column_equal vc qc -> (
+    try
+      match vo, qo with
+      | Expr.Gt, Expr.Gt -> Expr.eval_cmp Expr.Ge qk vk
+      | Expr.Gt, (Expr.Ge | Expr.Eq) -> Expr.eval_cmp Expr.Gt qk vk
+      | Expr.Ge, (Expr.Gt | Expr.Ge | Expr.Eq) -> Expr.eval_cmp Expr.Ge qk vk
+      | Expr.Lt, Expr.Lt -> Expr.eval_cmp Expr.Le qk vk
+      | Expr.Lt, (Expr.Le | Expr.Eq) -> Expr.eval_cmp Expr.Lt qk vk
+      | Expr.Le, (Expr.Lt | Expr.Le | Expr.Eq) -> Expr.eval_cmp Expr.Le qk vk
+      | _ -> false
+    with _ -> false)
+  | _ -> false
+
+(* Match each view predicate against the query's conjuncts: a textually
+   equal conjunct is consumed (removed — the extent already applied it); a
+   strictly stronger conjunct on the same column covers the view predicate
+   by implication but STAYS in the residual, to be re-applied over the
+   extent.  Leftover conjuncts are residual and must be evaluable on the
+   extent's grouping columns. *)
+let consume_preds vpreds qpreds =
+  let rec remove vp = function
     | [] -> None
     | p :: rest ->
-      if String.equal (Expr.pred_to_string p) s then Some rest
-      else Option.map (fun r -> p :: r) (remove s rest)
+      if String.equal (Expr.pred_to_string p) (Expr.pred_to_string vp) then
+        Some rest
+      else Option.map (fun r -> p :: r) (remove vp rest)
   in
   List.fold_left
-    (fun acc s -> Option.bind acc (remove s))
-    (Some qpreds) vpred_strs
+    (fun acc vp ->
+      Option.bind acc (fun qs ->
+          match remove vp qs with
+          | Some rest -> Some rest
+          | None ->
+            if List.exists (fun qp -> implies ~view:vp ~query:qp) qs then
+              Some qs
+            else None))
+    (Some qpreds) vpreds
+
+(* Column -> expression rewriting ([Expr.subst_columns] only maps columns to
+   columns); expands an AVG output reference into its sum/count quotient. *)
+let rec subst_exprs f (e : Expr.t) =
+  match e with
+  | Expr.Col c -> (match f c with Some e' -> e' | None -> e)
+  | Expr.Const _ -> e
+  | Expr.Binop (op, a, b) -> Expr.Binop (op, subst_exprs f a, subst_exprs f b)
+
+let rec subst_pred_exprs f (p : Expr.pred) =
+  match p with
+  | Expr.Cmp (c, a, b) -> Expr.Cmp (c, subst_exprs f a, subst_exprs f b)
+  | Expr.And (a, b) -> Expr.And (subst_pred_exprs f a, subst_pred_exprs f b)
+  | Expr.Or (a, b) -> Expr.Or (subst_pred_exprs f a, subst_pred_exprs f b)
+  | Expr.Not a -> Expr.Not (subst_pred_exprs f a)
 
 type derived =
   | D_plain of Aggregate.t
@@ -360,14 +422,15 @@ let match_view mv (q : Block.query) =
          let to_query_side c =
            Some { c with Schema.cqual = map_alias c.Schema.cqual }
          in
-         (* 1. every view predicate appears among the query's conjuncts *)
-         let vpred_strs =
+         (* 1. every view predicate appears among the query's conjuncts, or
+            is implied by a stronger single-column range conjunct *)
+         let vpreds =
            List.map
-             (fun p -> Expr.pred_to_string (Expr.subst_columns to_query_side p))
+             (fun p -> Expr.subst_columns to_query_side p)
              mv.mv_def.Block.v_preds
          in
          let residual =
-           match consume_preds vpred_strs q.Block.q_preds with
+           match consume_preds vpreds q.Block.q_preds with
            | Some r -> r
            | None -> raise No_match
          in
@@ -463,26 +526,41 @@ let match_view mv (q : Block.query) =
                | D_avg { ss; cc } -> [ ss; cc ])
              derived
          in
-         let avg_outs =
+         let avg_parts =
            List.filter_map
              (fun ((a : Aggregate.t), d) ->
                match d with
-               | D_avg _ -> Some a.Aggregate.out_name
+               | D_avg { ss; cc } -> Some (a.Aggregate.out_name, (ss, cc))
                | D_plain _ -> None)
              derived
          in
-         let agg_outs =
-           List.map (fun (a : Aggregate.t) -> a.Aggregate.out_name) q.Block.q_aggs
+         (* Names present in the re-aggregation output, including the $ss/$cc
+            partial pairs an AVG splits into. *)
+         let derived_outs =
+           List.map (fun (a : Aggregate.t) -> a.Aggregate.out_name) aggs'
          in
          (* 5. HAVING passes through on unchanged aggregate names; an AVG
-            reference has no single derived column, so no match. *)
+            reference is first expanded into its sum/count quotient, which
+            [Value.div] evaluates exactly as [Aggregate.Avg]'s finish does. *)
          let having' =
+           let quotient ((ss : Aggregate.t), (cc : Aggregate.t)) =
+             Expr.Binop
+               ( Expr.Div,
+                 Expr.col ss.Aggregate.out_name (Aggregate.result_type ss),
+                 Expr.col cc.Aggregate.out_name (Aggregate.result_type cc) )
+           in
            List.map
              (fun p ->
+               let p =
+                 subst_pred_exprs
+                   (fun c ->
+                     Option.map quotient
+                       (List.assoc_opt c.Schema.cname avg_parts))
+                   p
+               in
                Expr.subst_columns
                  (fun c ->
-                   if List.mem c.Schema.cname avg_outs then raise No_match
-                   else if List.mem c.Schema.cname agg_outs then None
+                   if List.mem c.Schema.cname derived_outs then None
                    else Some (subst_key_exn c))
                  p)
              q.Block.q_having

@@ -9,6 +9,7 @@ type config = {
   executor : Executor.engine;
   statement_timeout_ms : float option;
   spill_quota_pages : int option;
+  dop : int;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     executor = `Batch;
     statement_timeout_ms = None;
     spill_quota_pages = None;
+    dop = 1;
   }
 
 (* Shared across every session and worker of one service: the cache sits
@@ -294,8 +296,8 @@ let algo_tag = function
   | Optimizer.Paper -> "paper"
 
 let cache_key t stmt =
-  Printf.sprintf "%s/%s/%d" (Fingerprint.to_hex stmt.fp) (algo_tag t.cfg.algorithm)
-    t.cfg.work_mem
+  Printf.sprintf "%s/%s/%d/%d" (Fingerprint.to_hex stmt.fp)
+    (algo_tag t.cfg.algorithm) t.cfg.work_mem t.cfg.dop
 
 let options t =
   {
@@ -303,6 +305,7 @@ let options t =
     algorithm = t.cfg.algorithm;
     work_mem = t.cfg.work_mem;
     paper = t.cfg.paper;
+    dop = t.cfg.dop;
   }
 
 let params_equal a b = List.for_all2 (fun x y -> Stdlib.compare x y = 0) a b

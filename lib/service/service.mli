@@ -40,12 +40,16 @@ type config = {
   spill_quota_pages : int option;
       (** cumulative temp pages a statement may allocate before
           [Avq_error.Error (Resource_exceeded _)] *)
+  dop : int;
+      (** degree of intra-query parallelism handed to the optimizer; plans
+          cached at one dop are not served at another (the key includes
+          it) *)
 }
 
 val default_config : config
 (** [Paper] algorithm, 32 pages work_mem, 128 entries / 4 MiB cache,
     recost ratio 10.0, cache on, batch executor, no timeout or spill
-    quota. *)
+    quota, serial ([dop = 1]). *)
 
 type t
 

@@ -269,6 +269,15 @@ let diff (a : stats) (b : stats) =
   { reads = a.reads - b.reads; writes = a.writes - b.writes;
     hits = a.hits - b.hits }
 
+(* Fold IO another domain already incurred into the calling domain's tally.
+   Only the DLS tally is bumped — the global atomics were counted when the
+   worker touched the pages, so adding them again would double-count. *)
+let add_local (s : stats) =
+  let c = Tally.get () in
+  c.Tally.treads <- c.Tally.treads + s.reads;
+  c.Tally.twrites <- c.Tally.twrites + s.writes;
+  c.Tally.thits <- c.Tally.thits + s.hits
+
 let resident t ~file ~page =
   protect t.lock (fun () -> Hashtbl.mem t.table (file, page))
 

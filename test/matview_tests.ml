@@ -88,6 +88,90 @@ let predicate_subsumption () =
        "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e WHERE e.age > 41 GROUP \
         BY e.dno")
 
+let predicate_implication () =
+  let cat = load () in
+  let reg, v =
+    mk_view ~name:"big_depts" cat
+      "SELECT e.dno AS dno, COUNT(*) AS c, SUM(e.sal) AS s FROM emp e WHERE \
+       e.dno > 1 GROUP BY e.dno"
+  in
+  let q_sql pred =
+    Printf.sprintf
+      "SELECT e.dno AS d, SUM(e.sal) AS s FROM emp e WHERE %s GROUP BY e.dno"
+      pred
+  in
+  let matches pred = Matview.match_view v (bind cat (q_sql pred)) <> None in
+  Alcotest.(check bool) "stronger bound on the key implies the view pred" true
+    (matches "e.dno > 3");
+  Alcotest.(check bool) ">= strictly inside the half-range implies" true
+    (matches "e.dno >= 2");
+  Alcotest.(check bool) "equality inside the half-range implies" true
+    (matches "e.dno = 5");
+  Alcotest.(check bool) "weaker bound is not implied" false
+    (matches "e.dno > 0");
+  Alcotest.(check bool) ">= at the view's own open bound is not implied" false
+    (matches "e.dno >= 1");
+  Alcotest.(check bool) "equality outside the half-range is not implied" false
+    (matches "e.dno = 1");
+  (* The covering conjunct stays residual: the rewrite must re-apply
+     [e.dno > 3] over the extent, not return every extent group. *)
+  let q = bind cat (q_sql "e.dno > 3") in
+  let base = run_plan cat (Optimizer.optimize cat q).Optimizer.plan in
+  (match Matview.rewrites cat reg q with
+  | [] -> Alcotest.fail "expected a rewrite by implication"
+  | rewrites ->
+    List.iter
+      (fun (_, r) ->
+        Alcotest.(check bool) "implied rewrite agrees with the base plan" true
+          (Relation.multiset_equal base (run_plan cat r.Optimizer.plan)))
+      rewrites);
+  Alcotest.(check int) "residual filter keeps only dno in 4..7" 4
+    (Relation.cardinality base)
+
+let having_over_avg () =
+  let cat = load () in
+  let reg, v = mk_view cat wide_view_sql in
+  let q_sql h =
+    Printf.sprintf
+      "SELECT e.dno AS d, AVG(e.age) AS a FROM emp e GROUP BY e.dno HAVING %s"
+      h
+  in
+  let check h =
+    let q = bind cat (q_sql h) in
+    Alcotest.(check bool)
+      (Printf.sprintf "HAVING %s matches" h)
+      true
+      (Matview.match_view v q <> None);
+    let base = run_plan cat (Optimizer.optimize cat q).Optimizer.plan in
+    (match Matview.rewrites cat reg q with
+    | [] -> Alcotest.failf "expected a rewrite for HAVING %s" h
+    | rewrites ->
+      List.iter
+        (fun (_, r) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "HAVING %s agrees with the base plan" h)
+            true
+            (Relation.multiset_equal base (run_plan cat r.Optimizer.plan)))
+        rewrites);
+    Relation.cardinality base
+  in
+  let all = check "AVG(e.age) > 0" in
+  Alcotest.(check int) "trivial threshold keeps every group"
+    small.Emp_dept.depts all;
+  Alcotest.(check int) "impossible threshold drops every group" 0
+    (check "AVG(e.age) > 100");
+  (* Mixed predicate: an AVG quotient AND a plain re-aggregated COUNT. *)
+  ignore (check "AVG(e.age) > 35 AND COUNT(*) > 2");
+  (* HAVING over an AVG that is not in the select list binds a hidden
+     aggregate — it must re-aggregate from the stored partials too. *)
+  let q =
+    bind cat
+      "SELECT e.dno AS d, COUNT(*) AS c FROM emp e GROUP BY e.dno HAVING \
+       AVG(e.sal) > 0"
+  in
+  Alcotest.(check bool) "hidden HAVING aggregate matches" true
+    (Matview.match_view v q <> None)
+
 let order_limit_passthrough () =
   let cat = load () in
   let reg, _v = mk_view cat wide_view_sql in
@@ -115,7 +199,9 @@ let agg_pool =
     "SUM(e.age)"; "AVG(e.age)"; "MAX(e.age)";
   |]
 
-let case_to_sql (mask, pred, grouped) =
+let pred_ops = [| ">"; ">="; "=" |]
+
+let case_to_sql (mask, pred, grouped, having) =
   let aggs =
     List.filteri
       (fun i _ -> mask land (1 lsl i) <> 0)
@@ -124,15 +210,23 @@ let case_to_sql (mask, pred, grouped) =
   let aggs = if aggs = [] then [ agg_pool.(0) ] else aggs in
   let sel = List.mapi (fun i a -> Printf.sprintf "%s AS a%d" a i) aggs in
   let sel = if grouped then "e.dno AS d" :: sel else sel in
-  Printf.sprintf "SELECT %s FROM emp e%s%s"
+  Printf.sprintf "SELECT %s FROM emp e%s%s%s"
     (String.concat ", " sel)
     (match pred with
     | None -> ""
-    | Some k -> Printf.sprintf " WHERE e.dno > %d" k)
+    | Some (op, k) -> Printf.sprintf " WHERE e.dno %s %d" pred_ops.(op) k)
     (if grouped then " GROUP BY e.dno" else "")
+    (match having with
+    | Some h when grouped ->
+      Printf.sprintf " HAVING AVG(e.age) > %d AND COUNT(*) > 1" h
+    | _ -> "")
 
 let gen_case =
-  QCheck.Gen.(triple (int_range 1 255) (opt (int_range 0 6)) bool)
+  QCheck.Gen.(
+    quad (int_range 1 255)
+      (opt (pair (int_range 0 2) (int_range 0 6)))
+      bool
+      (opt (int_range 20 50)))
 
 let differential_prop =
   QCheck.Test.make ~count:20
@@ -142,6 +236,19 @@ let differential_prop =
       let sql = case_to_sql case in
       let cat = load () in
       let reg, v = mk_view cat wide_view_sql in
+      (* A second, predicated view in the same registry: queries whose
+         conjunct strictly implies [e.dno > 1] are answered by it too, with
+         the conjunct kept as residual. *)
+      let _ =
+        let name = "big_depts" in
+        let sql =
+          "SELECT e.dno AS dno, COUNT(*) AS c, SUM(e.sal) AS ssal, AVG(e.age) \
+           AS aage, MIN(e.sal) AS mnsal, MAX(e.age) AS mxage FROM emp e WHERE \
+           e.dno > 1 GROUP BY e.dno"
+        in
+        let def = Binder.bind_matview_body cat ~name (Parser.parse_select sql) in
+        Matview.create_view cat reg ~name ~sql def
+      in
       let check_round tag =
         let q = bind cat sql in
         let rewrites = Matview.rewrites cat reg q in
@@ -466,6 +573,8 @@ let tests =
   [
     Alcotest.test_case "matching rules" `Quick matching_rules;
     Alcotest.test_case "predicate subsumption" `Quick predicate_subsumption;
+    Alcotest.test_case "predicate implication" `Quick predicate_implication;
+    Alcotest.test_case "HAVING over AVG" `Quick having_over_avg;
     Alcotest.test_case "ORDER BY / LIMIT pass through" `Quick
       order_limit_passthrough;
     QCheck_alcotest.to_alcotest differential_prop;
