@@ -26,6 +26,7 @@ let experiments =
     ("E17", E17_obs.run);
     ("E18", E18_matview.run);
     ("E19", E19_parallel.run);
+    ("E20", E20_serve.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's

@@ -61,6 +61,23 @@ let check_dop dop =
     exit 1
   end
 
+(* session / serve: default dop is core-aware, divided among the workers *)
+let dop_auto =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "dop" ] ~docv:"N"
+        ~doc:
+          "Degree of intra-query parallelism.  Default: the machine's \
+           recommended domain count divided by the worker count (never \
+           below 1), so workers times dop stays near the core count.")
+
+let resolve_dop ~workers = function
+  | Some d ->
+    check_dop d;
+    d
+  | None -> Service.auto_dop ~workers
+
 let sql_arg =
   Arg.(
     value
@@ -346,7 +363,11 @@ let session_cmd =
       Format.eprintf "avq session: --workers must be >= 1@.";
       exit 1
     end;
-    check_dop dop;
+    let dop = resolve_dop ~workers dop in
+    (* Ctrl-C / SIGTERM mid-replay: abort in-flight statements at their next
+       batch boundary, then fall through the normal epilogue so traces and
+       metrics still flush and temps are verifiably gone. *)
+    Lifecycle.install Lifecycle.Abort_on_signal;
     (match timeout_ms with
      | Some ms when ms <= 0. ->
        Format.eprintf "avq session: --timeout-ms must be > 0@.";
@@ -396,31 +417,36 @@ let session_cmd =
       | Some path -> In_channel.with_open_text path In_channel.input_all
       | None -> In_channel.input_all In_channel.stdin
     in
-    let lines =
-      if workers = 1 then Replay.replay svc text
-      else
-        Service.Pool.with_pool ~workers svc (fun pool ->
-            Replay.replay_pool pool text)
-    in
-    Replay.report Format.std_formatter svc lines;
-    Option.iter
-      (fun tr ->
-        Trace.close tr;
-        Format.printf "trace: %d spans emitted, %d slow statements%s@."
-          (Trace.spans_emitted tr) (Trace.slow_statements tr)
-          (match trace_out with Some p -> " -> " ^ p | None -> ""))
-      tracer;
+    (* The flush work is registered as lifecycle hooks (LIFO, run once) so an
+       interrupted replay and a completed one leave through the same door. *)
     Option.iter
       (fun path ->
-        let m = Service.metrics svc in
-        let body =
-          if Filename.check_suffix path ".prom" then Metrics.to_prometheus m
-          else Metrics.to_json m
-        in
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc body);
-        Format.printf "metrics -> %s@." path)
+        Lifecycle.at_shutdown (fun () ->
+            let m = Service.metrics svc in
+            let body =
+              if Filename.check_suffix path ".prom" then Metrics.to_prometheus m
+              else Metrics.to_json m
+            in
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc body);
+            Format.printf "metrics -> %s@." path))
       metrics_out;
+    Option.iter
+      (fun tr ->
+        Lifecycle.at_shutdown (fun () ->
+            Trace.close tr;
+            Format.printf "trace: %d spans emitted, %d slow statements%s@."
+              (Trace.spans_emitted tr) (Trace.slow_statements tr)
+              (match trace_out with Some p -> " -> " ^ p | None -> "")))
+      tracer;
+    Fun.protect ~finally:Lifecycle.run_hooks (fun () ->
+        let lines =
+          if workers = 1 then Replay.replay svc text
+          else
+            Service.Pool.with_pool ~workers svc (fun pool ->
+                Replay.replay_pool pool text)
+        in
+        Replay.report Format.std_formatter svc lines);
     if faults <> None then begin
       let st = Catalog.storage cat in
       let fs = Storage.Faults.stats st in
@@ -429,6 +455,11 @@ let session_cmd =
          temps: %d@."
         fs.Buffer_pool.injected fs.Buffer_pool.retried fs.Buffer_pool.recovered
         fs.Buffer_pool.exhausted (Storage.live_temps st)
+    end;
+    if Lifecycle.exit_code () <> 0 then begin
+      Format.printf "interrupted: replay stopped cleanly (live temps: %d)@."
+        (Storage.live_temps (Catalog.storage cat));
+      exit (Lifecycle.exit_code ())
     end
   in
   let doc =
@@ -439,13 +470,259 @@ let session_cmd =
   in
   Cmd.v (Cmd.info "session" ~doc)
     Term.(
-      const run $ algo $ db $ scale $ seed $ work_mem $ dop $ no_cache
+      const run $ algo $ db $ scale $ seed $ work_mem $ dop_auto $ no_cache
       $ recost_ratio $ workers $ timeout_ms $ spill_quota $ fault_plan
       $ metrics_out $ trace_out $ slow_ms $ file)
+
+(* ---- network front end ---- *)
+
+let host =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Address to listen on / connect to.")
+
+let port ~default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port.")
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:"Executor worker domains behind the statement queue.")
+  in
+  let max_connections =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Concurrent client sessions; further connects are refused.")
+  in
+  let max_queue =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission control: statements admitted (queued + executing) at \
+             once across all sessions; arrivals beyond $(docv) are rejected \
+             with a typed resource error instead of buffered.")
+  in
+  let drain_grace_ms =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.drain_grace_ms
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "On shutdown, wait up to $(docv) for in-flight statements before \
+             aborting them.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-statement deadline (sessions may SET their own).")
+  in
+  let spill_quota =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spill-quota" ] ~docv:"PAGES"
+          ~doc:"Default per-statement temp-page budget.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the server's metrics registry to $(docv) on shutdown — \
+             JSON, or Prometheus text if $(docv) ends in $(b,.prom).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Emit one span tree per statement as JSONL to $(docv).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Report statements taking at least $(docv) ms to stderr.")
+  in
+  let run algo db scale seed work_mem dop host port workers max_connections
+      max_queue drain_grace_ms timeout_ms spill_quota metrics_out trace_out
+      slow_ms =
+    if workers < 1 then begin
+      Format.eprintf "avq serve: --workers must be >= 1@.";
+      exit 1
+    end;
+    if max_queue < 1 || max_connections < 1 then begin
+      Format.eprintf "avq serve: --max-queue and --max-connections must be >= 1@.";
+      exit 1
+    end;
+    let dop = resolve_dop ~workers dop in
+    let cat = load_db db scale seed in
+    let config =
+      {
+        Service.default_config with
+        Service.algorithm = algo;
+        work_mem;
+        statement_timeout_ms = timeout_ms;
+        spill_quota_pages = spill_quota;
+        dop;
+      }
+    in
+    let svc = Service.create ~config cat in
+    let tracer =
+      match (trace_out, slow_ms) with
+      | None, None -> None
+      | Some path, _ -> Some (Trace.create_file ?slow_ms path)
+      | None, Some _ -> Some (Trace.create ?slow_ms ())
+    in
+    Service.set_tracer svc tracer;
+    (* first SIGTERM/SIGINT drains (finish in-flight, stop admitting), a
+       second one aborts in-flight statements too *)
+    Lifecycle.install Lifecycle.Drain_then_abort;
+    Option.iter
+      (fun path ->
+        Lifecycle.at_shutdown (fun () ->
+            let m = Service.metrics svc in
+            let body =
+              if Filename.check_suffix path ".prom" then Metrics.to_prometheus m
+              else Metrics.to_json m
+            in
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc body);
+            Format.printf "metrics -> %s@." path))
+      metrics_out;
+    Option.iter
+      (fun tr -> Lifecycle.at_shutdown (fun () -> Trace.close tr))
+      tracer;
+    let server_config =
+      { Server.host; port; max_connections; max_queue; drain_grace_ms }
+    in
+    Fun.protect ~finally:Lifecycle.run_hooks (fun () ->
+        Service.Pool.with_pool ~workers svc (fun pool ->
+            let server = Server.start ~config:server_config pool in
+            Format.printf
+              "avq serve: listening on %s:%d (%d workers, dop %d, %d max \
+               connections, %d statement queue)@."
+              host (Server.port server) workers dop max_connections max_queue;
+            Format.printf "avq serve: SIGTERM drains, SIGTERM twice aborts@?";
+            Format.printf "@.";
+            Server.run server;
+            Format.printf
+              "avq serve: drained — %d admitted, %d rejected, live temps: %d@."
+              (Server.admitted server) (Server.rejected server)
+              (Storage.live_temps (Catalog.storage cat))))
+    (* a drain-triggered exit is the server working as designed: exit 0 *)
+  in
+  let doc =
+    "Serve queries over TCP: many client sessions multiplexed onto a worker \
+     pool sharing one plan cache, with bounded statement admission and \
+     graceful drain on SIGTERM."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ algo $ db $ scale $ seed $ work_mem $ dop_auto $ host
+      $ port ~default:5499 $ workers $ max_connections $ max_queue
+      $ drain_grace_ms $ timeout_ms $ spill_quota $ metrics_out $ trace_out
+      $ slow_ms)
+
+let loadgen_cmd =
+  let connections =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let statements =
+    Arg.(
+      value
+      & opt int 32
+      & info [ "n"; "statements" ] ~docv:"N" ~doc:"Statements per connection.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"STMTS/S"
+          ~doc:
+            "Open-loop mode: offer $(docv) statements per second across all \
+             connections regardless of reply latency.  Default: closed loop \
+             (next statement when the reply lands).")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Workload file ($(b,;;)-terminated statements, sent round-robin); \
+             omit for a built-in emp/dept aggregate mix.")
+  in
+  let run host port connections statements rate file =
+    if connections < 1 || statements < 1 then begin
+      Format.eprintf "avq loadgen: --connections and --statements must be >= 1@.";
+      exit 1
+    end;
+    let sqls =
+      match file with
+      | None -> Loadgen.default_config.Loadgen.sqls
+      | Some path ->
+        let text = In_channel.with_open_text path In_channel.input_all in
+        let stmts = Replay.split_statements text in
+        if stmts = [] then begin
+          Format.eprintf "avq loadgen: %s contains no statements@." path;
+          exit 1
+        end;
+        stmts
+    in
+    let mode =
+      match rate with
+      | None -> Loadgen.Closed
+      | Some r when r > 0. -> Loadgen.Open_rate r
+      | Some _ ->
+        Format.eprintf "avq loadgen: --rate must be > 0@.";
+        exit 1
+    in
+    let stats =
+      Loadgen.run { Loadgen.host; port; connections; statements; mode; sqls }
+    in
+    Format.printf "%a@." Loadgen.pp stats;
+    if stats.Loadgen.ok = 0 then exit 1
+  in
+  let doc =
+    "Drive a running $(b,avq serve) with concurrent connections and report \
+     throughput and latency percentiles."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run $ host $ port ~default:5499 $ connections $ statements $ rate
+      $ file)
 
 let main =
   let doc = "cost-based optimization of queries with aggregate views (EDBT'96)" in
   Cmd.group (Cmd.info "avq" ~version:"1.0.0" ~doc)
-    [ explain_cmd; run_cmd; compare_cmd; tables_cmd; repl_cmd; session_cmd ]
+    [
+      explain_cmd;
+      run_cmd;
+      compare_cmd;
+      tables_cmd;
+      repl_cmd;
+      session_cmd;
+      serve_cmd;
+      loadgen_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

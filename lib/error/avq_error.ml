@@ -7,6 +7,7 @@ type t =
   | Timeout of { limit_ms : float }
   | Cancelled
   | Bad_statement of string
+  | Unavailable of string
 
 exception Error of t
 
@@ -21,6 +22,7 @@ let kind_label = function
   | Timeout _ -> "timeout"
   | Cancelled -> "cancelled"
   | Bad_statement _ -> "bad-statement"
+  | Unavailable _ -> "unavailable"
 
 let to_string e =
   match e with
@@ -35,6 +37,7 @@ let to_string e =
   | Timeout { limit_ms } -> Printf.sprintf "kind=timeout limit_ms=%g" limit_ms
   | Cancelled -> "kind=cancelled"
   | Bad_statement msg -> Printf.sprintf "kind=bad-statement detail=%S" msg
+  | Unavailable msg -> Printf.sprintf "kind=unavailable detail=%S" msg
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -24,6 +24,12 @@ type t =
   | Bad_statement of string
       (** The statement itself is at fault (type error mid-execution,
           unresolvable column, malformed input). *)
+  | Unavailable of string
+      (** The server is not taking this work right now (draining for
+          shutdown, connection limit reached).  Unlike
+          {!Resource_exceeded} — which rejects one over-budget statement —
+          this says the whole endpoint is (temporarily) closed to new
+          work; clients should back off or reconnect elsewhere. *)
 
 exception Error of t
 
@@ -35,7 +41,7 @@ val io_op_label : io_op -> string
 val kind_label : t -> string
 (** Stable lowercase tag for counters and structured log lines:
     ["io-fault"], ["corruption"], ["resource-exceeded"], ["timeout"],
-    ["cancelled"], ["bad-statement"]. *)
+    ["cancelled"], ["bad-statement"], ["unavailable"]. *)
 
 val to_string : t -> string
 (** One-line rendering: [kind=<kind> <field>=<value>...], machine-grepable. *)

@@ -78,9 +78,14 @@ let begin_statement ?timeout_ms ?spill_quota ?cancel t =
 
 let cancel t = Atomic.set t.cancel_token true
 
-let guarded t = t.guarded
+(* Statements also poll while a process-wide shutdown may be in progress
+   (lifecycle handlers installed), so a drain that escalates to abort stops
+   every in-flight statement at its next batch boundary even when it carries
+   no deadline or cancel token of its own. *)
+let guarded t = t.guarded || Lifecycle.engaged ()
 
 let check t =
+  if Lifecycle.aborting () then Avq_error.error Avq_error.Cancelled;
   if Atomic.get t.cancel_token then Avq_error.error Avq_error.Cancelled;
   match t.deadline with
   | Some d when Unix.gettimeofday () > d ->

@@ -59,15 +59,17 @@ val begin_statement :
     @raise Invalid_argument if [timeout_ms <= 0] or [spill_quota < 0]. *)
 
 val check : t -> unit
-(** Poll the limits: raises [Avq_error.Error Cancelled] if the token is set,
-    then [Avq_error.Error (Timeout _)] if past the deadline. *)
+(** Poll the limits: raises [Avq_error.Error Cancelled] if a process-wide
+    {!Lifecycle} abort is in progress or the statement's token is set, then
+    [Avq_error.Error (Timeout _)] if past the deadline. *)
 
 val cancel : t -> unit
 (** Set this statement's cancellation token. *)
 
 val guarded : t -> bool
-(** Whether the current statement carries a deadline or cancel token (i.e.
-    the executor should poll {!check} at batch boundaries). *)
+(** Whether the executor should poll {!check} at batch boundaries: the
+    current statement carries a deadline or cancel token, or lifecycle
+    shutdown handlers are installed ({!Lifecycle.engaged}). *)
 
 val spill_pages : t -> int
 (** Cumulative temp pages allocated by the current statement. *)

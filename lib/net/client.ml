@@ -1,0 +1,58 @@
+type t = {
+  fd : Unix.file_descr;
+  server_name : string;
+  server_workers : int;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  match
+    (try Wire.read_frame fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e)
+  with
+  | Some payload -> (
+    match Protocol.decode_reply payload with
+    | Protocol.Hello { server; workers } ->
+      { fd; server_name = server; server_workers = workers; closed = false }
+    | Protocol.Err { kind; detail } ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Wire.Protocol_error (Printf.sprintf "rejected: %s: %s" kind detail))
+    | Protocol.Result _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Wire.Protocol_error "expected Hello"))
+  | None ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Wire.Protocol_error "server closed before Hello")
+
+let server t = t.server_name
+let workers t = t.server_workers
+let fd t = t.fd
+
+let roundtrip t req =
+  Wire.write_frame t.fd (Protocol.encode_request req);
+  match Wire.read_frame t.fd with
+  | Some payload -> Protocol.decode_reply payload
+  | None -> raise (Wire.Protocol_error "server closed mid-conversation")
+
+let query t sql = roundtrip t (Protocol.Query sql)
+let set t name value = roundtrip t (Protocol.Set (name, value))
+let prepare t name sql = roundtrip t (Protocol.Prepare (name, sql))
+let exec_prepared t name params = roundtrip t (Protocol.Exec_prepared (name, params))
+
+let abort t =
+  if not t.closed then (
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ())
+
+let close t =
+  if not t.closed then (
+    (try ignore (roundtrip t Protocol.Close)
+     with Wire.Protocol_error _ | Protocol.Protocol_error _ | Unix.Unix_error _ -> ());
+    abort t)

@@ -1,0 +1,40 @@
+(** Blocking client for the {!Server} wire protocol.
+
+    One connection = one session.  Every call sends one request frame and
+    reads one reply frame, so calls on a single client must not be made
+    concurrently; the load generator gives each connection its own
+    thread. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Dial the server and read its [Hello].
+    @raise Wire.Protocol_error if the server rejects the connection (a
+    draining or full server replies with a typed error instead of
+    [Hello] — the error detail is carried in the message);
+    @raise Unix.Unix_error if nothing is listening. *)
+
+val server : t -> string
+val workers : t -> int
+(** From the connection [Hello]. *)
+
+val query : t -> string -> Protocol.reply
+(** Any session statement: SELECT, INSERT / matview DDL,
+    [EXPLAIN ANALYZE], [\metrics], [\dm]. *)
+
+val set : t -> string -> string -> Protocol.reply
+(** [set t "timeout_ms" "50"]; value ["default"] resets. *)
+
+val prepare : t -> string -> string -> Protocol.reply
+val exec_prepared : t -> string -> Value.t list -> Protocol.reply
+
+val close : t -> unit
+(** Polite close: send [Close], read the goodbye, shut the socket.
+    Idempotent; swallows socket errors (the server may already be gone). *)
+
+val abort : t -> unit
+(** Abrupt close: drop the socket without a [Close] — from the server's
+    side this is a client death, which must cancel any in-flight
+    statement.  For churn tests. *)
+
+val fd : t -> Unix.file_descr

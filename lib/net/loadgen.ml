@@ -1,0 +1,122 @@
+type mode = Closed | Open_rate of float
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  statements : int;
+  mode : mode;
+  sqls : string list;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 5499;
+    connections = 8;
+    statements = 32;
+    mode = Closed;
+    sqls =
+      [
+        "SELECT e.dno AS dno, COUNT(*) AS heads FROM emp e WHERE e.sal > 1000 \
+         GROUP BY e.dno";
+        "SELECT e.dno AS dno, AVG(e.sal) AS avg_sal FROM emp e WHERE e.age > 30 \
+         GROUP BY e.dno";
+      ];
+  }
+
+type stats = {
+  ok : int;
+  errors : int;
+  rejected : int;
+  wall_ms : float;
+  latencies_ms : float array;
+}
+
+type tally = { mutable t_ok : int; mutable t_err : int; mutable t_rej : int }
+
+let is_rejection kind = kind = "resource-exceeded" || kind = "unavailable"
+
+(* One connection's life: dial, run its statement budget, close.  In open
+   loop each connection fires at [interval] since its own start, skipping
+   sleeps it is already late for (the offered rate stays fixed even when
+   the server lags — that is the point of open loop). *)
+let drive cfg tally lats lock conn_idx =
+  let sqls = Array.of_list cfg.sqls in
+  let interval =
+    match cfg.mode with
+    | Closed -> 0.
+    | Open_rate r -> float_of_int cfg.connections /. r
+  in
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | exception (Wire.Protocol_error _ | Unix.Unix_error _) ->
+    Mutex.protect lock (fun () -> tally.t_rej <- tally.t_rej + cfg.statements)
+  | client ->
+    let my_lats = ref [] in
+    let my = { t_ok = 0; t_err = 0; t_rej = 0 } in
+    let start = Unix.gettimeofday () in
+    (try
+       for i = 0 to cfg.statements - 1 do
+         if interval > 0. then begin
+           let due = start +. (float_of_int i *. interval) in
+           let wait = due -. Unix.gettimeofday () in
+           if wait > 0. then Thread.delay wait
+         end;
+         let sql = sqls.((conn_idx + i) mod Array.length sqls) in
+         let t0 = Unix.gettimeofday () in
+         match Client.query client sql with
+         | Protocol.Result _ ->
+           my.t_ok <- my.t_ok + 1;
+           my_lats := ((Unix.gettimeofday () -. t0) *. 1000.) :: !my_lats
+         | Protocol.Err { kind; _ } when is_rejection kind ->
+           my.t_rej <- my.t_rej + 1
+         | Protocol.Err _ -> my.t_err <- my.t_err + 1
+         | Protocol.Hello _ -> my.t_err <- my.t_err + 1
+       done;
+       Client.close client
+     with Wire.Protocol_error _ | Protocol.Protocol_error _ | Unix.Unix_error _ ->
+       my.t_err <- my.t_err + 1;
+       Client.abort client);
+    Mutex.protect lock (fun () ->
+        tally.t_ok <- tally.t_ok + my.t_ok;
+        tally.t_err <- tally.t_err + my.t_err;
+        tally.t_rej <- tally.t_rej + my.t_rej;
+        lats := List.rev_append !my_lats !lats)
+
+let run cfg =
+  let tally = { t_ok = 0; t_err = 0; t_rej = 0 } in
+  let lats = ref [] in
+  let lock = Mutex.create () in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init cfg.connections (fun i ->
+        Thread.create (fun () -> drive cfg tally lats lock i) ())
+  in
+  List.iter Thread.join threads;
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let latencies_ms = Array.of_list !lats in
+  Array.sort compare latencies_ms;
+  {
+    ok = tally.t_ok;
+    errors = tally.t_err;
+    rejected = tally.t_rej;
+    wall_ms;
+    latencies_ms;
+  }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let throughput s = if s.wall_ms <= 0. then 0. else float_of_int s.ok /. (s.wall_ms /. 1000.)
+
+let pp ppf s =
+  Format.fprintf ppf
+    "ok=%d errors=%d rejected=%d throughput=%.1f/s p50=%.2fms p95=%.2fms p99=%.2fms"
+    s.ok s.errors s.rejected (throughput s)
+    (percentile s.latencies_ms 50.)
+    (percentile s.latencies_ms 95.)
+    (percentile s.latencies_ms 99.)

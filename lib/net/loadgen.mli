@@ -1,0 +1,47 @@
+(** Load generator for E20 and the CI server-smoke job.
+
+    [connections] client threads each drive one connection through
+    [statements] statements drawn round-robin from [sqls].  Closed-loop
+    mode sends the next statement as soon as the reply lands (measures
+    capacity); open-loop mode paces sends at a fixed aggregate rate
+    regardless of reply latency (measures behaviour under offered load,
+    where admission control matters). *)
+
+type mode =
+  | Closed
+  | Open_rate of float  (** target statements/second across all connections *)
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  statements : int;  (** per connection *)
+  mode : mode;
+  sqls : string list;
+}
+
+val default_config : config
+(** localhost:5499, 8 connections, 32 statements each, closed loop, one
+    trivial aggregate query. *)
+
+type stats = {
+  ok : int;
+  errors : int;  (** failed statements other than admission rejections *)
+  rejected : int;
+      (** admission rejections: [resource-exceeded] and [unavailable]
+          replies, plus refused connections *)
+  wall_ms : float;
+  latencies_ms : float array;  (** per-ok-statement, sorted ascending *)
+}
+
+val run : config -> stats
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile on a sorted array ([percentile lat 99.]);
+    0 on an empty array. *)
+
+val throughput : stats -> float
+(** Completed (ok) statements per second of wall time. *)
+
+val pp : Format.formatter -> stats -> unit
+(** One line: ok / errors / rejected / throughput / p50 / p95 / p99. *)

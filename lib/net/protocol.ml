@@ -1,0 +1,153 @@
+type request =
+  | Query of string
+  | Set of string * string
+  | Prepare of string * string
+  | Exec_prepared of string * Value.t list
+  | Close
+
+type reply =
+  | Hello of { server : string; workers : int }
+  | Result of { source : string; rows : int; ms : float; body : string }
+  | Err of { kind : string; detail : string }
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* ---- values ----
+   Tagged so the type survives the round trip (an untagged "42" could be an
+   Int or a String) and floats go through %h (hex, exact). *)
+
+let render_value = function
+  | Value.Int i -> Printf.sprintf "i:%d" i
+  | Value.Float f -> Printf.sprintf "f:%h" f
+  | Value.String s -> "s:" ^ s
+  | Value.Bool b -> Printf.sprintf "b:%b" b
+  | Value.Date d -> Printf.sprintf "d:%d" d
+
+let parse_value s =
+  if String.length s < 2 || s.[1] <> ':' then fail "bad value literal %S" s;
+  let body = String.sub s 2 (String.length s - 2) in
+  let num of_string kind =
+    match of_string body with
+    | Some v -> v
+    | None -> fail "bad %s literal %S" kind s
+  in
+  match s.[0] with
+  | 'i' -> Value.Int (num int_of_string_opt "int")
+  | 'f' -> Value.Float (num float_of_string_opt "float")
+  | 's' -> Value.String body
+  | 'b' -> Value.Bool (num bool_of_string_opt "bool")
+  | 'd' -> Value.Date (num int_of_string_opt "date")
+  | c -> fail "unknown value tag %C" c
+
+(* ---- netstring-ish field framing: <len>:<bytes>, ---- *)
+
+let add_netstring buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s;
+  Buffer.add_char buf ','
+
+let read_netstring s pos =
+  match String.index_from_opt s pos ':' with
+  | None -> fail "missing netstring length at %d" pos
+  | Some colon ->
+    let len =
+      match int_of_string_opt (String.sub s pos (colon - pos)) with
+      | Some n when n >= 0 -> n
+      | _ -> fail "bad netstring length at %d" pos
+    in
+    let stop = colon + 1 + len in
+    if stop >= String.length s + 1 || stop >= String.length s && len > 0 then
+      fail "truncated netstring at %d" pos;
+    if stop >= String.length s || s.[stop] <> ',' then
+      fail "unterminated netstring at %d" pos;
+    (String.sub s (colon + 1) len, stop + 1)
+
+let rec read_netstrings s pos acc =
+  if pos >= String.length s then List.rev acc
+  else
+    let field, pos = read_netstring s pos in
+    read_netstrings s pos (field :: acc)
+
+(* ---- single "name\nrest" splitter ---- *)
+
+let split_line s =
+  match String.index_opt s '\n' with
+  | None -> fail "missing field separator in %S" s
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let body s = String.sub s 1 (String.length s - 1)
+
+(* ---- requests ---- *)
+
+let encode_request = function
+  | Query sql -> "q" ^ sql
+  | Set (name, v) -> "s" ^ name ^ "\n" ^ v
+  | Prepare (name, sql) -> "p" ^ name ^ "\n" ^ sql
+  | Exec_prepared (name, params) ->
+    let buf = Buffer.create 64 in
+    Buffer.add_char buf 'e';
+    Buffer.add_string buf name;
+    Buffer.add_char buf '\n';
+    List.iter (fun v -> add_netstring buf (render_value v)) params;
+    Buffer.contents buf
+  | Close -> "x"
+
+let decode_request s =
+  if s = "" then fail "empty request";
+  match s.[0] with
+  | 'q' -> Query (body s)
+  | 's' ->
+    let name, v = split_line (body s) in
+    Set (name, v)
+  | 'p' ->
+    let name, sql = split_line (body s) in
+    Prepare (name, sql)
+  | 'e' ->
+    let name, rest = split_line (body s) in
+    Exec_prepared (name, List.map parse_value (read_netstrings rest 0 []))
+  | 'x' -> Close
+  | c -> fail "unknown request opcode %C" c
+
+(* ---- replies ---- *)
+
+let encode_reply = function
+  | Hello { server; workers } -> Printf.sprintf "H%s\n%d" server workers
+  | Result { source; rows; ms; body } ->
+    Printf.sprintf "R%s %d %h\n%s" source rows ms body
+  | Err { kind; detail } -> "E" ^ kind ^ "\n" ^ detail
+
+let decode_reply s =
+  if s = "" then fail "empty reply";
+  match s.[0] with
+  | 'H' ->
+    let server, w = split_line (body s) in
+    let workers =
+      match int_of_string_opt w with
+      | Some n -> n
+      | None -> fail "bad hello workers %S" w
+    in
+    Hello { server; workers }
+  | 'R' ->
+    let hdr, rbody = split_line (body s) in
+    (match String.split_on_char ' ' hdr with
+     | [ source; rows; ms ] ->
+       let rows =
+         match int_of_string_opt rows with
+         | Some n -> n
+         | None -> fail "bad result rows %S" rows
+       in
+       let ms =
+         match float_of_string_opt ms with
+         | Some f -> f
+         | None -> fail "bad result ms %S" ms
+       in
+       Result { source; rows; ms; body = rbody }
+     | _ -> fail "bad result header %S" hdr)
+  | 'E' ->
+    let kind, detail = split_line (body s) in
+    Err { kind; detail }
+  | c -> fail "unknown reply opcode %C" c

@@ -1,0 +1,71 @@
+(** The [avq serve] front end: a TCP listener multiplexing many client
+    connections onto one {!Service.Pool}.
+
+    Each connection gets a lightweight session — its own prepared-statement
+    table and [SET]-able limit overrides ({!Service.session_limits}) — while
+    planning and execution share the pool's service, so the plan cache is
+    amortized across every client.
+
+    Admission control is a bounded in-flight statement count: a statement
+    arriving while [max_queue] statements are already queued or running is
+    rejected immediately with a typed [resource-exceeded] error instead of
+    being buffered without bound, and a draining server rejects all new
+    work with [unavailable].  Both rejections are counted in the service's
+    error metrics.
+
+    Shutdown is graceful: {!stop} (or a first SIGTERM under
+    [Lifecycle.Drain_then_abort]) closes the listener, lets in-flight
+    statements finish for up to [drain_grace_ms], then escalates to a
+    lifecycle abort so stragglers unwind through the executor's
+    batch-boundary poll, and finally closes every client socket.  The
+    server borrows the pool — shutting the pool down stays the caller's
+    job. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (tests); see {!port} *)
+  max_connections : int;
+      (** concurrent sessions; further connects get a typed rejection and
+          are closed *)
+  max_queue : int;
+      (** statements admitted (queued + executing) at once across all
+          sessions; the admission-control bound *)
+  drain_grace_ms : float;
+      (** how long {!stop} waits for in-flight statements before
+          escalating to an abort *)
+}
+
+val default_config : config
+(** 127.0.0.1:5499, 64 connections, 32 in-flight statements, 5 s grace. *)
+
+type t
+
+val start : ?config:config -> Service.Pool.t -> t
+(** Bind, listen and spawn the accept loop; connection handlers run on
+    their own threads.  Registers [avq_server_*] metrics on the pool's
+    service registry.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The bound port (useful with [port = 0]). *)
+
+val connections : t -> int
+(** Live sessions right now. *)
+
+val in_flight : t -> int
+(** Statements admitted and not yet replied to. *)
+
+val admitted : t -> int
+
+val rejected : t -> int
+(** Statements refused by admission control (full queue, draining, or the
+    connection cap). *)
+
+val stop : t -> unit
+(** Graceful drain as described above.  Idempotent; blocks until the
+    accept loop has exited and every session socket is closed. *)
+
+val run : t -> unit
+(** Block until a lifecycle drain is requested (signal or
+    [Lifecycle.request_drain]), then {!stop}.  The [avq serve] main
+    loop. *)

@@ -1,0 +1,51 @@
+exception Protocol_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error m -> Some ("Wire.Protocol_error: " ^ m)
+    | _ -> None)
+
+let max_frame = 16 * 1024 * 1024
+
+let write_all fd buf pos len =
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd buf (pos + !sent) (len - !sent)
+  done
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then
+    raise (Protocol_error (Printf.sprintf "frame too large: %d bytes" n));
+  let buf = Bytes.create (4 + n) in
+  Bytes.set_int32_be buf 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 buf 4 n;
+  write_all fd buf 0 (4 + n)
+
+(* [exactly] distinguishes "EOF at a frame boundary" (a clean close, [None])
+   from "EOF inside a frame" (the peer died mid-message, an error). *)
+let read_exactly fd n ~at_boundary =
+  let buf = Bytes.create n in
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < n do
+    match Unix.read fd buf !got (n - !got) with
+    | 0 -> eof := true
+    | k -> got := !got + k
+  done;
+  if !got = n then Some buf
+  else if !got = 0 && at_boundary then None
+  else raise (Protocol_error "peer closed mid-frame")
+
+let read_frame fd =
+  match read_exactly fd 4 ~at_boundary:true with
+  | None -> None
+  | Some hdr ->
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then
+      raise (Protocol_error (Printf.sprintf "bad frame length: %d" len));
+    if len = 0 then Some ""
+    else (
+      match read_exactly fd len ~at_boundary:false with
+      | Some b -> Some (Bytes.unsafe_to_string b)
+      | None -> assert false)

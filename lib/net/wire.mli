@@ -1,0 +1,23 @@
+(** Length-prefixed framing over a file descriptor.
+
+    One frame = a 4-byte big-endian payload length followed by the payload
+    bytes.  Both sides read and write frames only, so message boundaries
+    survive TCP's stream semantics; the length cap bounds what a client
+    can make the server buffer. *)
+
+exception Protocol_error of string
+(** Framing violation: oversized frame, negative length, or a peer that
+    closed mid-frame. *)
+
+val max_frame : int
+(** Hard payload cap (16 MiB). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame, handling partial writes.
+    @raise Protocol_error if the payload exceeds {!max_frame};
+    @raise Unix.Unix_error on a dead peer (EPIPE, ECONNRESET...). *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one frame.  [None] on a clean EOF at a frame boundary.
+    @raise Protocol_error on EOF mid-frame or a bogus length;
+    @raise Unix.Unix_error on socket errors. *)

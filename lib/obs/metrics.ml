@@ -165,10 +165,18 @@ let escape_json s =
     s;
   Buffer.contents buf
 
+(* Round-trippable rendering: %g keeps only 6 significant digits, which
+   silently truncates large cumulative counters and histogram sums in the
+   exports.  Prefer the shortest of %.0f / %.12g that parses back to the
+   exact same float, falling back to %.17g (always exact for finite
+   doubles). *)
 let json_float x =
-  if Float.is_integer x && Float.abs x < 1e15 then
+  if Float.is_nan x then "0"
+  else if Float.is_integer x && Float.abs x < 1e15 then
     Printf.sprintf "%.0f" x
-  else Printf.sprintf "%g" x
+  else
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
 
 let add_labels_json buf labels =
   Buffer.add_string buf "{";

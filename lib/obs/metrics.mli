@@ -77,6 +77,12 @@ val histogram :
   string ->
   Histogram.t
 
+val json_float : float -> string
+(** Number rendering used by both exports: integral values print without a
+    fraction, everything else prints the shortest decimal form that parses
+    back to the exact same float — large cumulative counters and histogram
+    sums never lose precision. *)
+
 val to_json : t -> string
 (** All metrics as one JSON document, sorted by (name, labels). *)
 

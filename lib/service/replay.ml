@@ -127,10 +127,18 @@ let run_one svc sql =
     | p, rel, _io -> Executed (p, Relation.cardinality rel)
     | exception e -> Failed (describe_error e))
 
+(* A lifecycle drain (Ctrl-C / SIGTERM) stops the replay between
+   statements: already-executed lines keep their outcomes, the rest are
+   never started.  In-flight work is stopped by the lifecycle abort flag
+   through the executor's own poll points, not from here. *)
 let replay svc text =
-  List.mapi
-    (fun i sql -> { index = i + 1; sql; outcome = run_one svc sql })
-    (split_statements text)
+  let rec go i acc = function
+    | [] -> List.rev acc
+    | _ :: _ when Lifecycle.draining () -> List.rev acc
+    | sql :: rest ->
+      go (i + 1) ({ index = i; sql; outcome = run_one svc sql } :: acc) rest
+  in
+  go 1 [] (split_statements text)
 
 (* Pool replay: runs of consecutive read-only statements are submitted to
    the pool up front, then awaited in order — the report stays
@@ -169,14 +177,15 @@ let replay_pool pool text =
   in
   List.iter
     (fun sql ->
-      match classify sql with
-      | Update u ->
-        flush ();
-        results := (sql, run_update svc u) :: !results
-      | Plain p ->
-        pending := (sql, `Fut (Service.Pool.submit_sql pool p)) :: !pending
-      | (Directive_metrics _ | Directive_matviews | Explain_analyze _) as c ->
-        pending := (sql, `Sync c) :: !pending)
+      if not (Lifecycle.draining ()) then
+        match classify sql with
+        | Update u ->
+          flush ();
+          results := (sql, run_update svc u) :: !results
+        | Plain p ->
+          pending := (sql, `Fut (Service.Pool.submit_sql pool p)) :: !pending
+        | (Directive_metrics _ | Directive_matviews | Explain_analyze _) as c ->
+          pending := (sql, `Sync c) :: !pending)
     (split_statements text);
   flush ();
   List.mapi

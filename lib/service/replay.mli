@@ -20,6 +20,31 @@
 val split_statements : string -> string list
 (** Strip comment lines and split on [;;]; empty statements are dropped. *)
 
+(** How one statement is routed; shared with the network server so [avq
+    serve] speaks exactly the session statement language. *)
+type classified =
+  | Directive_metrics of [ `Json | `Prometheus ]
+  | Directive_matviews
+  | Explain_analyze of string
+  | Update of string
+      (** INSERT or MATERIALIZED VIEW DDL: mutates shared state, so pool
+          replay treats it as a barrier *)
+  | Plain of string
+
+val classify : string -> classified
+
+val describe_error : exn -> string
+(** One-line rendering of a typed / binder / parser / lexer failure.
+    Re-raises anything it cannot soundly describe. *)
+
+val run_metrics : Service.t -> [ `Json | `Prometheus ] -> string
+
+exception Analysis_failed of exn * string
+(** A failed [EXPLAIN ANALYZE] still carries its partial annotated tree. *)
+
+val run_explain_analyze : Service.t -> string -> string
+(** @raise Analysis_failed with the (partial) rendered tree on failure. *)
+
 type outcome =
   | Executed of Service.planned * int
       (** planned + result row count of a plain statement *)
@@ -32,7 +57,9 @@ type line = { index : int; sql : string; outcome : outcome }
 val replay : Service.t -> string -> line list
 (** Run every statement in order, executing each against the service's
     catalog. Statements that fail to bind or parse are reported in their
-    [outcome] and do not stop the replay. *)
+    [outcome] and do not stop the replay.  A {!Lifecycle} drain stops the
+    replay at the next statement boundary: finished lines keep their
+    outcomes, the rest are never started. *)
 
 val replay_pool : Service.Pool.t -> string -> line list
 (** Like {!replay} but through a worker pool: runs of consecutive read-only

@@ -63,6 +63,8 @@ type t = {
   stmt_io : Metrics.Histogram.t;
 }
 
+let n_err_kinds = 7
+
 let err_slot : Avq_error.t -> int = function
   | Avq_error.Io_fault _ -> 0
   | Avq_error.Corruption _ -> 1
@@ -70,6 +72,7 @@ let err_slot : Avq_error.t -> int = function
   | Avq_error.Timeout _ -> 3
   | Avq_error.Cancelled -> 4
   | Avq_error.Bad_statement _ -> 5
+  | Avq_error.Unavailable _ -> 6
 
 let err_kind_label = function
   | 0 -> "io_fault"
@@ -77,7 +80,8 @@ let err_kind_label = function
   | 2 -> "resource_exceeded"
   | 3 -> "timeout"
   | 4 -> "cancelled"
-  | _ -> "bad_statement"
+  | 5 -> "bad_statement"
+  | _ -> "unavailable"
 
 let record_error t e = Sync.Counter.incr t.errs.(err_slot e)
 
@@ -205,7 +209,7 @@ let create ?(config = default_config) cat =
       stale_hits = Sync.Counter.create ();
       opt_ms_total = Sync.Fsum.create ();
       opt_ms_saved = Sync.Fsum.create ();
-      errs = Array.init 6 (fun _ -> Sync.Counter.create ());
+      errs = Array.init n_err_kinds (fun _ -> Sync.Counter.create ());
       metrics;
       tracer = None;
       statements =
@@ -226,6 +230,28 @@ let create ?(config = default_config) cat =
 
 let catalog t = t.cat
 let config t = t.cfg
+
+(* Core-aware default dop: divide the cores the runtime recommends among
+   the pool workers that will run statements concurrently, never below 1.
+   One worker gets every core for its morsel pipeline; N workers share. *)
+let auto_dop ~workers =
+  let cores = Domain.recommended_domain_count () in
+  max 1 (cores / max 1 workers)
+
+(* Per-session overrides of the service-wide statement knobs ([None] =
+   inherit the config).  Carried per call so one shared service (and one
+   shared plan cache — dop and work_mem are part of the cache key) can
+   serve sessions with different SET values. *)
+type session_limits = {
+  sl_timeout_ms : float option;
+  sl_spill_quota : int option;
+  sl_dop : int option;
+  sl_work_mem : int option;
+}
+
+let no_limits =
+  { sl_timeout_ms = None; sl_spill_quota = None; sl_dop = None;
+    sl_work_mem = None }
 let matviews t = t.mviews
 let metrics t = t.metrics
 let set_tracer t tr = t.tracer <- tr
@@ -295,17 +321,19 @@ let algo_tag = function
   | Optimizer.Greedy_conservative -> "greedy"
   | Optimizer.Paper -> "paper"
 
-let cache_key t stmt =
+let cache_key ?work_mem ?dop t stmt =
   Printf.sprintf "%s/%s/%d/%d" (Fingerprint.to_hex stmt.fp)
-    (algo_tag t.cfg.algorithm) t.cfg.work_mem t.cfg.dop
+    (algo_tag t.cfg.algorithm)
+    (Option.value ~default:t.cfg.work_mem work_mem)
+    (Option.value ~default:t.cfg.dop dop)
 
-let options t =
+let options ?work_mem ?dop t =
   {
     Optimizer.default_options with
     algorithm = t.cfg.algorithm;
-    work_mem = t.cfg.work_mem;
+    work_mem = Option.value ~default:t.cfg.work_mem work_mem;
     paper = t.cfg.paper;
-    dop = t.cfg.dop;
+    dop = Option.value ~default:t.cfg.dop dop;
   }
 
 let params_equal a b = List.for_all2 (fun x y -> Stdlib.compare x y = 0) a b
@@ -316,10 +344,12 @@ let entry_bytes ~key ~template ~plan ~params =
   String.length (Physical.to_string plan)
   + String.length template + String.length key + (24 * List.length params) + 128
 
-let optimize_and_cache t stmt ps query source =
-  let r, decision = Matview.optimize ~options:(options t) t.cat t.mviews query in
+let optimize_and_cache ~work_mem ~dop t stmt ps query source =
+  let r, decision =
+    Matview.optimize ~options:(options ~work_mem ~dop t) t.cat t.mviews query
+  in
   Sync.Fsum.add t.opt_ms_total r.Optimizer.time_ms;
-  let key = cache_key t stmt in
+  let key = cache_key ~work_mem ~dop t stmt in
   if t.cfg.cache_enabled then
     Plan_cache.add t.cache
       {
@@ -339,8 +369,11 @@ let optimize_and_cache t stmt ps query source =
   (r.Optimizer.plan, r.Optimizer.est, source, r.Optimizer.time_ms,
    r.Optimizer.search, decision)
 
-let plan ?params t stmt =
+let plan ?params ?(limits = no_limits) t stmt =
   let t0 = Unix.gettimeofday () in
+  let work_mem = Option.value ~default:t.cfg.work_mem limits.sl_work_mem in
+  let dop = Option.value ~default:t.cfg.dop limits.sl_dop in
+  let optimize_and_cache = optimize_and_cache ~work_mem ~dop in
   let ps = Option.value ~default:stmt.base_params params in
   if List.length ps <> List.length stmt.base_params then
     invalid_arg "Service.plan: wrong number of parameters";
@@ -357,7 +390,7 @@ let plan ?params t stmt =
           optimize_and_cache t stmt ps query Uncached
         else begin
           let epoch = Catalog.epoch t.cat in
-          match Plan_cache.find t.cache (cache_key t stmt) ~epoch with
+          match Plan_cache.find t.cache (cache_key ~work_mem ~dop t stmt) ~epoch with
           | None ->
             Sync.Counter.incr t.misses;
             optimize_and_cache t stmt ps query Miss
@@ -402,9 +435,7 @@ let plan ?params t stmt =
                 optimize_and_cache t stmt ps query Rebind_conflict
               | Some pairs ->
                 let plan' = Plan_rebind.rebind pairs entry.Plan_cache.plan in
-                let est' =
-                  Cost_model.estimate t.cat ~work_mem:t.cfg.work_mem plan'
-                in
+                let est' = Cost_model.estimate t.cat ~work_mem plan' in
                 if
                   est'.Cost_model.cost
                   <= (t.cfg.recost_ratio
@@ -500,7 +531,7 @@ let observe_success t ~ms ~io =
   Metrics.Histogram.observe t.stmt_io
     (float_of_int (io.Buffer_pool.reads + io.Buffer_pool.writes))
 
-let execute_traced tr ctx ?params t stmt =
+let execute_traced tr ctx ?params ?limits t stmt =
   let trace_id = Trace.new_trace tr in
   let root = Trace.start tr ~trace_id "statement" in
   Trace.set_attr root "fingerprint" (Trace.S (Fingerprint.to_hex stmt.fp));
@@ -515,7 +546,7 @@ let execute_traced tr ctx ?params t stmt =
     (Trace.emit tr ~trace_id ~parent:(Trace.id root) ~t0:now
        ~dur_ms:stmt.canon_ms "canonicalize" []);
   match
-    let p = plan ?params t stmt in
+    let p = plan ?params ?limits t stmt in
     ignore
       (Trace.emit tr ~trace_id ~parent:(Trace.id root)
          ~t0:(Unix.gettimeofday () -. (p.plan_ms /. 1000.))
@@ -569,19 +600,37 @@ let execute_traced tr ctx ?params t stmt =
 (* Plan under the shared lock, execute on the caller's own context —
    execution (the expensive part) runs outside any lock, and the IO
    measurement is the delta of the executing domain's tally. *)
-let execute_on ctx ?cancel ?params t stmt =
+let execute_on ctx ?cancel ?params ?(limits = no_limits) t stmt =
+  (* Session overrides take precedence over the service config; a work_mem
+     override gets its own context (a context's budget is fixed at creation
+     and shared with the cost model through the plan). *)
+  let ctx =
+    match limits.sl_work_mem with
+    | Some wm when wm <> Exec_ctx.work_mem ctx ->
+      Exec_ctx.create ~work_mem:wm t.cat
+    | _ -> ctx
+  in
+  let timeout_ms =
+    match limits.sl_timeout_ms with
+    | Some _ as o -> o
+    | None -> t.cfg.statement_timeout_ms
+  in
+  let spill_quota =
+    match limits.sl_spill_quota with
+    | Some _ as o -> o
+    | None -> t.cfg.spill_quota_pages
+  in
   (* The deadline covers planning + execution; limits are (re)armed before
      planning so a statement submitted after its token was cancelled never
      runs at all (the executor's initial check fires). *)
-  Exec_ctx.begin_statement ?timeout_ms:t.cfg.statement_timeout_ms
-    ?spill_quota:t.cfg.spill_quota_pages ?cancel ctx;
+  Exec_ctx.begin_statement ?timeout_ms ?spill_quota ?cancel ctx;
   Metrics.Counter.incr t.statements;
   match
     match t.tracer with
-    | Some tr -> execute_traced tr ctx ?params t stmt
+    | Some tr -> execute_traced tr ctx ?params ~limits t stmt
     | None ->
       let t0 = Unix.gettimeofday () in
-      let p = plan ?params t stmt in
+      let p = plan ?params ~limits t stmt in
       let rel, io =
         Executor.run_measured ~cold:false ~executor:t.cfg.executor ctx p.plan
       in
@@ -651,11 +700,12 @@ type error_stats = {
   timeouts : int;
   cancellations : int;
   bad_statements : int;
+  unavailable : int;
 }
 
 let total_errors e =
   e.io_faults + e.corruptions + e.resource_exceeded + e.timeouts
-  + e.cancellations + e.bad_statements
+  + e.cancellations + e.bad_statements + e.unavailable
 
 type stats = {
   calls : int;
@@ -699,6 +749,7 @@ let stats t =
          timeouts = g 3;
          cancellations = g 4;
          bad_statements = g 5;
+         unavailable = g 6;
        });
   }
 
@@ -713,12 +764,13 @@ let pp_stats fmt s =
      entries: %d (%d bytes), evictions: %d, invalidations: %d@,\
      optimizer ms: %.1f spent, %.1f saved@,\
      errors: %d (%d io-fault, %d corruption, %d resource, %d timeout, \
-     %d cancelled, %d bad-statement)@]"
+     %d cancelled, %d bad-statement, %d unavailable)@]"
     s.calls s.hits s.rebinds (hit_ratio s) s.misses s.recost_fallbacks
     s.rebind_conflicts s.stale_hits s.entries s.cache_bytes s.evictions
     s.invalidations s.opt_ms_total s.opt_ms_saved (total_errors s.errors)
     s.errors.io_faults s.errors.corruptions s.errors.resource_exceeded
     s.errors.timeouts s.errors.cancellations s.errors.bad_statements
+    s.errors.unavailable
 
 let invalidate_all t = Sync.protect t.lock (fun () -> Plan_cache.clear t.cache)
 
@@ -848,8 +900,8 @@ module Pool = struct
   }
 
   type task =
-    | Stmt of stmt * Value.t list option
-    | Sql of string
+    | Stmt of stmt * Value.t list option * session_limits
+    | Sql of string * session_limits
 
   type job = { task : task; fut : future }
 
@@ -870,8 +922,9 @@ module Pool = struct
         Condition.broadcast fut.fc)
 
   let run_task svc ctx cancel = function
-    | Stmt (stmt, params) -> execute_on ctx ~cancel ?params svc stmt
-    | Sql sql ->
+    | Stmt (stmt, params, limits) ->
+      execute_on ctx ~cancel ?params ~limits svc stmt
+    | Sql (sql, limits) ->
       (* Parse/bind failures become typed [Bad_statement] so session batches
          report them structurally and keep going; planner/executor bugs
          (other exceptions) still propagate untyped through the future. *)
@@ -888,7 +941,7 @@ module Pool = struct
         | Lexer.Lex_error (msg, off) ->
           bad (Printf.sprintf "lex at %d: %s" off msg)
       in
-      execute_on ctx ~cancel svc stmt
+      execute_on ctx ~cancel ~limits svc stmt
 
   (* Worker body: one private [Exec_ctx] for the domain's whole lifetime
      (temps are cleaned per run; the context is just the temp registry and
@@ -971,13 +1024,19 @@ module Pool = struct
         Condition.signal t.qc);
     fut
 
-  let submit ?params t stmt = enqueue t (Stmt (stmt, params))
-  let submit_sql t sql = enqueue t (Sql sql)
+  let submit ?params ?(limits = no_limits) t stmt =
+    enqueue t (Stmt (stmt, params, limits))
+
+  let submit_sql ?(limits = no_limits) t sql = enqueue t (Sql (sql, limits))
 
   (* Cooperative: the executing worker observes the token at its next batch
      boundary; a job still queued fails its initial check instead of
      starting.  Either way the worker survives and the future resolves. *)
   let cancel fut = Atomic.set fut.fcancel true
+
+  (* Non-blocking: lets a connection handler interleave "is it done yet?"
+     with watching its client socket for disconnects. *)
+  let peek fut = protect fut.fm (fun () -> fut.result <> None)
 
   let await fut =
     let outcome =

@@ -57,6 +57,29 @@ val create : ?config:config -> Catalog.t -> t
 val catalog : t -> Catalog.t
 val config : t -> config
 
+val auto_dop : workers:int -> int
+(** Core-aware default degree of intra-query parallelism:
+    [Domain.recommended_domain_count ()] divided among [workers] concurrent
+    pool workers, never below 1.  Used when no explicit [--dop] is given. *)
+
+(** {1 Per-session limits}
+
+    One shared service can serve sessions with different [SET] values:
+    every field is an override of the corresponding config knob ([None] =
+    inherit).  [sl_dop] and [sl_work_mem] participate in planning and are
+    part of the plan-cache key, so sessions at different settings never
+    serve each other's plans. *)
+
+type session_limits = {
+  sl_timeout_ms : float option;
+  sl_spill_quota : int option;
+  sl_dop : int option;
+  sl_work_mem : int option;
+}
+
+val no_limits : session_limits
+(** Inherit every config default. *)
+
 (** {1 Statements} *)
 
 type stmt
@@ -106,9 +129,10 @@ type planned = {
           ([From_cache] when the plan was served from the cache) *)
 }
 
-val plan : ?params:Value.t list -> t -> stmt -> planned
+val plan : ?params:Value.t list -> ?limits:session_limits -> t -> stmt -> planned
 (** Produce an executable plan for the statement bound to [params]
-    (default: the literals it was prepared with).
+    (default: the literals it was prepared with).  [limits] may override
+    the session's [dop] and [work_mem] for this call (cache-key aware).
     @raise Invalid_argument if [params] has the wrong arity. *)
 
 val execute :
@@ -117,13 +141,20 @@ val execute :
     (delta of the calling domain's tally — safe under concurrency). *)
 
 val execute_on :
-  Exec_ctx.t -> ?cancel:bool Atomic.t -> ?params:Value.t list -> t -> stmt ->
+  Exec_ctx.t -> ?cancel:bool Atomic.t -> ?params:Value.t list ->
+  ?limits:session_limits -> t -> stmt ->
   planned * Relation.t * Buffer_pool.stats
 (** Like {!execute} but on a caller-supplied context (pool workers reuse
     one private context per domain).  Arms the context's statement limits
-    from the service config; [cancel] is an externally-settable abort token.
-    A failing statement bumps the matching typed-error counter (see
-    {!error_stats}) and re-raises. *)
+    from the service config overridden by [limits] (a [sl_work_mem]
+    override executes on a fresh context at that budget); [cancel] is an
+    externally-settable abort token.  A failing statement bumps the
+    matching typed-error counter (see {!error_stats}) and re-raises. *)
+
+val record_error : t -> Avq_error.t -> unit
+(** Count a typed failure that struck outside {!execute_on} — e.g. the
+    network front end's admission rejections — so {!error_stats} and the
+    [avq_errors_total] family stay the single source of truth. *)
 
 val submit : t -> string -> planned * Relation.t * Buffer_pool.stats
 (** One-shot convenience: {!prepare} then {!execute}, sharing the cache. *)
@@ -170,6 +201,7 @@ type error_stats = {
   timeouts : int;
   cancellations : int;
   bad_statements : int;
+  unavailable : int;
 }
 (** Failed statements by {!Avq_error} kind.  A failed statement still counts
     one [calls] (the failure strikes during execution, after the planning
@@ -255,11 +287,12 @@ module Pool : sig
   val executed : t -> int
   (** Jobs completed (successfully or not) so far. *)
 
-  val submit : ?params:Value.t list -> t -> stmt -> future
-  (** Enqueue a prepared statement (with optional parameter re-binding).
+  val submit : ?params:Value.t list -> ?limits:session_limits -> t -> stmt -> future
+  (** Enqueue a prepared statement (with optional parameter re-binding and
+      per-session limit overrides).
       @raise Invalid_argument after {!shutdown}. *)
 
-  val submit_sql : t -> string -> future
+  val submit_sql : ?limits:session_limits -> t -> string -> future
   (** Enqueue raw SQL; the worker does prepare + plan + execute, so parsing
       and binding also run off the submitting thread.  Parse/bind failures
       resolve the future with a typed [Avq_error.Bad_statement]. *)
@@ -269,6 +302,11 @@ module Pool : sig
       observes the token at its next batch boundary (a queued job fails its
       initial check instead of starting) and resolves the future with
       [Avq_error.Error Cancelled]; the worker itself keeps running. *)
+
+  val peek : future -> bool
+  (** Whether the job has resolved (non-blocking).  Connection handlers
+      interleave this with watching their client socket, so a disconnect
+      mid-statement can {!cancel} the job. *)
 
   val await : future -> planned * Relation.t * Buffer_pool.stats
   (** Block until the job finishes.  Re-raises the worker-side exception

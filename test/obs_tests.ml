@@ -373,10 +373,35 @@ let profiled_io_equals_unprofiled () =
   Alcotest.(check int) "row/batch writes agree under profiling"
     io_r.Buffer_pool.writes io_b.Buffer_pool.writes
 
+(* json_float must round-trip every finite float exactly: %g's 6 significant
+   digits silently corrupted large counters and sums like 0.1 +. 0.2. *)
+let json_float_roundtrip () =
+  let exact =
+    [
+      0.; 1.; -1.; 42.; 1e15 -. 1.; 1e15 +. 4.; 4503599627370497.;
+      0.1; 0.1 +. 0.2; 1. /. 3.; -1.5e-300; 1.7976931348623157e308;
+      123456789.123456789; 2718281828459045.7;
+    ]
+  in
+  List.iter
+    (fun x ->
+      let s = Metrics.json_float x in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "%h round-trips via %S" x s)
+        x (float_of_string s))
+    exact;
+  (* integral values keep the compact no-fraction form *)
+  Alcotest.(check string) "integral compact" "42" (Metrics.json_float 42.);
+  Alcotest.(check string) "large integral compact" "999999999999999"
+    (Metrics.json_float 999_999_999_999_999.);
+  Alcotest.(check string) "nan sanitized for JSON" "0" (Metrics.json_float Float.nan)
+
 let tests =
   [
     Alcotest.test_case "counter + histogram primitives" `Quick
       metrics_counter_histogram;
+    Alcotest.test_case "json_float round-trips exactly" `Quick
+      json_float_roundtrip;
     Alcotest.test_case "counter across domains" `Quick metrics_counter_domains;
     Alcotest.test_case "registry JSON + Prometheus exports" `Quick
       registry_exports;

@@ -28,4 +28,5 @@ let () =
       ("pool", Pool_tests.tests);
       ("fault", Fault_tests.tests);
       ("obs", Obs_tests.tests);
+      ("net", Net_tests.tests);
     ]
