@@ -1,0 +1,148 @@
+(* E21 — durability overhead and recovery time (extension).
+
+   Part 1: the write path.  The same INSERT sequence (with one maintained
+   materialized view absorbing every statement) runs with no WAL, with
+   [Fsync_always], with group commit, and with [Fsync_never]; the spread is
+   the price of each durability level on top of the in-memory write.
+
+   Part 2: recovery.  A data directory is populated with a growing number
+   of committed inserts past its last checkpoint; [Recovery.recover] is
+   timed against each, showing recovery cost scaling with the WAL tail (and
+   the checkpoint putting a floor under it). *)
+
+let n_inserts = 300
+
+let mv_sql =
+  "SELECT e.dno AS dno, COUNT(*) AS c, SUM(e.sal) AS s FROM emp e GROUP BY \
+   e.dno"
+
+let load () =
+  Emp_dept.load
+    ~params:{ Emp_dept.default_params with Emp_dept.emps = 2000; seed = 3 }
+    ()
+
+let fresh_dir tag =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "avq_e21_%s_%d" tag (Unix.getpid ()))
+  in
+  if Sys.file_exists d then
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+  d
+
+let insert_sql i =
+  Printf.sprintf "INSERT INTO emp VALUES (%d, %d, %d, %d)" (900000 + i)
+    (i mod 8)
+    (1000 + (i mod 5000))
+    (20 + (i mod 40))
+
+let run_inserts svc =
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n_inserts do
+    ignore (Service.exec_statement svc (insert_sql i))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1000.
+
+let durable_service ~tag ~fsync_mode =
+  let dir = fresh_dir tag in
+  let cat, mviews, writer, _ =
+    Recovery.recover ~data_dir:dir ~fsync_mode ~meta:"e21" ~seed:load ()
+  in
+  let svc = Service.create ~mviews cat in
+  Service.attach_wal svc ~data_dir:dir writer;
+  (svc, dir)
+
+let bench_mode ~name ~fsync_label svc =
+  ignore (Service.exec_statement svc ("CREATE MATERIALIZED VIEW by_dept AS " ^ mv_sql));
+  let wall_ms = run_inserts svc in
+  let per_insert = wall_ms /. float_of_int n_inserts in
+  let fsyncs, bytes =
+    match Service.wal svc with
+    | Some w ->
+      let s = Wal.stats w in
+      (s.Wal.fsyncs, s.Wal.bytes)
+    | None -> (0, 0)
+  in
+  Printf.printf "  %-12s %6.1f ms total  %6.3f ms/insert  %5d fsyncs\n%!"
+    fsync_label wall_ms per_insert fsyncs;
+  Bench_util.Json.record ~name
+    ~config:[ ("fsync", fsync_label); ("inserts", string_of_int n_inserts) ]
+    ~extra:
+      [
+        ("per_insert_ms", per_insert);
+        ("fsyncs", float_of_int fsyncs);
+        ("wal_bytes", float_of_int bytes);
+      ]
+    ~io:0 ~wall_ms
+    ~rows_per_sec:(float_of_int n_inserts /. (wall_ms /. 1000.))
+    ();
+  wall_ms
+
+let part1 () =
+  Printf.printf "E21: WAL overhead on the insert path (%d inserts, 1 \
+                 maintained view)\n%!" n_inserts;
+  let base = bench_mode ~name:"E21.insert.nowal" ~fsync_label:"no-wal"
+      (Service.create (load ()))
+  in
+  let always, _ =
+    let svc, dir = durable_service ~tag:"always" ~fsync_mode:Wal.Fsync_always in
+    (bench_mode ~name:"E21.insert.always" ~fsync_label:"always" svc, dir)
+  in
+  let _group =
+    let svc, _ = durable_service ~tag:"group" ~fsync_mode:(Wal.Fsync_group 5.) in
+    bench_mode ~name:"E21.insert.group5ms" ~fsync_label:"group-5ms" svc
+  in
+  let _never =
+    let svc, _ = durable_service ~tag:"never" ~fsync_mode:Wal.Fsync_never in
+    bench_mode ~name:"E21.insert.never" ~fsync_label:"never" svc
+  in
+  Printf.printf "  fsync-always overhead over no-wal: %.2fx\n%!"
+    (always /. base)
+
+let part2 () =
+  Printf.printf "E21: recovery time vs WAL tail since last checkpoint\n%!";
+  List.iter
+    (fun tail ->
+      let dir = fresh_dir (Printf.sprintf "rec%d" tail) in
+      let cat, mviews, writer, _ =
+        Recovery.recover ~data_dir:dir ~fsync_mode:Wal.Fsync_never ~meta:"e21"
+          ~seed:load ()
+      in
+      let svc = Service.create ~mviews cat in
+      Service.attach_wal svc ~data_dir:dir writer;
+      ignore
+        (Service.exec_statement svc
+           ("CREATE MATERIALIZED VIEW by_dept AS " ^ mv_sql));
+      ignore (Service.checkpoint svc);
+      for i = 1 to tail do
+        ignore (Service.exec_statement svc (insert_sql i))
+      done;
+      (match Service.wal svc with Some w -> Wal.flush w | None -> ());
+      let _, _, w2, st =
+        Recovery.recover ~data_dir:dir ~meta:"e21" ~seed:load ()
+      in
+      Wal.close w2;
+      Printf.printf
+        "  tail %4d inserts: recovered in %6.1f ms (%d replayed, %d bytes \
+         scanned)\n%!"
+        tail st.Recovery.duration_ms st.Recovery.replayed st.Recovery.wal_bytes;
+      Bench_util.Json.record
+        ~name:(Printf.sprintf "E21.recover.tail%d" tail)
+        ~config:[ ("wal_tail_inserts", string_of_int tail) ]
+        ~extra:
+          [
+            ("replayed", float_of_int st.Recovery.replayed);
+            ("wal_bytes", float_of_int st.Recovery.wal_bytes);
+          ]
+        ~io:0 ~wall_ms:st.Recovery.duration_ms
+        ~rows_per_sec:
+          (if st.Recovery.duration_ms > 0. then
+             float_of_int tail /. (st.Recovery.duration_ms /. 1000.)
+           else 0.)
+        ())
+    [ 0; 100; 400; 1600 ]
+
+let run () =
+  part1 ();
+  part2 ()

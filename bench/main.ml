@@ -27,6 +27,7 @@ let experiments =
     ("E18", E18_matview.run);
     ("E19", E19_parallel.run);
     ("E20", E20_serve.run);
+    ("E21", E21_wal.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's

@@ -84,6 +84,11 @@ let sql_arg =
     & pos 0 (some string) None
     & info [] ~docv:"SQL" ~doc:"SQL text; omit to read from stdin.")
 
+let db_name = function
+  | `Empdept -> "empdept"
+  | `Tpcd -> "tpcd"
+  | `Star -> "star"
+
 let load_db db scale seed =
   match db with
   | `Empdept ->
@@ -559,9 +564,49 @@ let serve_cmd =
       & info [ "slow-ms" ] ~docv:"MS"
           ~doc:"Report statements taking at least $(docv) ms to stderr.")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durability: keep a write-ahead log and checkpoints under \
+             $(docv).  On startup the directory is recovered (last \
+             checkpoint + committed WAL tail); on SIGTERM the drained state \
+             is checkpointed before exit.  The directory is pinned to its \
+             first $(b,--db)/$(b,--scale)/$(b,--seed) identity.")
+  in
+  let wal_fsync =
+    Arg.(
+      value
+      & opt (enum [ ("always", `Always); ("group", `Group); ("never", `Never) ])
+          `Always
+      & info [ "wal-fsync" ] ~docv:"MODE"
+          ~doc:
+            "WAL durability mode: $(b,always) fsyncs every commit, \
+             $(b,group) fsyncs at most once per $(b,--wal-group-ms) window, \
+             $(b,never) leaves flushing to the OS (crash may lose recent \
+             commits, never consistency).")
+  in
+  let wal_group_ms =
+    Arg.(
+      value
+      & opt float 5.
+      & info [ "wal-group-ms" ] ~docv:"MS"
+          ~doc:"Group-commit window for $(b,--wal-fsync group).")
+  in
+  let checkpoint_bytes =
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "checkpoint-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Checkpoint and truncate the WAL once it reaches $(docv) bytes \
+             (0 disables size-triggered checkpoints).")
+  in
   let run algo db scale seed work_mem dop host port workers max_connections
       max_queue drain_grace_ms timeout_ms spill_quota metrics_out trace_out
-      slow_ms =
+      slow_ms data_dir wal_fsync wal_group_ms checkpoint_bytes =
     if workers < 1 then begin
       Format.eprintf "avq serve: --workers must be >= 1@.";
       exit 1
@@ -570,8 +615,86 @@ let serve_cmd =
       Format.eprintf "avq serve: --max-queue and --max-connections must be >= 1@.";
       exit 1
     end;
+    if wal_group_ms <= 0. then begin
+      Format.eprintf "avq serve: --wal-group-ms must be > 0@.";
+      exit 1
+    end;
+    if checkpoint_bytes < 0 then begin
+      Format.eprintf "avq serve: --checkpoint-bytes must be >= 0@.";
+      exit 1
+    end;
     let dop = resolve_dop ~workers dop in
-    let cat = load_db db scale seed in
+    let tracer =
+      match (trace_out, slow_ms) with
+      | None, None -> None
+      | Some path, _ -> Some (Trace.create_file ?slow_ms path)
+      | None, Some _ -> Some (Trace.create ?slow_ms ())
+    in
+    (* With a data dir, the catalog + matview registry come from recovery
+       (checkpoint + committed WAL tail) rather than a fresh load; without
+       one the server is in-memory-only, exactly as before. *)
+    let recovered =
+      match data_dir with
+      | None -> None
+      | Some dir ->
+        let fsync_mode =
+          match wal_fsync with
+          | `Always -> Wal.Fsync_always
+          | `Group -> Wal.Fsync_group wal_group_ms
+          | `Never -> Wal.Fsync_never
+        in
+        let meta =
+          Printf.sprintf "db=%s;scale=%d;seed=%d" (db_name db) scale seed
+        in
+        let span =
+          Option.map
+            (fun tr -> Trace.start tr ~trace_id:(Trace.new_trace tr) "recovery")
+            tracer
+        in
+        let result =
+          match
+            Recovery.recover ~data_dir:dir ~fsync_mode ~meta
+              ~seed:(fun () -> load_db db scale seed)
+              ()
+          with
+          | r -> r
+          | exception Recovery.Error msg ->
+            Format.eprintf "avq serve: %s@." msg;
+            exit 1
+          | exception Checkpoint.Corrupt msg ->
+            Format.eprintf "avq serve: corrupt checkpoint in %s: %s@." dir msg;
+            exit 1
+        in
+        let _, _, _, r = result in
+        Option.iter
+          (fun sp ->
+            Trace.set_attr sp "checkpoint_loaded"
+              (Trace.B r.Recovery.checkpoint_loaded);
+            Trace.set_attr sp "tables_restored" (Trace.I r.Recovery.tables_restored);
+            Trace.set_attr sp "matviews_restored"
+              (Trace.I r.Recovery.matviews_restored);
+            Trace.set_attr sp "replayed" (Trace.I r.Recovery.replayed);
+            Trace.set_attr sp "skipped" (Trace.I r.Recovery.skipped);
+            Trace.set_attr sp "torn_tail" (Trace.B r.Recovery.torn);
+            ignore (Trace.finish sp))
+          span;
+        Format.printf
+          "avq serve: recovered %s — %s, %d tables, %d matviews, %d WAL \
+           records replayed (%d skipped%s) in %.1f ms@."
+          dir
+          (if r.Recovery.checkpoint_loaded then "checkpoint loaded"
+           else "no checkpoint (seeded)")
+          r.Recovery.tables_restored r.Recovery.matviews_restored
+          r.Recovery.replayed r.Recovery.skipped
+          (if r.Recovery.torn then ", torn tail cut" else "")
+          r.Recovery.duration_ms;
+        Some (dir, result)
+    in
+    let cat, mviews =
+      match recovered with
+      | Some (_, (cat, mviews, _, _)) -> (cat, Some mviews)
+      | None -> (load_db db scale seed, None)
+    in
     let config =
       {
         Service.default_config with
@@ -582,13 +705,14 @@ let serve_cmd =
         dop;
       }
     in
-    let svc = Service.create ~config cat in
-    let tracer =
-      match (trace_out, slow_ms) with
-      | None, None -> None
-      | Some path, _ -> Some (Trace.create_file ?slow_ms path)
-      | None, Some _ -> Some (Trace.create ?slow_ms ())
-    in
+    let svc = Service.create ~config ?mviews cat in
+    Option.iter
+      (fun (dir, (_, _, writer, rstats)) ->
+        Service.attach_wal svc ~data_dir:dir
+          ?checkpoint_bytes:
+            (if checkpoint_bytes = 0 then None else Some checkpoint_bytes)
+          ~recovery:rstats writer)
+      recovered;
     Service.set_tracer svc tracer;
     (* first SIGTERM/SIGINT drains (finish in-flight, stop admitting), a
        second one aborts in-flight statements too *)
@@ -608,6 +732,15 @@ let serve_cmd =
     Option.iter
       (fun tr -> Lifecycle.at_shutdown (fun () -> Trace.close tr))
       tracer;
+    (* Hooks run LIFO: the drain checkpoint fires first, so the flushed
+       metrics above still count it. *)
+    if recovered <> None then
+      Lifecycle.at_shutdown (fun () ->
+          match Service.checkpoint svc with
+          | tag -> Format.printf "avq serve: shutdown %s@." tag
+          | exception e ->
+            Format.eprintf "avq serve: shutdown checkpoint failed: %s@."
+              (Printexc.to_string e));
     let server_config =
       { Server.host; port; max_connections; max_queue; drain_grace_ms }
     in
@@ -637,7 +770,49 @@ let serve_cmd =
       const run $ algo $ db $ scale $ seed $ work_mem $ dop_auto $ host
       $ port ~default:5499 $ workers $ max_connections $ max_queue
       $ drain_grace_ms $ timeout_ms $ spill_quota $ metrics_out $ trace_out
-      $ slow_ms)
+      $ slow_ms $ data_dir $ wal_fsync $ wal_group_ms $ checkpoint_bytes)
+
+let query_cmd =
+  let sql =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SQL"
+          ~doc:
+            "One session statement: SELECT, INSERT, matview DDL, \
+             $(b,\\\\metrics), $(b,\\\\dm), $(b,\\\\checkpoint).")
+  in
+  let run host port sql =
+    match Client.connect ~host ~port () with
+    | exception Wire.Protocol_error msg ->
+      Format.eprintf "avq query: server refused: %s@." msg;
+      exit 1
+    | exception Unix.Unix_error (e, _, _) ->
+      Format.eprintf "avq query: cannot connect to %s:%d: %s@." host port
+        (Unix.error_message e);
+      exit 1
+    | c -> (
+      match Client.query c sql with
+      | Protocol.Result { body; _ } ->
+        print_string body;
+        if body <> "" && body.[String.length body - 1] <> '\n' then
+          print_newline ();
+        Client.close c
+      | Protocol.Err { kind; detail } ->
+        Format.eprintf "avq query: [%s] %s@." kind detail;
+        Client.close c;
+        exit 1
+      | Protocol.Hello _ ->
+        Format.eprintf "avq query: protocol error: unexpected Hello reply@.";
+        Client.close c;
+        exit 1)
+  in
+  let doc =
+    "Send one statement to a running $(b,avq serve) and print the reply \
+     body (exit 1 on a typed error)."
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ host $ port ~default:5499 $ sql)
 
 let loadgen_cmd =
   let connections =
@@ -722,6 +897,7 @@ let main =
       repl_cmd;
       session_cmd;
       serve_cmd;
+      query_cmd;
       loadgen_cmd;
     ]
 

@@ -113,6 +113,53 @@ let add_table t ~name ~columns ~pk ?(index = []) ?cluster rows =
   bump_epoch t;
   tbl
 
+(* Restore a table from a durable checkpoint.  Rows arrive full-width (any
+   hidden [_rid] values included) and in exact stored heap order — a
+   pre-crash heap is a sorted initial load plus an unsorted appended tail,
+   so re-sorting by the clustered column here would break byte-identical
+   recovery.  No key synthesis, no sort: append verbatim. *)
+let restore_table t ~name ~columns ~pk ?(index = []) ?cluster rows =
+  if find_table t name <> None then
+    invalid_arg (Printf.sprintf "Catalog.restore_table: duplicate table %s" name);
+  if rows = [] then
+    invalid_arg (Printf.sprintf "Catalog.restore_table %s: no rows" name);
+  let schema =
+    Schema.of_columns
+      (List.map (fun (cname, ty) -> Schema.column ~qual:name cname ty) columns)
+  in
+  let clustered =
+    match cluster, pk with
+    | Some c, _ -> Some c
+    | None, c :: _ -> Some c
+    | None, [] -> None
+  in
+  let heap = Storage.create_heap t.storage schema in
+  Heap_file.append_all heap rows;
+  let tstats = Stats.analyze schema rows in
+  let to_index =
+    let pk_head = match pk with [] -> [] | c :: _ -> [ c ] in
+    let clustered_col = match clustered with None -> [] | Some c -> [ c ] in
+    List.sort_uniq String.compare (pk_head @ clustered_col @ index)
+  in
+  let indexes =
+    List.map
+      (fun cname ->
+        let col = Schema.find_exn schema cname in
+        (cname, Storage.build_index t.storage heap ~column:col))
+      to_index
+  in
+  let tbl =
+    { tname = name; tschema = schema; primary_key = pk; heap; indexes; tstats;
+      clustered }
+  in
+  t.table_list <- t.table_list @ [ tbl ];
+  bump_epoch t;
+  tbl
+
+let set_table_version t name v = Hashtbl.replace t.versions name v
+
+let restore_foreign_key t fk = t.fks <- t.fks @ [ fk ]
+
 let replace_table t tbl' =
   t.table_list <-
     List.map

@@ -97,6 +97,28 @@ val replace_rows : t -> string -> Tuple.t list -> table
     and the epoch.
     @raise Invalid_argument on an unknown table or empty [rows]. *)
 
+val restore_table :
+  t ->
+  name:string ->
+  columns:(string * Datatype.t) list ->
+  pk:string list ->
+  ?index:string list ->
+  ?cluster:string ->
+  Tuple.t list ->
+  table
+(** Rebuild a table from a durable checkpoint.  Unlike {!add_table}, rows
+    arrive full-width (hidden [_rid] values included) and are appended in
+    the given order — the checkpoint preserves the exact pre-crash heap
+    order, and re-sorting would break byte-identical recovery.  Indexes are
+    rebuilt, statistics re-analyzed, epoch bumped. *)
+
+val set_table_version : t -> string -> int -> unit
+(** Restore a table's write version from a checkpoint (recovery only). *)
+
+val restore_foreign_key : t -> foreign_key -> unit
+(** Re-register a foreign key from a checkpoint without re-validating
+    (recovery only; the key was validated when first declared). *)
+
 val add_foreign_key :
   t -> from:string * string -> refs:string * string -> unit
 (** Declare [from] (table, column) referencing [refs] (table, PK column).

@@ -165,6 +165,27 @@ let create_view ?(options = Optimizer.default_options) cat t ~name ~sql def =
   t.reg_views <- t.reg_views @ [ mv ];
   mv
 
+(* Recovery: re-register a view whose backing table was already restored
+   from a checkpoint.  The definition is re-derived from the stored SQL
+   (parse + bind, done by the caller) instead of being serialized; keys and
+   partials are recomputed exactly as [create_view] plans them, so extent
+   column names line up with the restored backing table.  The extent itself
+   is NOT recomputed. *)
+let restore cat t ~name ~sql ~maintain ~versions def =
+  if find t name <> None then err "materialized view %s already exists" name;
+  let backing = backing_prefix ^ name in
+  if Catalog.find_table cat backing = None then
+    err "materialized view %s: backing table %s was not restored" name backing;
+  let keys = List.mapi (fun i c -> (c, Printf.sprintf "k%d" i)) def.Block.v_keys in
+  let partials = plan_partials def.Block.v_aggs in
+  let mv =
+    { mv_name = name; mv_sql = sql; mv_def = def; mv_backing = backing;
+      mv_keys = keys; mv_partials = partials; mv_versions = versions;
+      mv_maintain = maintain }
+  in
+  t.reg_views <- t.reg_views @ [ mv ];
+  mv
+
 let drop cat t name =
   let mv = find_exn t name in
   Catalog.drop_table cat mv.mv_backing;

@@ -68,6 +68,20 @@ val create_view :
     (primary key = grouping columns).  @raise Error on a duplicate name or
     when the defining query selects no rows. *)
 
+val restore :
+  Catalog.t ->
+  t ->
+  name:string ->
+  sql:string ->
+  maintain:bool ->
+  versions:(string * int) list ->
+  Block.view ->
+  view
+(** Re-register a view from a durable checkpoint without recomputing its
+    extent.  The backing table [__mv_<name>] must already be restored; the
+    bound definition is re-derived by the caller from the stored SQL.
+    @raise Error on a duplicate name or a missing backing table. *)
+
 val drop : Catalog.t -> t -> string -> unit
 (** Drop the extent table and forget the view.  @raise Error if unknown. *)
 

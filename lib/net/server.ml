@@ -73,8 +73,31 @@ let shutdown_session sess =
 
 (* ---- replies ---- *)
 
-let send sess reply =
-  Wire.write_frame sess.fd (Protocol.encode_reply reply)
+(* A reply larger than the wire's frame cap must not fail opaquely (the old
+   behavior: [write_frame] raised, the handler tore the connection down).
+   [write_frame] checks the size before writing any bytes, so the stream is
+   still in frame-sync — replace the oversized reply with a typed
+   [resource-exceeded] error, counted in [avq_errors_total]. *)
+let send t sess reply =
+  let payload = Protocol.encode_reply reply in
+  if String.length payload > Wire.max_frame then begin
+    let e =
+      Avq_error.Resource_exceeded
+        { resource = "reply-frame"; limit = Wire.max_frame;
+          used = String.length payload }
+    in
+    Service.record_error t.svc e;
+    Wire.write_frame sess.fd
+      (Protocol.encode_reply
+         (Protocol.Err
+            { kind = Avq_error.kind_label e;
+              detail =
+                Printf.sprintf
+                  "reply of %d bytes exceeds the %d-byte frame cap; narrow \
+                   the result (LIMIT, fewer columns) and retry"
+                  (String.length payload) Wire.max_frame }))
+  end
+  else Wire.write_frame sess.fd payload
 
 let tag_reply ?(source = "tag") ~ms body =
   Protocol.Result { source; rows = 0; ms; body }
@@ -211,6 +234,10 @@ let exec_query t sess sql =
             | Protocol.Err { kind; detail } ->
               Protocol.Err { kind; detail = detail ^ "\n" ^ partial }
             | r -> r))
+  | Replay.Directive_checkpoint ->
+    run_admitted t (fun () ->
+        let tag = Service.checkpoint t.svc in
+        fun ms -> tag_reply ~ms tag)
   | Replay.Update stmt ->
     run_admitted t (fun () ->
         let tag = Service.exec_statement t.svc stmt in
@@ -238,32 +265,32 @@ let exec_prepared t sess name params =
 let handle_request t sess req =
   match req with
   | Protocol.Close ->
-    send sess (tag_reply ~ms:0. "BYE");
+    send t sess (tag_reply ~ms:0. "BYE");
     false
   | Protocol.Set (name, value) ->
     (try
        sess.limits <- set_limit sess.limits name value;
-       send sess (tag_reply ~ms:0. "SET")
-     with e -> send sess (error_reply e));
+       send t sess (tag_reply ~ms:0. "SET")
+     with e -> send t sess (error_reply e));
     true
   | Protocol.Prepare (name, sql) ->
     (try
        let stmt = Service.prepare t.svc sql in
        Hashtbl.replace sess.prepared name stmt;
-       send sess (tag_reply ~ms:0. "PREPARE")
-     with e -> send sess (error_reply e));
+       send t sess (tag_reply ~ms:0. "PREPARE")
+     with e -> send t sess (error_reply e));
     true
   | Protocol.Exec_prepared (name, params) ->
-    send sess (exec_prepared t sess name params);
+    send t sess (exec_prepared t sess name params);
     true
   | Protocol.Query sql ->
-    send sess (exec_query t sess sql);
+    send t sess (exec_query t sess sql);
     true
 
 let handler t sess =
   let continue = ref true in
   (try
-     send sess
+     send t sess
        (Protocol.Hello { server = "avq"; workers = Service.Pool.workers t.pool });
      while !continue do
        match Wire.read_frame sess.fd with
@@ -272,7 +299,7 @@ let handler t sess =
          match Protocol.decode_request payload with
          | req -> continue := handle_request t sess req
          | exception Protocol.Protocol_error m ->
-           send sess (Protocol.Err { kind = "protocol"; detail = m }))
+           send t sess (Protocol.Err { kind = "protocol"; detail = m }))
      done
    with
   | Disconnected | Wire.Protocol_error _ | Unix.Unix_error _ | Sys_error _ -> ());

@@ -50,6 +50,7 @@ let describe_error = function
 type classified =
   | Directive_metrics of [ `Json | `Prometheus ]
   | Directive_matviews
+  | Directive_checkpoint
   | Explain_analyze of string
   | Update of string
       (** INSERT or MATERIALIZED VIEW DDL: mutates shared state, so pool
@@ -76,6 +77,7 @@ let classify sql =
   | "\\metrics" | "\\metrics json" -> Directive_metrics `Json
   | "\\metrics prom" | "\\metrics prometheus" -> Directive_metrics `Prometheus
   | "\\dm" -> Directive_matviews
+  | "\\checkpoint" -> Directive_checkpoint
   | _ ->
     if
       has_prefix "insert" || has_prefix "create materialized"
@@ -115,6 +117,7 @@ let run_one svc sql =
   match classify sql with
   | Directive_metrics kind -> Rendered (run_metrics svc kind)
   | Directive_matviews -> Rendered (Service.render_matviews svc)
+  | Directive_checkpoint -> Rendered (Service.checkpoint svc)
   | Explain_analyze rest -> (
     match run_explain_analyze svc rest with
     | body -> Rendered body
@@ -167,7 +170,7 @@ let replay_pool pool text =
       | exception Analysis_failed (e, body) ->
         Failed (describe_error e ^ "\n" ^ body)
       | exception e -> Failed (describe_error e))
-    | `Sync (Plain _ | Update _) -> assert false
+    | `Sync (Plain _ | Update _ | Directive_checkpoint) -> assert false
   in
   let flush () =
     List.iter
@@ -182,6 +185,11 @@ let replay_pool pool text =
         | Update u ->
           flush ();
           results := (sql, run_update svc u) :: !results
+        (* A checkpoint snapshots the catalog and truncates the WAL — run it
+           as a barrier too, with no statement in flight. *)
+        | Directive_checkpoint ->
+          flush ();
+          results := (sql, Rendered (Service.checkpoint svc)) :: !results
         | Plain p ->
           pending := (sql, `Fut (Service.Pool.submit_sql pool p)) :: !pending
         | (Directive_metrics _ | Directive_matviews | Explain_analyze _) as c ->

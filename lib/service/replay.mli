@@ -25,6 +25,9 @@ val split_statements : string -> string list
 type classified =
   | Directive_metrics of [ `Json | `Prometheus ]
   | Directive_matviews
+  | Directive_checkpoint
+      (** [\checkpoint]: snapshot catalog + matviews to the data directory
+          and truncate the WAL; a barrier in pool replay *)
   | Explain_analyze of string
   | Update of string
       (** INSERT or MATERIALIZED VIEW DDL: mutates shared state, so pool

@@ -61,6 +61,15 @@ type t = {
   statements : Metrics.Counter.t;
   stmt_ms : Metrics.Histogram.t;
   stmt_io : Metrics.Histogram.t;
+  (* Durability: when a WAL is attached every mutating statement appends its
+     record (and fsyncs per the writer's mode) BEFORE touching the catalog,
+     and seals it with a commit record after — so recovery replays exactly
+     the acknowledged statements.  All WAL state is guarded by [lock], like
+     the catalog it journals. *)
+  mutable wal : Wal.writer option;
+  mutable wal_dir : string option;
+  mutable wal_checkpoint_bytes : int option;
+  mutable checkpoints_done : int;
 }
 
 let n_err_kinds = 7
@@ -187,7 +196,7 @@ let register_metrics t =
       | Some tr -> float_of_int (Trace.spans_emitted tr)
       | None -> 0.)
 
-let create ?(config = default_config) cat =
+let create ?(config = default_config) ?mviews cat =
   if config.recost_ratio < 1.0 then
     invalid_arg "Service.create: recost_ratio < 1.0";
   let metrics = Metrics.create () in
@@ -198,7 +207,7 @@ let create ?(config = default_config) cat =
       cache =
         Plan_cache.create ~max_entries:config.max_entries
           ~max_bytes:config.max_bytes ();
-      mviews = Matview.create ();
+      mviews = (match mviews with Some m -> m | None -> Matview.create ());
       lock = Sync.create ();
       calls = Sync.Counter.create ();
       hits = Sync.Counter.create ();
@@ -223,10 +232,96 @@ let create ?(config = default_config) cat =
         Metrics.histogram metrics "avq_statement_io_pages"
           ~help:"Page IO (reads + writes) per successful statement"
           ~buckets:Metrics.Histogram.io_pages_buckets;
+      wal = None;
+      wal_dir = None;
+      wal_checkpoint_bytes = None;
+      checkpoints_done = 0;
     }
   in
   register_metrics t;
   t
+
+(* ---- durability ---- *)
+
+let register_wal_metrics t w recovery =
+  let m = t.metrics in
+  let ws f = fun () -> float_of_int (f (Wal.stats w)) in
+  Metrics.fn_counter m "avq_wal_records_total"
+    ~help:"WAL records appended since attach" (ws (fun s -> s.Wal.records));
+  Metrics.fn_counter m "avq_wal_commits_total"
+    ~help:"Commit records appended (statements acknowledged durable)"
+    (ws (fun s -> s.Wal.commits));
+  Metrics.fn_counter m "avq_wal_fsyncs_total"
+    ~help:"fsync calls issued by the WAL writer" (ws (fun s -> s.Wal.fsyncs));
+  Metrics.fn_counter m "avq_wal_group_deferred_total"
+    ~help:"Commits whose fsync was deferred to a group window"
+    (ws (fun s -> s.Wal.deferred));
+  Metrics.fn_counter m "avq_wal_truncations_total"
+    ~help:"Post-checkpoint WAL truncations" (ws (fun s -> s.Wal.truncations));
+  Metrics.gauge m "avq_wal_bytes" ~help:"Current WAL size on disk"
+    (ws (fun s -> s.Wal.bytes));
+  Metrics.fn_counter m "avq_checkpoints_total"
+    ~help:"Checkpoints written (size-triggered, \\checkpoint, or drain)"
+    (fun () -> float_of_int t.checkpoints_done);
+  match recovery with
+  | None -> ()
+  | Some (r : Recovery.stats) ->
+    let g name help v = Metrics.gauge m name ~help (fun () -> v) in
+    g "avq_recovery_replayed" "Committed WAL records replayed at startup"
+      (float_of_int r.Recovery.replayed);
+    g "avq_recovery_skipped"
+      "WAL records skipped at startup (checkpointed or uncommitted)"
+      (float_of_int r.Recovery.skipped);
+    g "avq_recovery_torn_tail" "1 if the WAL ended in a torn record"
+      (if r.Recovery.torn then 1. else 0.);
+    g "avq_recovery_tables_restored" "Tables restored from the checkpoint"
+      (float_of_int r.Recovery.tables_restored);
+    g "avq_recovery_matviews_restored"
+      "Materialized views restored from the checkpoint"
+      (float_of_int r.Recovery.matviews_restored);
+    g "avq_recovery_duration_ms" "Startup recovery wall time"
+      r.Recovery.duration_ms
+
+let attach_wal t ~data_dir ?checkpoint_bytes ?recovery writer =
+  t.wal <- Some writer;
+  t.wal_dir <- Some data_dir;
+  t.wal_checkpoint_bytes <- checkpoint_bytes;
+  register_wal_metrics t writer recovery
+
+let wal t = t.wal
+
+let checkpoint_locked t =
+  match t.wal, t.wal_dir with
+  | Some w, Some dir ->
+    ignore (Wal.append w Wal.Checkpoint_begin);
+    Wal.flush w;
+    let last = Wal.last_lsn w in
+    let bytes = Checkpoint.write ~dir ~last_lsn:last t.cat t.mviews in
+    ignore (Wal.append w (Wal.Checkpoint_end { ckpt_lsn = last }));
+    Wal.truncate w;
+    t.checkpoints_done <- t.checkpoints_done + 1;
+    Printf.sprintf "CHECKPOINT (%d bytes, through lsn %Ld)" bytes last
+  | _ -> "CHECKPOINT skipped: no data directory attached"
+
+let checkpoint t = Sync.protect t.lock (fun () -> checkpoint_locked t)
+
+(* Size-triggered checkpointing, checked after each committed mutation
+   (lock already held). *)
+let maybe_checkpoint_locked t =
+  match t.wal, t.wal_checkpoint_bytes with
+  | Some w, Some limit when Wal.size w >= limit ->
+    ignore (checkpoint_locked t)
+  | _ -> ()
+
+let wal_append_locked t record =
+  match t.wal with Some w -> Some (Wal.append w record) | None -> None
+
+let wal_commit_locked t lsn_opt =
+  match t.wal, lsn_opt with
+  | Some w, Some lsn ->
+    Wal.commit w lsn;
+    maybe_checkpoint_locked t
+  | _ -> ()
 
 let catalog t = t.cat
 let config t = t.cfg
@@ -813,29 +908,66 @@ let exec_statement t sql =
         then bad_stmt "INSERT into a materialized-view extent is not allowed";
         let rows = Binder.bind_insert t.cat ~table:it_table it_rows in
         Sync.protect t.lock (fun () ->
+            (* Write-ahead: the bound rows hit the log (and, in always mode,
+               the disk) before the catalog mutates.  Replay re-runs
+               [Catalog.insert], which re-synthesizes identical [_rid]s. *)
+            let lsn =
+              wal_append_locked t (Wal.Insert { table = it_table; rows })
+            in
             let stored = Catalog.insert t.cat ~table:it_table rows in
+            let versions_before =
+              List.map
+                (fun v -> (v.Matview.mv_name, v.Matview.mv_versions))
+                (Matview.views t.mviews)
+            in
             Matview.on_insert t.cat t.mviews ~table:it_table ~rows:stored;
+            (* Informational markers for each view that absorbed the delta
+               (its version vector moved); covered by the insert's commit. *)
+            List.iter
+              (fun v ->
+                match List.assoc_opt v.Matview.mv_name versions_before with
+                | Some old when old <> v.Matview.mv_versions ->
+                  ignore
+                    (wal_append_locked t
+                       (Wal.Mv_delta
+                          { view = v.Matview.mv_name; table = it_table;
+                            rows = List.length stored }))
+                | _ -> ())
+              (Matview.views t.mviews);
+            wal_commit_locked t lsn;
             Printf.sprintf "INSERT %d" (List.length stored)))
   | [ Sql_ast.S_create_matview { mv_name; mv_body } ] ->
     guard (fun () ->
         let def = Binder.bind_matview_body t.cat ~name:mv_name mv_body in
         let sql_text = Pretty.select_to_string mv_body in
         Sync.protect t.lock (fun () ->
+            let lsn =
+              wal_append_locked t
+                (Wal.Create_matview { name = mv_name; sql = sql_text })
+            in
             let mv =
               Matview.create_view ~options:(options t) t.cat t.mviews
                 ~name:mv_name ~sql:sql_text def
             in
+            wal_commit_locked t lsn;
             Printf.sprintf "CREATE MATERIALIZED VIEW %s (%d groups)" mv_name
               (Matview.row_count t.cat mv)))
   | [ Sql_ast.S_drop_matview name ] ->
     guard (fun () ->
         Sync.protect t.lock (fun () ->
+            let lsn = wal_append_locked t (Wal.Drop_matview name) in
             Matview.drop t.cat t.mviews name;
+            wal_commit_locked t lsn;
             Printf.sprintf "DROP MATERIALIZED VIEW %s" name))
   | [ Sql_ast.S_refresh_matview name ] ->
     guard (fun () ->
         Sync.protect t.lock (fun () ->
+            let lsn = wal_append_locked t (Wal.Refresh_matview name) in
             Matview.refresh ~options:(options t) t.cat t.mviews name;
+            (* The commit lands only after the refresh finished: an abort or
+               crash mid-refresh leaves an uncommitted record that replay
+               drops, so the recovered view is wholly old or wholly new. *)
+            wal_commit_locked t lsn;
             let mv = Option.get (Matview.find t.mviews name) in
             Printf.sprintf "REFRESH MATERIALIZED VIEW %s (%d groups)" name
               (Matview.row_count t.cat mv)))

@@ -53,9 +53,43 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Catalog.t -> t
+val create : ?config:config -> ?mviews:Matview.t -> Catalog.t -> t
+(** [mviews] injects a pre-populated matview registry (startup recovery);
+    by default the service starts with an empty one. *)
+
 val catalog : t -> Catalog.t
 val config : t -> config
+
+(** {1 Durability}
+
+    With a WAL attached, every mutating statement (INSERT,
+    CREATE/DROP/REFRESH MATERIALIZED VIEW) appends its record to the log —
+    fsynced per the writer's mode — {e before} the catalog mutates, and
+    seals it with a commit record once the mutation is complete.  Recovery
+    ({!Recovery.recover}) replays exactly the committed records, so a crash
+    at any instant loses at most unacknowledged statements. *)
+
+val attach_wal :
+  t ->
+  data_dir:string ->
+  ?checkpoint_bytes:int ->
+  ?recovery:Recovery.stats ->
+  Wal.writer ->
+  unit
+(** Attach a WAL writer (usually the one {!Recovery.recover} returned) and
+    register the [avq_wal_*] / [avq_checkpoints_*] metric families (plus
+    [avq_recovery_*] when startup recovery stats are given).
+    [checkpoint_bytes] arms size-triggered checkpointing: once the log
+    reaches that many bytes, the next committed mutation checkpoints and
+    truncates it. *)
+
+val wal : t -> Wal.writer option
+
+val checkpoint : t -> string
+(** Write a checkpoint now (under the statement lock): [Checkpoint_begin]
+    marker → {!Checkpoint.write} (buffer-pool flush + atomic snapshot) →
+    [Checkpoint_end] → WAL truncation.  Returns a human-readable completion
+    tag; reports "skipped" when no WAL is attached. *)
 
 val auto_dop : workers:int -> int
 (** Core-aware default degree of intra-query parallelism:

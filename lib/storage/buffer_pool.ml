@@ -191,9 +191,22 @@ let alloc t ~file ~page =
 
 (* Exponentially-spun backoff: the engine's "disk" is simulated, so the
    backoff only needs to model give-the-device-a-moment semantics without
-   adding a Unix dependency or real latency to tests. *)
-let backoff attempt =
-  for _ = 1 to 1 lsl min attempt 10 do
+   adding a Unix dependency or real latency to tests.  With jitter > 0 the
+   spin count is scaled by a factor in [1-jitter, 1+jitter) drawn from the
+   plan's stateless hash — a pure function of (seed, salt, attempt), so any
+   scheduled replay is still reproducible while workers with different
+   salts desynchronize instead of hammering a hot page in lockstep. *)
+let backoff_spins ?(jitter = 0.) ~seed ~salt attempt =
+  let base = 1 lsl min attempt 10 in
+  if jitter <= 0. then base
+  else begin
+    let u = Fault.hash_unit seed salt attempt in
+    let f = 1. +. (jitter *. ((2. *. u) -. 1.)) in
+    max 1 (int_of_float (float_of_int base *. f))
+  end
+
+let backoff ?jitter ~seed ~salt attempt =
+  for _ = 1 to backoff_spins ?jitter ~seed ~salt attempt do
     Domain.cpu_relax ()
   done
 
@@ -202,8 +215,15 @@ let backoff attempt =
    retry budget comes from the installed plan ([Fault.retries]), so a
    fault-free pool pays exactly one match on [t.faults] per read. *)
 let read_retrying t ~file ~page =
-  let max_retries =
-    match t.faults with None -> 0 | Some plan -> Fault.retries plan
+  let max_retries, jitter, seed =
+    match t.faults with
+    | None -> (0, 0., 0)
+    | Some plan -> (Fault.retries plan, Fault.jitter plan, Fault.seed plan)
+  in
+  (* The salt folds in the domain so concurrent workers retrying the same
+     hot page draw different jitter streams. *)
+  let salt =
+    (file * 8191) lxor page lxor (((Domain.self () :> int) + 1) * 0x9e3779b9)
   in
   let rec go attempt =
     match read t ~file ~page with
@@ -215,7 +235,7 @@ let read_retrying t ~file ~page =
       end
       else begin
         Atomic.incr t.fretried;
-        backoff attempt;
+        backoff ~jitter ~seed ~salt attempt;
         go (attempt + 1)
       end
   in

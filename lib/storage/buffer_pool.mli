@@ -40,7 +40,16 @@ val read_retrying : t -> file:int -> page:int -> unit
     exponential backoff up to the installed plan's [Fault.retries] budget.
     Exhausting the budget re-raises with [attempts] set to the total number
     of tries; [Corruption] is permanent and never retried.  Without a plan
-    this is exactly {!read}. *)
+    this is exactly {!read}.  When the plan sets [jitter], each wait is
+    scaled by a seeded, reproducible per-(page, domain, attempt) factor so
+    workers retrying the same hot page don't spin in lockstep. *)
+
+val backoff_spins : ?jitter:float -> seed:int -> salt:int -> int -> int
+(** [backoff_spins ?jitter ~seed ~salt attempt] — the exact spin count
+    {!read_retrying} waits on its [attempt]-th retry (base [2^min attempt 10],
+    scaled by a factor in [1-jitter, 1+jitter) drawn from
+    {!Fault.hash_unit}[ seed salt attempt]).  Pure; exposed so tests can
+    assert reproducibility and spread. *)
 
 val write : t -> file:int -> page:int -> unit
 (** Access an existing page for writing: like {!read} but marks the frame

@@ -20,15 +20,19 @@ type armed = { arule : rule; count : int Atomic.t }
 type t = {
   pseed : int;
   pretries : int;
+  pjitter : float;
   prules : armed list;
   pinjected : int Atomic.t;
 }
 
-let make ?(seed = 0) ?(retries = 0) rules =
+let make ?(seed = 0) ?(retries = 0) ?(jitter = 0.) rules =
   if retries < 0 then invalid_arg "Fault.make: retries < 0";
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Fault.make: jitter outside [0,1]";
   {
     pseed = seed;
     pretries = retries;
+    pjitter = jitter;
     prules = List.map (fun r -> { arule = r; count = Atomic.make 0 }) rules;
     pinjected = Atomic.make 0;
   }
@@ -43,6 +47,7 @@ let rule ?op ?(action = Fail) ?file ?page ?(p = 0.) ?every ?(at = []) () =
 
 let seed t = t.pseed
 let retries t = t.pretries
+let jitter t = t.pjitter
 let rules t = List.map (fun a -> a.arule) t.prules
 let injected t = Atomic.get t.pinjected
 
@@ -148,7 +153,7 @@ let parse spec =
     |> List.map String.trim
     |> List.filter (fun s -> s <> "")
   in
-  let seed = ref 0 and retries = ref 0 in
+  let seed = ref 0 and retries = ref 0 and jitter = ref 0. in
   let rules = ref [] in
   let err = ref None in
   List.iter
@@ -181,13 +186,21 @@ let parse spec =
              | "retries", Some n when n >= 0 -> retries := n
              | ("seed" | "retries"), _ ->
                err := Some (Printf.sprintf "%s expects an integer, got %S" k v)
+             | "jitter", _ -> (
+               match float_of_string_opt v with
+               | Some j when j >= 0. && j <= 1. -> jitter := j
+               | _ ->
+                 err :=
+                   Some
+                     (Printf.sprintf "jitter expects a float in [0,1], got %S" v))
              | _ -> err := Some (Printf.sprintf "unknown plan entry %S" entry))))
     entries;
   match !err with
   | Some e -> Error e
   | None ->
     if !rules = [] then Error "fault plan has no rules"
-    else Ok (make ~seed:!seed ~retries:!retries (List.rev !rules))
+    else
+      Ok (make ~seed:!seed ~retries:!retries ~jitter:!jitter (List.rev !rules))
 
 let rule_to_string r =
   let target =
@@ -216,4 +229,5 @@ let to_string t =
   String.concat ";"
     (Printf.sprintf "seed=%d" t.pseed
      :: Printf.sprintf "retries=%d" t.pretries
-     :: List.map (fun a -> rule_to_string a.arule) t.prules)
+     :: ((if t.pjitter > 0. then [ Printf.sprintf "jitter=%g" t.pjitter ] else [])
+        @ List.map (fun a -> rule_to_string a.arule) t.prules))

@@ -16,6 +16,7 @@
     {v
       seed=<int>              plan-wide RNG seed (default 0)
       retries=<int>           max read retries storage may spend per page
+      jitter=<float>          backoff jitter fraction in [0,1] (default 0)
       <target>:<opt>,<opt>..  one rule
     v}
     where [<target>] is [read], [write], [alloc], [io] (any op) or
@@ -42,9 +43,11 @@ type rule = {
 
 type t
 
-val make : ?seed:int -> ?retries:int -> rule list -> t
-(** [retries] (default 0) bounds storage-side read retries; see
-    {!Buffer_pool.read_retrying}. *)
+val make : ?seed:int -> ?retries:int -> ?jitter:float -> rule list -> t
+(** [retries] (default 0) bounds storage-side read retries; [jitter]
+    (default 0, in [0,1]) is the fraction by which retry backoff is
+    randomized — seeded and reproducible; see
+    {!Buffer_pool.read_retrying} and {!Buffer_pool.backoff_spins}. *)
 
 val rule :
   ?op:op -> ?action:action -> ?file:int -> ?page:int -> ?p:float ->
@@ -52,7 +55,18 @@ val rule :
 
 val seed : t -> int
 val retries : t -> int
+
+val jitter : t -> float
+(** Backoff jitter fraction; 0 restores the fully deterministic spin
+    schedule. *)
+
 val rules : t -> rule list
+
+val hash_unit : int -> int -> int -> float
+(** [hash_unit seed idx n] — the plan's stateless avalanche hash to a float
+    in [0,1).  Exposed so backoff jitter (and tests) can derive
+    reproducible per-(worker, attempt) draws from the same stream the
+    trigger decisions use. *)
 
 val injected : t -> int
 (** Total faults this plan has injected (both actions). *)

@@ -74,6 +74,13 @@ let page_checksum t page =
   done;
   !ck
 
+(* Snapshot of the maintained per-page checksums (not recomputed): a durable
+   checkpoint stores these so recovery can verify the reloaded pages against
+   what the writer believed it had. *)
+let page_checksums t =
+  Array.init (npages t) (fun p ->
+      if p < Array.length t.cksums then t.cksums.(p) else cksum_seed)
+
 let verify_page t page =
   if Atomic.get t.verify && page < Array.length t.cksums then begin
     let stored = t.cksums.(page) in

@@ -32,6 +32,11 @@ val append_all : t -> Tuple.t list -> unit
 val nrows : t -> int
 val npages : t -> int
 
+val page_checksums : t -> int array
+(** Snapshot of the incrementally maintained per-page content checksums,
+    one per existing page.  Durable checkpoints store these; recovery
+    recomputes checksums over the reloaded rows and compares. *)
+
 val get : t -> Page.rid -> Tuple.t
 (** Fetch one tuple by rid (one page access).
     @raise Avq_error.Error ([Corruption]) on an out-of-range rid — a

@@ -1,0 +1,49 @@
+(** Durable checkpoints: a consistent, atomically written snapshot of the
+    catalog (tables with rows in exact heap order, keys, indexes, per-page
+    checksums, write versions, foreign keys) and the matview registry.
+
+    The write protocol is [checkpoint.tmp] → fsync → rename over
+    [checkpoint.dat] → directory fsync, so a crash mid-checkpoint leaves
+    the previous checkpoint intact.  [Buffer_pool.flush_all] runs first:
+    the checkpoint is the moment every dirty frame reaches disk. *)
+
+exception Corrupt of string
+
+val file_name : string
+(** ["checkpoint.dat"] within the data directory. *)
+
+type table_snap = {
+  ts_name : string;
+  ts_columns : (string * Datatype.t) list;
+  ts_pk : string list;
+  ts_index : string list;  (** all indexed columns, for exact rebuild *)
+  ts_cluster : string option;
+  ts_version : int;  (** {!Catalog.table_version} at snapshot time *)
+  ts_cksums : int array;  (** per-page content checksums at snapshot time *)
+  ts_rows : Tuple.t list;  (** full width, exact heap order *)
+}
+
+type mv_snap = {
+  ms_name : string;
+  ms_sql : string;
+  ms_maintain : bool;
+  ms_versions : (string * int) list;
+}
+
+type snapshot = {
+  last_lsn : int64;  (** WAL records at or below this are already applied *)
+  epoch : int;
+  tables : table_snap list;
+  fks : (string * string * string * string) list;
+      (** (fk_table, fk_column, pk_table, pk_column) *)
+  matviews : mv_snap list;
+}
+
+val write : dir:string -> last_lsn:int64 -> Catalog.t -> Matview.t -> int
+(** Snapshot the live catalog + registry into [dir]; returns the snapshot
+    size in bytes. Must run with the catalog quiescent (the service holds
+    its statement lock). *)
+
+val load : dir:string -> snapshot option
+(** [None] when no checkpoint exists yet.
+    @raise Corrupt on a damaged or truncated checkpoint file. *)

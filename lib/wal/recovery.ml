@@ -1,0 +1,169 @@
+(* Redo recovery: load the last checkpoint (or the seed workload when none
+   exists), then replay the WAL tail idempotently.
+
+   Replay is commit-gated: a data record is applied only if a [Commit]
+   sealing its LSN made it to disk — an uncommitted record belongs to a
+   statement that was never acknowledged, so dropping it is exactly the
+   "view either old or new, never partial" guarantee.  Records at or below
+   the checkpoint's [last_lsn] are already reflected in the snapshot and
+   are skipped, which keeps replay idempotent even when a post-checkpoint
+   WAL truncation was lost.  A torn tail (crash mid-append) is cut off
+   silently; it can only hold unacknowledged work. *)
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let wal_name = "wal.log"
+let meta_name = "meta"
+
+type stats = {
+  checkpoint_loaded : bool;
+  tables_restored : int;
+  matviews_restored : int;
+  replayed : int;  (** committed data records applied *)
+  skipped : int;  (** data records covered by the checkpoint or uncommitted *)
+  torn : bool;  (** the WAL ended in a torn record (cut off) *)
+  wal_bytes : int;  (** parseable WAL bytes scanned *)
+  duration_ms : float;
+}
+
+let wal_path ~data_dir = Filename.concat data_dir wal_name
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then err "data dir %s is not a directory" dir
+
+(* The meta file pins the data directory to one workload identity
+   (db/scale/seed): recovering emp_dept WAL records into a tpcd seed would
+   corrupt silently, so mismatches refuse loudly instead. *)
+let check_meta ~data_dir meta =
+  match meta with
+  | None -> ()
+  | Some m ->
+    let path = Filename.concat data_dir meta_name in
+    if Sys.file_exists path then begin
+      let existing =
+        String.trim (In_channel.with_open_bin path In_channel.input_all)
+      in
+      if existing <> m then
+        err "data dir %s was created for %S, refusing to open as %S" data_dir
+          existing m
+    end
+    else
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (m ^ "\n"))
+
+let restore_from_checkpoint snap =
+  let cat = Catalog.create () in
+  List.iter
+    (fun ts ->
+      let tbl =
+        Catalog.restore_table cat ~name:ts.Checkpoint.ts_name
+          ~columns:ts.Checkpoint.ts_columns ~pk:ts.Checkpoint.ts_pk
+          ~index:ts.Checkpoint.ts_index ?cluster:ts.Checkpoint.ts_cluster
+          ts.Checkpoint.ts_rows
+      in
+      (* The snapshot carries the checksums the writer maintained; the
+         restored heap recomputed its own over the reloaded rows.  Any
+         difference means the snapshot rows were damaged at rest. *)
+      let got = Heap_file.page_checksums tbl.Catalog.heap in
+      if got <> ts.Checkpoint.ts_cksums then
+        raise
+          (Checkpoint.Corrupt
+             (Printf.sprintf "table %s: page checksums diverge after restore"
+                ts.Checkpoint.ts_name));
+      Catalog.set_table_version cat ts.Checkpoint.ts_name
+        ts.Checkpoint.ts_version)
+    snap.Checkpoint.tables;
+  List.iter
+    (fun (ft, fc, pt, pc) ->
+      Catalog.restore_foreign_key cat
+        { Catalog.fk_table = ft; fk_column = fc; pk_table = pt; pk_column = pc })
+    snap.Checkpoint.fks;
+  let mviews = Matview.create () in
+  List.iter
+    (fun ms ->
+      let def =
+        Binder.bind_matview_body cat ~name:ms.Checkpoint.ms_name
+          (Parser.parse_select ms.Checkpoint.ms_sql)
+      in
+      ignore
+        (Matview.restore cat mviews ~name:ms.Checkpoint.ms_name
+           ~sql:ms.Checkpoint.ms_sql ~maintain:ms.Checkpoint.ms_maintain
+           ~versions:ms.Checkpoint.ms_versions def))
+    snap.Checkpoint.matviews;
+  (cat, mviews)
+
+let apply_record cat mviews = function
+  | Wal.Insert { table; rows } ->
+    (* [Catalog.insert] re-synthesizes any hidden [_rid]s: the heap has the
+       same row count it had when the statement originally ran, so the ids
+       come out identical.  Maintenance then sees the same stored rows. *)
+    let stored = Catalog.insert cat ~table rows in
+    Matview.on_insert cat mviews ~table ~rows:stored
+  | Wal.Create_matview { name; sql } ->
+    let def = Binder.bind_matview_body cat ~name (Parser.parse_select sql) in
+    ignore (Matview.create_view cat mviews ~name ~sql def)
+  | Wal.Drop_matview name -> Matview.drop cat mviews name
+  | Wal.Refresh_matview name -> Matview.refresh cat mviews name
+  | Wal.Mv_delta _ | Wal.Checkpoint_begin | Wal.Checkpoint_end _ | Wal.Commit _
+    ->
+    ()
+
+let is_data = function
+  | Wal.Insert _ | Wal.Create_matview _ | Wal.Drop_matview _
+  | Wal.Refresh_matview _ ->
+    true
+  | Wal.Mv_delta _ | Wal.Checkpoint_begin | Wal.Checkpoint_end _ | Wal.Commit _
+    ->
+    false
+
+let recover ~data_dir ?(fsync_mode = Wal.Fsync_always) ?meta ~seed () =
+  let t0 = Unix.gettimeofday () in
+  ensure_dir data_dir;
+  check_meta ~data_dir meta;
+  let wal = Wal.read_all (wal_path ~data_dir) in
+  let snap = Checkpoint.load ~dir:data_dir in
+  let (cat, mviews), ckpt_lsn, ntables, nmvs =
+    match snap with
+    | Some s ->
+      ( restore_from_checkpoint s,
+        s.Checkpoint.last_lsn,
+        List.length s.Checkpoint.tables,
+        List.length s.Checkpoint.matviews )
+    | None -> ((seed (), Matview.create ()), 0L, 0, 0)
+  in
+  let committed = Hashtbl.create 64 in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Wal.Commit data_lsn -> Hashtbl.replace committed data_lsn ()
+      | _ -> ())
+    wal.Wal.records;
+  let replayed = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (lsn, r) ->
+      if is_data r then
+        if Int64.compare lsn ckpt_lsn > 0 && Hashtbl.mem committed lsn then begin
+          apply_record cat mviews r;
+          incr replayed
+        end
+        else incr skipped)
+    wal.Wal.records;
+  (* Opening the writer truncates any torn tail and resumes the LSN counter
+     past everything the log (and via [ckpt_lsn] the checkpoint) has seen. *)
+  let writer =
+    Wal.open_writer ~fsync_mode ~lsn_floor:ckpt_lsn (wal_path ~data_dir)
+  in
+  let stats =
+    { checkpoint_loaded = snap <> None;
+      tables_restored = ntables;
+      matviews_restored = nmvs;
+      replayed = !replayed;
+      skipped = !skipped;
+      torn = wal.Wal.torn;
+      wal_bytes = wal.Wal.valid_bytes;
+      duration_ms = (Unix.gettimeofday () -. t0) *. 1000. }
+  in
+  (cat, mviews, writer, stats)

@@ -188,9 +188,9 @@ let lifecycle_gates_exec () =
 (* ---- server ---- *)
 
 let with_server ?(config = { Server.default_config with Server.port = 0 })
-    ?(workers = 2) f =
+    ?(workers = 2) ?service f =
   Lifecycle.reset ();
-  let svc = make_service () in
+  let svc = match service with Some s -> s | None -> make_service () in
   Service.Pool.with_pool ~workers svc (fun pool ->
       let srv = Server.start ~config pool in
       Fun.protect
@@ -376,6 +376,82 @@ let server_disconnect_cancels () =
           || Server.in_flight srv = 0);
       wait_for "admission slot released" (fun () -> Server.in_flight srv = 0))
 
+let server_reply_frame_cap () =
+  (* a table of fat strings whose full scan renders to > 16 MiB: the reply
+     must come back as a typed resource error on a still-usable session,
+     not a torn connection *)
+  let cat = Catalog.create () in
+  let pad = String.make 20_000 'x' in
+  ignore
+    (Catalog.add_table cat ~name:"big"
+       ~columns:[ ("id", Datatype.Int); ("pad", Datatype.String) ]
+       ~pk:[ "id" ]
+       (List.init 1000 (fun i -> [| Value.Int i; Value.String pad |])));
+  let svc = Service.create cat in
+  with_server ~service:svc (fun svc srv ->
+      let c = connect srv in
+      (match Client.query c "SELECT b.id AS id, b.pad AS pad FROM big b" with
+      | Protocol.Err { kind; detail } ->
+        Alcotest.(check string) "typed kind" "resource-exceeded" kind;
+        Alcotest.(check bool) "detail names the frame cap" true
+          (contains detail "frame")
+      | _ -> Alcotest.fail "oversized reply must fail typed");
+      expect_rows "session survives the oversized reply"
+        (Client.query c "SELECT COUNT(*) AS n FROM big b");
+      Client.close c;
+      let s = Service.stats svc in
+      Alcotest.(check bool) "counted in the error taxonomy" true
+        (s.Service.errors.Service.resource_exceeded >= 1))
+
+(* ---- lifecycle x durability: an interrupted write leaves a recoverable,
+   consistent state (the view is either old or new, never partial) ---- *)
+
+let drain_mid_refresh_recoverable () =
+  Lifecycle.reset ();
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "avq_net_wal_%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let seed () = Emp_dept.load ~params:small () in
+  let cat, mviews, writer, _ = Recovery.recover ~data_dir:dir ~meta:"net" ~seed () in
+  let svc = Service.create ~mviews cat in
+  Service.attach_wal svc ~data_dir:dir writer;
+  ignore
+    (Service.exec_statement svc
+       ("CREATE MATERIALIZED VIEW by_dept AS SELECT e.dno AS dno, COUNT(*) AS \
+         c, SUM(e.sal) AS s FROM emp e GROUP BY e.dno"));
+  ignore (Service.exec_statement svc "INSERT INTO emp VALUES (990001, 1, 5000, 31)");
+  let probe svc =
+    let _, rel, _ = Service.submit svc fast_sql in
+    Format.asprintf "%a" Relation.pp rel
+  in
+  (* abort engaged before the refresh starts: the executor cancels it at its
+     first poll point, leaving the WAL's Refresh record uncommitted *)
+  Lifecycle.request_abort ();
+  let refresh_outcome =
+    match Service.exec_statement svc "REFRESH MATERIALIZED VIEW by_dept" with
+    | tag -> `Completed tag
+    | exception _ -> `Aborted
+  in
+  Lifecycle.reset ();
+  let acked = probe svc in
+  let cat2, mviews2, w2, _ = Recovery.recover ~data_dir:dir ~meta:"net" ~seed () in
+  Wal.close w2;
+  let svc2 = Service.create ~mviews:mviews2 cat2 in
+  (* whatever the interrupted statement's fate, recovery agrees with the
+     acknowledged state — never a half-applied refresh *)
+  Alcotest.(check string) "recovered state matches acknowledged state" acked
+    (probe svc2);
+  (match refresh_outcome with
+  | `Aborted -> ()
+  | `Completed _ -> Alcotest.fail "abort must cancel the refresh");
+  Alcotest.(check int) "no temp leaks" 0
+    (Storage.live_temps (Catalog.storage cat2));
+  Lifecycle.reset ()
+
 (* ---- connection-churn soak ---- *)
 
 let soak () =
@@ -481,5 +557,9 @@ let tests =
     Alcotest.test_case "server: connection cap" `Quick server_connection_cap;
     Alcotest.test_case "server: disconnect cancels in-flight work" `Quick
       server_disconnect_cancels;
+    Alcotest.test_case "server: oversized reply fails typed" `Quick
+      server_reply_frame_cap;
+    Alcotest.test_case "lifecycle: abort mid-refresh is recoverable" `Quick
+      drain_mid_refresh_recoverable;
     Alcotest.test_case "server: connection-churn soak leaks nothing" `Slow soak;
   ]

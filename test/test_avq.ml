@@ -28,5 +28,6 @@ let () =
       ("pool", Pool_tests.tests);
       ("fault", Fault_tests.tests);
       ("obs", Obs_tests.tests);
+      ("wal", Wal_tests.tests);
       ("net", Net_tests.tests);
     ]

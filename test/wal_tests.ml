@@ -1,0 +1,474 @@
+(* Durability: WAL record codec, torn-tail handling, checkpoint round trip,
+   commit-gated recovery, seeded backoff jitter, and a crash-torture
+   harness — a forked writer child is SIGKILLed at scripted WAL offsets
+   (optionally mid-frame) and recovery must reproduce, byte for byte, the
+   state a never-crashed process reaches after the committed statement
+   prefix. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let small = { Emp_dept.default_params with emps = 300; depts = 6; seed = 13 }
+let load () = Emp_dept.load ~params:small ()
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "avq_wal_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    if Sys.file_exists d then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat d f))
+        (Sys.readdir d)
+    else Unix.mkdir d 0o755;
+    d
+
+let append_bytes path s =
+  let oc = Out_channel.open_gen [ Open_append; Open_binary ] 0o644 path in
+  Out_channel.output_string oc s;
+  Out_channel.close oc
+
+(* ---- record codec ---- *)
+
+let all_records =
+  [
+    Wal.Insert
+      {
+        table = "emp";
+        rows =
+          [
+            [| Value.Int 1; Value.Float 2.5; Value.String "x"; Value.Bool true |];
+            [| Value.Int (-7); Value.Date 19000; Value.String "" |];
+          ];
+      };
+    Wal.Insert { table = "empty"; rows = [] };
+    Wal.Mv_delta { view = "by_dept"; table = "emp"; rows = 3 };
+    Wal.Create_matview
+      { name = "v"; sql = "SELECT e.dno AS d FROM emp e GROUP BY e.dno" };
+    Wal.Drop_matview "v";
+    Wal.Refresh_matview "v";
+    Wal.Checkpoint_begin;
+    Wal.Checkpoint_end { ckpt_lsn = 123456789L };
+    Wal.Commit 42L;
+  ]
+
+let codec_roundtrip () =
+  let dir = fresh_dir () in
+  let path = Recovery.wal_path ~data_dir:dir in
+  let w = Wal.open_writer path in
+  let lsns = List.map (Wal.append w) all_records in
+  Wal.close w;
+  let r = Wal.read_all path in
+  Alcotest.(check bool) "no torn tail" false r.Wal.torn;
+  Alcotest.(check int) "all records read" (List.length all_records)
+    (List.length r.Wal.records);
+  List.iteri
+    (fun i (lsn, rec_) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d (%s) roundtrips" i (Wal.record_name rec_))
+        true
+        (rec_ = List.nth all_records i && lsn = List.nth lsns i))
+    r.Wal.records
+
+let missing_file_reads_empty () =
+  let r = Wal.read_all "/nonexistent/avq/wal.log" in
+  Alcotest.(check bool) "empty" true (r.Wal.records = [] && not r.Wal.torn)
+
+(* ---- torn tails and corruption ---- *)
+
+let torn_tail_cut () =
+  let dir = fresh_dir () in
+  let path = Recovery.wal_path ~data_dir:dir in
+  let w = Wal.open_writer path in
+  let l1 = Wal.append w (Wal.Drop_matview "a") in
+  let _l2 = Wal.append w (Wal.Drop_matview "b") in
+  Wal.close w;
+  let whole = Wal.read_all path in
+  Alcotest.(check int) "two records" 2 (List.length whole.Wal.records);
+  (* half a frame of a would-be third record: the residue of a crash *)
+  let frame = Wal.encode ~lsn:99L (Wal.Drop_matview "torn") in
+  append_bytes path (String.sub frame 0 (String.length frame / 2));
+  let r = Wal.read_all path in
+  Alcotest.(check bool) "tail is torn" true r.Wal.torn;
+  Alcotest.(check int) "prefix survives" 2 (List.length r.Wal.records);
+  Alcotest.(check int) "valid prefix measured" whole.Wal.valid_bytes
+    r.Wal.valid_bytes;
+  (* reopening truncates the torn tail and keeps counting LSNs *)
+  let w2 = Wal.open_writer path in
+  Alcotest.(check int) "truncated to the valid prefix" whole.Wal.valid_bytes
+    (Wal.size w2);
+  let l3 = Wal.append w2 (Wal.Drop_matview "c") in
+  Wal.close w2;
+  Alcotest.(check bool) "LSNs resume after the survivors" true
+    (Int64.compare l3 l1 > 0);
+  let r2 = Wal.read_all path in
+  Alcotest.(check bool) "healed" false r2.Wal.torn;
+  Alcotest.(check int) "three records" 3 (List.length r2.Wal.records)
+
+let corrupt_frame_stops_read () =
+  let dir = fresh_dir () in
+  let path = Recovery.wal_path ~data_dir:dir in
+  let w = Wal.open_writer path in
+  ignore (Wal.append w (Wal.Drop_matview "a"));
+  let pos_before = Wal.size w in
+  ignore (Wal.append w (Wal.Drop_matview "b"));
+  ignore (Wal.append w (Wal.Drop_matview "c"));
+  Wal.close w;
+  (* flip one payload byte of the middle record: its CRC must catch it *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (pos_before + 9) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1);
+  Unix.close fd;
+  let r = Wal.read_all path in
+  Alcotest.(check bool) "read stops at the damage" true r.Wal.torn;
+  Alcotest.(check int) "clean prefix only" 1 (List.length r.Wal.records)
+
+let crash_grammar () =
+  (match Wal.parse_crash "at=3+7;torn" with
+  | Ok c ->
+    Alcotest.(check (list int)) "points" [ 3; 7 ] c.Wal.crash_at;
+    Alcotest.(check bool) "torn" true c.Wal.crash_torn
+  | Error e -> Alcotest.fail e);
+  (match Wal.parse_crash "at=12" with
+  | Ok c ->
+    Alcotest.(check (list int)) "single point" [ 12 ] c.Wal.crash_at;
+    Alcotest.(check bool) "not torn" false c.Wal.crash_torn
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Wal.parse_crash bad with
+      | Ok _ -> Alcotest.fail ("must reject " ^ bad)
+      | Error _ -> ())
+    [ "at="; "at=x"; "at=0"; "bogus=1" ]
+
+(* ---- fsync modes ---- *)
+
+let group_commit_defers () =
+  let dir = fresh_dir () in
+  let path = Recovery.wal_path ~data_dir:dir in
+  let w = Wal.open_writer ~fsync_mode:(Wal.Fsync_group 60_000.) path in
+  let l1 = Wal.append w (Wal.Insert { table = "t"; rows = [] }) in
+  Wal.commit w l1;
+  let l2 = Wal.append w (Wal.Insert { table = "t"; rows = [] }) in
+  Wal.commit w l2;
+  let s = Wal.stats w in
+  Alcotest.(check bool) "inside the window, fsyncs are deferred" true
+    (s.Wal.deferred >= 1);
+  Alcotest.(check int) "both commits counted" 2 s.Wal.commits;
+  Wal.close w;
+  let r = Wal.read_all path in
+  Alcotest.(check int) "close flushed everything" 4 (List.length r.Wal.records)
+
+(* ---- checkpoint + recovery (no crash) ---- *)
+
+let mv_sql =
+  "SELECT e.dno AS dno, COUNT(*) AS c, SUM(e.sal) AS s FROM emp e GROUP BY \
+   e.dno"
+
+let probe_sql =
+  "SELECT e.dno AS d, SUM(e.sal) AS s, COUNT(*) AS c FROM emp e GROUP BY e.dno"
+
+let render_probe svc =
+  let _, rel, _ = Service.submit svc probe_sql in
+  Format.asprintf "%a" Relation.pp rel
+
+let rows_of (tbl : Catalog.table) =
+  List.of_seq (Heap_file.to_seq tbl.Catalog.heap)
+
+(* Byte-identical: same table set, same rows in the same stored order, and
+   the restored heaps recompute the exact page checksums of the originals. *)
+let check_catalogs_equal msg refc recc =
+  let names c =
+    List.map (fun (t : Catalog.table) -> t.Catalog.tname) (Catalog.tables c)
+  in
+  Alcotest.(check (list string)) (msg ^ ": table set") (names refc) (names recc);
+  List.iter
+    (fun (rt : Catalog.table) ->
+      match Catalog.find_table recc rt.Catalog.tname with
+      | None -> Alcotest.fail (msg ^ ": missing table " ^ rt.Catalog.tname)
+      | Some ct ->
+        Alcotest.(check bool)
+          (msg ^ ": rows of " ^ rt.Catalog.tname)
+          true
+          (rows_of rt = rows_of ct);
+        Alcotest.(check bool)
+          (msg ^ ": page checksums of " ^ rt.Catalog.tname)
+          true
+          (Heap_file.page_checksums rt.Catalog.heap
+          = Heap_file.page_checksums ct.Catalog.heap))
+    (Catalog.tables refc)
+
+let attach dir (cat, mviews, writer, rstats) =
+  let svc = Service.create ~mviews cat in
+  Service.attach_wal svc ~data_dir:dir ~recovery:rstats writer;
+  svc
+
+let checkpoint_roundtrip () =
+  let dir = fresh_dir () in
+  let r1 = Recovery.recover ~data_dir:dir ~meta:"t" ~seed:load () in
+  let _, _, _, st1 = r1 in
+  Alcotest.(check bool) "first open seeds" false st1.Recovery.checkpoint_loaded;
+  let svc = attach dir r1 in
+  ignore
+    (Service.exec_statement svc ("CREATE MATERIALIZED VIEW by_dept AS " ^ mv_sql));
+  ignore (Service.exec_statement svc "INSERT INTO emp VALUES (990001, 1, 5000, 31)");
+  let tag = Service.checkpoint svc in
+  Alcotest.(check bool) "checkpoint tag" true (contains tag "CHECKPOINT");
+  ignore (Service.exec_statement svc "INSERT INTO emp VALUES (990002, 2, 6000, 42)");
+  let live = render_probe svc in
+  (* a second recovery of the same directory: checkpoint + WAL tail *)
+  let ((cat2, _, _, st2) as r2) = Recovery.recover ~data_dir:dir ~meta:"t" ~seed:load () in
+  Alcotest.(check bool) "checkpoint loaded" true st2.Recovery.checkpoint_loaded;
+  Alcotest.(check bool) "tables restored" true (st2.Recovery.tables_restored >= 2);
+  Alcotest.(check int) "one matview restored" 1 st2.Recovery.matviews_restored;
+  Alcotest.(check int) "post-checkpoint insert replayed" 1 st2.Recovery.replayed;
+  check_catalogs_equal "checkpoint+tail" (Service.catalog svc) cat2;
+  let svc2 = attach dir r2 in
+  Alcotest.(check string) "probe answers agree" live (render_probe svc2);
+  Alcotest.(check int) "no temp leaks" 0
+    (Storage.live_temps (Catalog.storage cat2))
+
+let meta_mismatch_refused () =
+  let dir = fresh_dir () in
+  let _, _, w, _ = Recovery.recover ~data_dir:dir ~meta:"db=a;scale=1" ~seed:load () in
+  Wal.close w;
+  match Recovery.recover ~data_dir:dir ~meta:"db=b;scale=9" ~seed:load () with
+  | _ -> Alcotest.fail "identity mismatch must refuse"
+  | exception Recovery.Error msg ->
+    Alcotest.(check bool) "names both identities" true
+      (contains msg "db=a;scale=1" && contains msg "db=b;scale=9")
+
+let size_triggered_checkpoint () =
+  let dir = fresh_dir () in
+  let ((cat, mviews, writer, rstats)) = Recovery.recover ~data_dir:dir ~meta:"t" ~seed:load () in
+  let svc = Service.create ~mviews cat in
+  (* tiny limit: the first committed statement crosses it *)
+  Service.attach_wal svc ~data_dir:dir ~checkpoint_bytes:64 ~recovery:rstats writer;
+  ignore (Service.exec_statement svc "INSERT INTO emp VALUES (990001, 1, 5000, 31)");
+  Alcotest.(check bool) "checkpoint written" true
+    (Sys.file_exists (Filename.concat dir Checkpoint.file_name));
+  Alcotest.(check bool) "WAL truncated back to its header" true
+    (match Service.wal svc with
+    | Some w -> Wal.size w < 64
+    | None -> false);
+  (* and the truncated dir still recovers to the same state *)
+  let live = render_probe svc in
+  let ((cat2, _, _, _) as r2) = Recovery.recover ~data_dir:dir ~meta:"t" ~seed:load () in
+  check_catalogs_equal "after size-triggered checkpoint" (Service.catalog svc) cat2;
+  let svc2 = attach dir r2 in
+  Alcotest.(check string) "probe answers agree" live (render_probe svc2)
+
+let uncommitted_tail_dropped () =
+  let dir = fresh_dir () in
+  let cat, _mviews, w, _ = Recovery.recover ~data_dir:dir ~meta:"t" ~seed:load () in
+  let before = render_probe (Service.create cat) in
+  (* a data record with no commit: the statement was never acknowledged *)
+  ignore
+    (Wal.append w
+       (Wal.Insert
+          { table = "emp"; rows = [ [| Value.Int 990009; Value.Int 1; Value.Int 1; Value.Int 1 |] ] }));
+  Wal.flush w;
+  Wal.close w;
+  let cat2, _, _, st = Recovery.recover ~data_dir:dir ~meta:"t" ~seed:load () in
+  Alcotest.(check int) "nothing replayed" 0 st.Recovery.replayed;
+  Alcotest.(check int) "uncommitted record skipped" 1 st.Recovery.skipped;
+  Alcotest.(check string) "state is the pre-statement one" before
+    (render_probe (Service.create cat2))
+
+(* ---- seeded backoff jitter ---- *)
+
+let jitter_backoff () =
+  (* jitter off: pure binary exponential, capped *)
+  Alcotest.(check int) "attempt 0" 1 (Buffer_pool.backoff_spins ~seed:1 ~salt:2 0);
+  Alcotest.(check int) "attempt 4" 16 (Buffer_pool.backoff_spins ~seed:1 ~salt:2 4);
+  Alcotest.(check int) "cap at 2^10" 1024
+    (Buffer_pool.backoff_spins ~seed:1 ~salt:2 30);
+  (* jittered: deterministic in (seed, salt, attempt), inside the band *)
+  let a = Buffer_pool.backoff_spins ~jitter:0.5 ~seed:7 ~salt:11 6 in
+  let b = Buffer_pool.backoff_spins ~jitter:0.5 ~seed:7 ~salt:11 6 in
+  Alcotest.(check int) "reproducible" a b;
+  let base = 64 in
+  Alcotest.(check bool) "within the +/-50% band" true
+    (a >= base / 2 && a <= base * 3 / 2);
+  (* different salts decorrelate retry storms *)
+  let spread =
+    List.init 32 (fun salt ->
+        Buffer_pool.backoff_spins ~jitter:0.5 ~seed:7 ~salt 6)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "salts spread the band" true (List.length spread > 8)
+
+let jitter_fault_plan () =
+  (match Fault.parse "seed=3;retries=4;jitter=0.25;read:p=0.01" with
+  | Ok plan ->
+    Alcotest.(check bool) "jitter parsed" true (Fault.jitter plan = 0.25);
+    Alcotest.(check bool) "round trips" true
+      (contains (Fault.to_string plan) "jitter=0.25")
+  | Error e -> Alcotest.fail e);
+  (match Fault.parse "jitter=1.5;read:p=0.01" with
+  | Ok _ -> Alcotest.fail "jitter above 1 must be rejected"
+  | Error _ -> ());
+  match Fault.parse "seed=3;read:p=0.01" with
+  | Ok plan -> Alcotest.(check bool) "default off" true (Fault.jitter plan = 0.)
+  | Error e -> Alcotest.fail e
+
+(* ---- crash torture ----
+
+   A forked child recovers an empty data dir (seeding the workload), arms a
+   scripted crash plan on its WAL writer, and runs a fixed statement
+   sequence; the plan SIGKILLs it mid-append at a chosen frame (optionally
+   writing only half the frame first).  The parent then recovers the
+   directory and compares — byte for byte — against a reference process
+   that ran exactly the committed statement prefix and never crashed.
+
+   Frame schedule for [torture_stmts] (one maintained view absorbs each
+   insert): CREATE = [Create_matview, Commit]; INSERT = [Insert, Mv_delta,
+   Commit]; REFRESH = [Refresh_matview, Commit].
+     f1  Create_matview   f2  Commit        (stmt 1)
+     f3  Insert   f4 Mv_delta   f5  Commit  (stmt 2)
+     f6  Insert   f7 Mv_delta   f8  Commit  (stmt 3)
+     f9  Refresh_matview  f10 Commit        (stmt 4)
+     f11 Insert  f12 Mv_delta   f13 Commit  (stmt 5) *)
+
+let torture_stmts =
+  [
+    "CREATE MATERIALIZED VIEW by_dept AS " ^ mv_sql;
+    "INSERT INTO emp VALUES (990001, 1, 5000, 31)";
+    "INSERT INTO emp VALUES (990002, 2, 6000, 42)";
+    "REFRESH MATERIALIZED VIEW by_dept";
+    "INSERT INTO emp VALUES (990003, 3, 7000, 53)";
+  ]
+
+let committed_prefix ~durable_frames =
+  (* commits land on frames 2, 5, 8, 10, 13 *)
+  List.length (List.filter (fun f -> f <= durable_frames) [ 2; 5; 8; 10; 13 ])
+
+(* The writer child is a re-exec of this very test binary: [Unix.fork]
+   is unavailable once earlier suites have spawned domains, but
+   fork+exec ([create_process]) is fine.  The env var selects child mode
+   during module initialization, long before alcotest takes over. *)
+let torture_env = "AVQ_WAL_TORTURE"
+
+let torture_child dir spec =
+  try
+    let crash =
+      match Wal.parse_crash spec with Ok c -> c | Error _ -> Unix._exit 10
+    in
+    let cat, mviews, writer, _ =
+      Recovery.recover ~data_dir:dir ~meta:"torture" ~seed:load ()
+    in
+    let svc = Service.create ~mviews cat in
+    Service.attach_wal svc ~data_dir:dir writer;
+    Wal.set_crash writer (Some crash);
+    List.iter (fun s -> ignore (Service.exec_statement svc s)) torture_stmts;
+    Unix._exit 8 (* crash plan failed to fire *)
+  with _ -> Unix._exit 9
+
+let () =
+  match Sys.getenv_opt torture_env with
+  | None -> ()
+  | Some v -> (
+    match String.index_opt v '|' with
+    | Some i ->
+      torture_child (String.sub v 0 i)
+        (String.sub v (i + 1) (String.length v - i - 1))
+    | None -> Unix._exit 10)
+
+let run_torture ~crash_spec ~durable_frames =
+  let dir = fresh_dir () in
+  let env =
+    Array.append (Unix.environment ())
+      [| Printf.sprintf "%s=%s|%s" torture_env dir crash_spec |]
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin devnull devnull
+  in
+  Unix.close devnull;
+  match Unix.waitpid [] pid with
+    | _, Unix.WSIGNALED s when s = Sys.sigkill ->
+      let ((cat2, _, _, st) as r2) =
+        Recovery.recover ~data_dir:dir ~meta:"torture" ~seed:load ()
+      in
+      let svc2 = attach dir r2 in
+      (* the reference: a process that ran the committed prefix, no crash *)
+      let refsvc = Service.create (load ()) in
+      let prefix = committed_prefix ~durable_frames in
+      List.iteri
+        (fun i s ->
+          if i < prefix then ignore (Service.exec_statement refsvc s))
+        torture_stmts;
+      check_catalogs_equal
+        (Printf.sprintf "crash %s" crash_spec)
+        (Service.catalog refsvc) cat2;
+      Alcotest.(check string)
+        (Printf.sprintf "crash %s: probe answer" crash_spec)
+        (render_probe refsvc) (render_probe svc2);
+      Alcotest.(check int) "no temp leaks after recovery" 0
+        (Storage.live_temps (Catalog.storage cat2));
+      st
+    | _, Unix.WEXITED 8 -> Alcotest.fail "crash plan never fired"
+    | _, Unix.WEXITED n ->
+      Alcotest.fail (Printf.sprintf "child failed before crashing (exit %d)" n)
+    | _ -> Alcotest.fail "child ended unexpectedly"
+
+let torture_mid_insert () =
+  (* dies appending the Mv_delta of statement 2: the insert mutated memory
+     but never committed — recovery must show only statement 1 *)
+  let st = run_torture ~crash_spec:"at=4" ~durable_frames:4 in
+  Alcotest.(check bool) "uncommitted insert skipped" true
+    (st.Recovery.skipped >= 1)
+
+let torture_torn_commit () =
+  (* dies with half the commit of statement 2 on disk: a torn commit must
+     not seal anything *)
+  let st = run_torture ~crash_spec:"at=5;torn" ~durable_frames:4 in
+  Alcotest.(check bool) "tail reported torn" true st.Recovery.torn
+
+let torture_mid_refresh () =
+  (* dies with half the REFRESH commit on disk: the view must come back in
+     its pre-refresh state, consistently *)
+  let st = run_torture ~crash_spec:"at=10;torn" ~durable_frames:9 in
+  Alcotest.(check bool) "tail reported torn" true st.Recovery.torn
+
+let torture_after_final_commit () =
+  (* dies immediately after the last commit frame reaches disk: everything
+     acknowledged must survive *)
+  let st = run_torture ~crash_spec:"at=13" ~durable_frames:13 in
+  Alcotest.(check bool) "clean tail" false st.Recovery.torn;
+  Alcotest.(check int) "all five statements replayed" 5 st.Recovery.replayed
+
+let tests =
+  [
+    Alcotest.test_case "codec: every record roundtrips" `Quick codec_roundtrip;
+    Alcotest.test_case "codec: missing file reads empty" `Quick
+      missing_file_reads_empty;
+    Alcotest.test_case "torn tail cut, LSNs resume" `Quick torn_tail_cut;
+    Alcotest.test_case "CRC catches a corrupt frame" `Quick
+      corrupt_frame_stops_read;
+    Alcotest.test_case "crash-plan grammar" `Quick crash_grammar;
+    Alcotest.test_case "group commit defers fsyncs" `Quick group_commit_defers;
+    Alcotest.test_case "checkpoint + WAL tail roundtrip" `Quick
+      checkpoint_roundtrip;
+    Alcotest.test_case "workload identity pinned" `Quick meta_mismatch_refused;
+    Alcotest.test_case "size-triggered checkpoint truncates" `Quick
+      size_triggered_checkpoint;
+    Alcotest.test_case "uncommitted tail dropped" `Quick uncommitted_tail_dropped;
+    Alcotest.test_case "backoff jitter: seeded, bounded" `Quick jitter_backoff;
+    Alcotest.test_case "fault plan: jitter knob" `Quick jitter_fault_plan;
+    Alcotest.test_case "torture: SIGKILL mid-insert maintenance" `Quick
+      torture_mid_insert;
+    Alcotest.test_case "torture: torn commit seals nothing" `Quick
+      torture_torn_commit;
+    Alcotest.test_case "torture: SIGKILL mid-refresh" `Quick torture_mid_refresh;
+    Alcotest.test_case "torture: everything acknowledged survives" `Quick
+      torture_after_final_commit;
+  ]
