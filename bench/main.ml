@@ -28,6 +28,7 @@ let experiments =
     ("E19", E19_parallel.run);
     ("E20", E20_serve.run);
     ("E21", E21_wal.run);
+    ("E22", E22_stats.run);
   ]
 
 (* One Bechamel test per experiment: optimizer latency on that experiment's

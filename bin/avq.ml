@@ -604,9 +604,31 @@ let serve_cmd =
             "Checkpoint and truncate the WAL once it reaches $(docv) bytes \
              (0 disables size-triggered checkpoints).")
   in
+  let http_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "http" ] ~docv:"PORT"
+          ~doc:
+            "Serve observability over HTTP on $(docv) (0 picks an ephemeral \
+             port): $(b,GET /metrics) (Prometheus text), $(b,GET /healthz) \
+             (ready/draining/recovering), $(b,GET /statements?n=K) (top-K \
+             statement statistics as JSON).")
+  in
+  let stats_reset =
+    Arg.(
+      value
+      & flag
+      & info [ "stats-reset" ]
+          ~doc:
+            "Reset the cumulative statement-statistics store \
+             ($(b,avq_stat_statements)) after startup, so the first scrape \
+             of a recovered server starts from zero.")
+  in
   let run algo db scale seed work_mem dop host port workers max_connections
       max_queue drain_grace_ms timeout_ms spill_quota metrics_out trace_out
-      slow_ms data_dir wal_fsync wal_group_ms checkpoint_bytes =
+      slow_ms data_dir wal_fsync wal_group_ms checkpoint_bytes http_port
+      stats_reset =
     if workers < 1 then begin
       Format.eprintf "avq serve: --workers must be >= 1@.";
       exit 1
@@ -629,6 +651,45 @@ let serve_cmd =
       | None, None -> None
       | Some path, _ -> Some (Trace.create_file ?slow_ms path)
       | None, Some _ -> Some (Trace.create ?slow_ms ())
+    in
+    (* One server per data directory: the lock covers recovery too (it
+       reads and truncates the WAL), so take it before anything touches
+       the dir.  The kernel releases it if we die. *)
+    let dir_lock =
+      match data_dir with
+      | None -> None
+      | Some dir -> (
+        match Dir_lock.acquire dir with
+        | lock -> Some lock
+        | exception Avq_error.Error e ->
+          Format.eprintf "avq serve: %s@." (Avq_error.to_string e);
+          exit 1)
+    in
+    (* The HTTP endpoint comes up before recovery so /healthz can answer
+       "recovering" while the WAL replays; /metrics and /statements stay
+       503 until the service exists and the front end listens. *)
+    let svc_ref = ref None in
+    let http =
+      Option.map
+        (fun hport ->
+          match
+            Http.start ~host ~port:hport
+              ~metrics:(fun () ->
+                match !svc_ref with
+                | Some svc -> Metrics.to_prometheus (Service.metrics svc)
+                | None -> "")
+              ~statements:(fun ~n ->
+                match !svc_ref with
+                | Some svc -> Stmt_stats.to_json_top ~n (Service.stats_store svc)
+                | None -> "{}")
+              ()
+          with
+          | http -> http
+          | exception Unix.Unix_error (err, _, _) ->
+            Format.eprintf "avq serve: cannot bind --http %d: %s@." hport
+              (Unix.error_message err);
+            exit 1)
+        http_port
     in
     (* With a data dir, the catalog + matview registry come from recovery
        (checkpoint + committed WAL tail) rather than a fresh load; without
@@ -714,6 +775,8 @@ let serve_cmd =
           ~recovery:rstats writer)
       recovered;
     Service.set_tracer svc tracer;
+    if stats_reset then Stmt_stats.reset (Service.stats_store svc);
+    svc_ref := Some svc;
     (* first SIGTERM/SIGINT drains (finish in-flight, stop admitting), a
        second one aborts in-flight statements too *)
     Lifecycle.install Lifecycle.Drain_then_abort;
@@ -744,13 +807,26 @@ let serve_cmd =
     let server_config =
       { Server.host; port; max_connections; max_queue; drain_grace_ms }
     in
-    Fun.protect ~finally:Lifecycle.run_hooks (fun () ->
+    let finally () =
+      Lifecycle.run_hooks ();
+      Option.iter Http.stop http;
+      Option.iter Dir_lock.release dir_lock
+    in
+    Fun.protect ~finally (fun () ->
         Service.Pool.with_pool ~workers svc (fun pool ->
             let server = Server.start ~config:server_config pool in
             Format.printf
               "avq serve: listening on %s:%d (%d workers, dop %d, %d max \
                connections, %d statement queue)@."
               host (Server.port server) workers dop max_connections max_queue;
+            Option.iter
+              (fun h ->
+                Http.set_ready h;
+                Format.printf
+                  "avq serve: observability on http://%s:%d (/metrics \
+                   /healthz /statements)@."
+                  host (Http.port h))
+              http;
             Format.printf "avq serve: SIGTERM drains, SIGTERM twice aborts@?";
             Format.printf "@.";
             Server.run server;
@@ -770,7 +846,8 @@ let serve_cmd =
       const run $ algo $ db $ scale $ seed $ work_mem $ dop_auto $ host
       $ port ~default:5499 $ workers $ max_connections $ max_queue
       $ drain_grace_ms $ timeout_ms $ spill_quota $ metrics_out $ trace_out
-      $ slow_ms $ data_dir $ wal_fsync $ wal_group_ms $ checkpoint_bytes)
+      $ slow_ms $ data_dir $ wal_fsync $ wal_group_ms $ checkpoint_bytes
+      $ http_port $ stats_reset)
 
 let query_cmd =
   let sql =

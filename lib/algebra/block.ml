@@ -27,7 +27,7 @@ type query = {
   q_aggs : Aggregate.t list;
   q_having : Expr.pred list;
   q_select : select_item list;
-  q_order : string list;
+  q_order : (string * bool) list;
   q_limit : int option;
 }
 
@@ -166,8 +166,21 @@ let reference_eval cat q =
     | [] -> rel
     | names ->
       let schema = Relation.schema rel in
-      let idx = Array.of_list (List.map (fun n -> Schema.find_exn schema n) names) in
-      Relation.sort_by idx rel
+      let keys =
+        Array.of_list
+          (List.map (fun (n, desc) -> (Schema.find_exn schema n, desc)) names)
+      in
+      let cmp a b =
+        let rec loop i =
+          if i >= Array.length keys then 0
+          else
+            let idx, desc = keys.(i) in
+            let c = Value.compare a.(idx) b.(idx) in
+            if c <> 0 then if desc then -c else c else loop (i + 1)
+        in
+        loop 0
+      in
+      Relation.create schema (List.stable_sort cmp (Relation.tuples rel))
   in
   match q.q_limit with
   | None -> rel
@@ -223,7 +236,7 @@ let validate cat q =
   in
   let* () =
     check_all
-      (fun n ->
+      (fun (n, _desc) ->
         if List.exists (String.equal n) out_names then Ok ()
         else err "ORDER BY column %s is not an output column" n)
       q.q_order

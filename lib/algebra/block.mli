@@ -38,8 +38,9 @@ type query = {
   q_aggs : Aggregate.t list;
   q_having : Expr.pred list;
   q_select : select_item list;
-  q_order : string list;
-      (** names of output columns to sort the result by (ascending) *)
+  q_order : (string * bool) list;
+      (** output columns to sort the result by; the flag is true for
+          descending order *)
   q_limit : int option;  (** maximum number of result rows *)
 }
 

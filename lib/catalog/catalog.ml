@@ -156,6 +156,62 @@ let restore_table t ~name ~columns ~pk ?(index = []) ?cluster rows =
   bump_epoch t;
   tbl
 
+(* System views ([avq_stat_*], [avq_server_*]): synthesized in-memory
+   relations refreshed by replacing the whole table.  Unlike user tables they
+   may be empty, carry no key (no hidden [_rid] — their rows have no
+   identity), no indexes, and no clustering; statistics are analyzed from
+   the snapshot when non-empty, or faked from one per-type default row with
+   the cardinality forced to 0 (the optimizer only needs non-crashing
+   numbers — nobody joins system views on cost-sensitive paths). *)
+let put_system_table t ~name ~columns rows =
+  (* Replacing a same-shaped snapshot is invisible to cached plans: scans
+     resolve the heap by name at execution time, so only the FIRST install
+     (or a schema change) needs an epoch bump to invalidate — a monitoring
+     query must not flush the plan cache on every refresh. *)
+  let same_shape = ref false in
+  (match find_table t name with
+   | Some tbl ->
+     same_shape :=
+       List.length columns = Schema.arity tbl.tschema
+       && List.for_all2
+            (fun (cname, ty) col ->
+              String.equal cname col.Schema.cname
+              && Datatype.equal ty col.Schema.cty)
+            columns
+            (Schema.columns tbl.tschema);
+     Heap_file.drop tbl.heap;
+     t.table_list <-
+       List.filter (fun x -> not (String.equal x.tname name)) t.table_list
+   | None -> ());
+  let schema =
+    Schema.of_columns
+      (List.map (fun (cname, ty) -> Schema.column ~qual:name cname ty) columns)
+  in
+  let heap = Storage.create_heap t.storage schema in
+  Heap_file.append_all heap rows;
+  let tstats =
+    match rows with
+    | [] ->
+      let default_value = function
+        | Datatype.Int -> Value.Int 0
+        | Datatype.Float -> Value.Float 0.
+        | Datatype.String -> Value.String ""
+        | Datatype.Bool -> Value.Bool false
+        | Datatype.Date -> Value.Date 0
+      in
+      let dummy = Tuple.make (List.map (fun (_, ty) -> default_value ty) columns) in
+      let st = Stats.analyze schema [ dummy ] in
+      { st with Stats.card = 0; pages = 0 }
+    | _ -> Stats.analyze schema rows
+  in
+  let tbl =
+    { tname = name; tschema = schema; primary_key = []; heap; indexes = [];
+      tstats; clustered = None }
+  in
+  t.table_list <- t.table_list @ [ tbl ];
+  if not !same_shape then bump_epoch t;
+  tbl
+
 let set_table_version t name v = Hashtbl.replace t.versions name v
 
 let restore_foreign_key t fk = t.fks <- t.fks @ [ fk ]

@@ -112,6 +112,18 @@ val restore_table :
     order, and re-sorting would break byte-identical recovery.  Indexes are
     rebuilt, statistics re-analyzed, epoch bumped. *)
 
+val put_system_table :
+  t -> name:string -> columns:(string * Datatype.t) list -> Tuple.t list -> table
+(** Install (or replace) a synthesized system view ([avq_stat_*],
+    [avq_server_*]) as an ordinary in-memory table: no primary key, no
+    hidden [_rid], no indexes, no clustering, empty rows allowed.  The
+    epoch is bumped only on first install or a schema change — replacing a
+    same-shaped snapshot is invisible to cached plans (scans resolve the
+    heap by name at execution time), so monitoring queries do not flush the
+    plan cache.  Callers (the service) refresh these on demand right before
+    binding a query that references them; they must be excluded from
+    checkpoints. *)
+
 val set_table_version : t -> string -> int -> unit
 (** Restore a table's write version from a checkpoint (recovery only). *)
 

@@ -390,12 +390,12 @@ let optimize cat ~work_mem input =
       let lsorted =
         if is_prefix (List.map key_name lkeys) (Physical.sorted_on left_entry.plan)
         then left_entry.plan
-        else Physical.Sort { input = left_entry.plan; cols = lkeys }
+        else Physical.Sort { input = left_entry.plan; cols = lkeys; desc = [] }
       in
       let rsorted =
         if is_prefix (List.map key_name rkeys) (Physical.sorted_on right_plan)
         then right_plan
-        else Physical.Sort { input = right_plan; cols = rkeys }
+        else Physical.Sort { input = right_plan; cols = rkeys; desc = [] }
       in
       emit
         (Physical.Merge_join { left = lsorted; right = rsorted; keys = equi; cond = residual });
@@ -539,7 +539,7 @@ let optimize cat ~work_mem input =
                                 is_prefix (List.map key_name lkeys)
                                   (Physical.sorted_on left_entry.plan)
                               then left_entry.plan
-                              else Physical.Sort { input = left_entry.plan; cols = lkeys }
+                              else Physical.Sort { input = left_entry.plan; cols = lkeys; desc = [] }
                             in
                             let rsorted =
                               if
@@ -547,7 +547,7 @@ let optimize cat ~work_mem input =
                                   (Physical.sorted_on right_entry.plan)
                               then right_entry.plan
                               else
-                                Physical.Sort { input = right_entry.plan; cols = rkeys }
+                                Physical.Sort { input = right_entry.plan; cols = rkeys; desc = [] }
                             in
                             emit
                               (Physical.Merge_join
@@ -593,7 +593,7 @@ let optimize cat ~work_mem input =
               (List.map key_name spec.Grouping.gs_keys)
               (Physical.sorted_on e.plan)
           then e.plan
-          else Physical.Sort { input = e.plan; cols = spec.Grouping.gs_keys }
+          else Physical.Sort { input = e.plan; cols = spec.Grouping.gs_keys; desc = [] }
         in
         let sortg =
           Physical.Sort_group

@@ -17,7 +17,7 @@ type nquery = {
   aggs : Aggregate.t list;
   having : Expr.pred list;
   select : (Expr.t * Schema.column) list;
-  order : Schema.column list;
+  order : (Schema.column * bool) list;
   limit : int option;
 }
 
@@ -80,11 +80,11 @@ let normalize cat (q : Block.query) =
     select;
     order =
       List.map
-        (fun name ->
+        (fun (name, desc) ->
           match
             List.find_opt (fun (_, c) -> String.equal c.Schema.cname name) select
           with
-          | Some (_, c) -> c
+          | Some (_, c) -> (c, desc)
           | None -> invalid_arg ("Normalize: unknown ORDER BY column " ^ name))
         q.Block.q_order;
     limit = q.Block.q_limit;

@@ -37,7 +37,8 @@ type nquery = {
   aggs : Aggregate.t list;
   having : Expr.pred list;
   select : (Expr.t * Schema.column) list;  (** final projection *)
-  order : Schema.column list;  (** output columns to sort by *)
+  order : (Schema.column * bool) list;
+      (** output columns to sort by; the flag is true for descending *)
   limit : int option;
 }
 

@@ -46,7 +46,9 @@ let optimize ?(options = default_options) cat query =
   let plan =
     match nq.Normalize.order with
     | [] -> plan
-    | cols -> Physical.Sort { input = plan; cols }
+    | order ->
+      Physical.Sort
+        { input = plan; cols = List.map fst order; desc = List.map snd order }
   in
   let plan =
     match nq.Normalize.limit with

@@ -367,7 +367,9 @@ and open_iter_raw ctx plan : Iter.t =
     { out with Iter.close = (fun () -> out.Iter.close (); Exec_ctx.drop ctx heap) }
   | Physical.Sort s ->
     let it = open_iter ctx s.input in
-    Xsort.sort ctx ~compare:(Xsort.by_columns it.Iter.schema s.cols) it
+    Xsort.sort ctx
+      ~compare:(Xsort.by_columns_dir it.Iter.schema s.cols ~desc:s.desc)
+      it
   | Physical.Limit l ->
     let it = open_iter ctx l.input in
     let remaining = ref l.count in
@@ -849,7 +851,7 @@ and open_batch_raw ctx plan : Biter.t =
     let bit = open_batch ctx s.input in
     Biter.of_iter
       (Xsort.sort_batches ctx
-         ~compare:(Xsort.by_columns bit.Biter.schema s.cols)
+         ~compare:(Xsort.by_columns_dir bit.Biter.schema s.cols ~desc:s.desc)
          bit)
   | Physical.Limit l ->
     let bit = open_batch ctx l.input in

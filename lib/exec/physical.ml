@@ -33,7 +33,7 @@ type t =
       keys : (Schema.column * Schema.column) list;
       cond : Expr.pred list;
     }
-  | Sort of { input : t; cols : Schema.column list }
+  | Sort of { input : t; cols : Schema.column list; desc : bool list }
   | Hash_group of group
   | Sort_group of group
   | Project of { input : t; cols : (Expr.t * Schema.column) list }
@@ -89,6 +89,9 @@ let rec schema cat = function
 let key_name (c : Schema.column) = (c.Schema.cqual, c.Schema.cname)
 
 let rec sorted_on = function
+  (* A descending sort produces no ascending order property downstream
+     consumers (merge join, sort-group) can reuse. *)
+  | Sort s when List.exists Fun.id s.desc -> []
   | Sort s -> List.map key_name s.cols
   | Merge_join j -> List.map (fun (a, _) -> key_name a) j.keys
   | Sort_group g -> List.map key_name g.keys
@@ -199,7 +202,14 @@ let rec pp_node ppf (indent, t) =
       (if j.cond = [] then "" else " [" ^ preds_str j.cond ^ "]")
       pp_node (child j.left) pp_node (child j.right)
   | Sort s ->
-    Format.fprintf ppf "%sSort [%s]@\n%a" pad (cols_str s.cols) pp_node
+    let dir =
+      if List.exists Fun.id s.desc then
+        " <"
+        ^ String.concat ", " (List.map (fun d -> if d then "desc" else "asc") s.desc)
+        ^ ">"
+      else ""
+    in
+    Format.fprintf ppf "%sSort [%s]%s@\n%a" pad (cols_str s.cols) dir pp_node
       (child s.input)
   | Hash_group g ->
     Format.fprintf ppf "%sHashGroup [%s | %s]%s@\n%a" pad (cols_str g.keys)

@@ -47,7 +47,8 @@ type t =
       keys : (Schema.column * Schema.column) list;
       cond : Expr.pred list;
     }
-  | Sort of { input : t; cols : Schema.column list }
+  | Sort of { input : t; cols : Schema.column list; desc : bool list }
+      (** [desc] is parallel to [cols]; [[]] means all ascending *)
   | Hash_group of group
   | Sort_group of group  (** input must be sorted on [keys] *)
   | Project of { input : t; cols : (Expr.t * Schema.column) list }

@@ -55,6 +55,8 @@ let rec walk cat plan : Schema.t =
      ignore (walk cat l.input)
    | Physical.Sort s ->
      let inner = walk cat s.input in
+     if s.desc <> [] && List.length s.desc <> List.length s.cols then
+       fail "Sort: desc flags not parallel to sort columns";
      List.iter
        (fun k ->
          try ignore (Expr.resolve_column inner k)

@@ -17,6 +17,35 @@ let by_columns schema cols =
   in
   fun a b -> Tuple.compare_at idx a b
 
+let by_columns_dir schema cols ~desc =
+  if desc = [] || not (List.exists Fun.id desc) then by_columns schema cols
+  else begin
+    let resolve (c : Schema.column) =
+      match Schema.index_of_column schema c with
+      | Some i -> i
+      | None ->
+        (match Schema.find schema ~qual:c.Schema.cqual c.Schema.cname with
+         | Some i -> i
+         | None ->
+           raise
+             (Expr.Unresolved_column
+                (Format.asprintf "sort key %s not in %a"
+                   (Schema.column_to_string c) Schema.pp schema)))
+    in
+    let keys =
+      Array.of_list (List.map2 (fun c d -> (resolve c, d)) cols desc)
+    in
+    fun a b ->
+      let rec loop i =
+        if i >= Array.length keys then 0
+        else
+          let idx, d = keys.(i) in
+          let c = Value.compare a.(idx) b.(idx) in
+          if c <> 0 then if d then -c else c else loop (i + 1)
+      in
+      loop 0
+  end
+
 (* k-way merge of already-sorted iterators via a binary min-heap over the
    run heads: O(log k) per tuple instead of the O(k) linear scan, which made
    high-fan-in merges quadratic-ish.  Ties break on source index, keeping

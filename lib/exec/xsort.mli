@@ -21,3 +21,9 @@ val merge_iters :
 val by_columns : Schema.t -> Schema.column list -> Tuple.t -> Tuple.t -> int
 (** Comparator on the given columns resolved against [schema].
     @raise Expr.Unresolved_column on a missing column. *)
+
+val by_columns_dir :
+  Schema.t -> Schema.column list -> desc:bool list ->
+  Tuple.t -> Tuple.t -> int
+(** Like {!by_columns} with a per-column direction flag parallel to the
+    column list ([true] = descending); [desc = []] means all ascending. *)

@@ -317,7 +317,7 @@ type rewrite = {
   rw_view : view;
   rw_q : Block.query;  (** re-aggregation query over the extent *)
   rw_project : (Expr.t * Schema.column) list;  (** final output projection *)
-  rw_order : Schema.column list;
+  rw_order : (Schema.column * bool) list;
   rw_limit : int option;
 }
 
@@ -628,14 +628,14 @@ let match_view mv (q : Block.query) =
          in
          let order =
            List.map
-             (fun n ->
+             (fun (n, desc) ->
                match
                  List.find_opt
                    (fun (_, (c : Schema.column)) ->
                      String.equal c.Schema.cname n)
                    project
                with
-               | Some (_, c) -> c
+               | Some (_, c) -> (c, desc)
                | None -> raise No_match)
              q.Block.q_order
          in
@@ -669,7 +669,9 @@ let plan_rewrite ~options cat rw =
   let plan =
     match rw.rw_order with
     | [] -> plan
-    | cols -> Physical.Sort { input = plan; cols }
+    | order ->
+      Physical.Sort
+        { input = plan; cols = List.map fst order; desc = List.map snd order }
   in
   let plan =
     match rw.rw_limit with

@@ -109,7 +109,7 @@ type rewrite = {
   rw_view : view;
   rw_q : Block.query;  (** re-aggregation query over the extent *)
   rw_project : (Expr.t * Schema.column) list;  (** final output projection *)
-  rw_order : Schema.column list;
+  rw_order : (Schema.column * bool) list;
   rw_limit : int option;
 }
 

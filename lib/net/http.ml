@@ -1,0 +1,206 @@
+(* Minimal HTTP/1.0 observability endpoint: GET /metrics (Prometheus text),
+   GET /healthz (readiness), GET /statements?n=K (top-K statement stats as
+   JSON).  One thread per connection, [Connection: close] semantics — a
+   scrape every few seconds from one or two collectors, not a web server.
+   Anything but a GET of a known path is answered 404/405 so a misdirected
+   client fails loudly. *)
+
+type state = Recovering | Ready
+
+type t = {
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  state : state Atomic.t;
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  metrics : unit -> string;
+  statements : n:int -> string;
+  requests_n : int Atomic.t;
+  mutable acceptor : Thread.t option;
+}
+
+let port t = t.bound_port
+let requests t = Atomic.get t.requests_n
+let set_ready t = Atomic.set t.state Ready
+
+let status_line = function
+  | 200 -> "200 OK"
+  | 400 -> "400 Bad Request"
+  | 404 -> "404 Not Found"
+  | 405 -> "405 Method Not Allowed"
+  | 503 -> "503 Service Unavailable"
+  | c -> Printf.sprintf "%d Status" c
+
+let respond fd ~code ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      (status_line code) content_type (String.length body)
+  in
+  let msg = head ^ body in
+  let b = Bytes.unsafe_of_string msg in
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  try
+    while !sent < n do
+      sent := !sent + Unix.write fd b !sent (n - !sent)
+    done
+  with Unix.Unix_error _ -> ()
+
+(* Read up to the end of the request head (CRLFCRLF); we only need the
+   request line, but draining the headers keeps clients that wait for us
+   to read them happy.  Bounded so a garbage client cannot balloon us. *)
+let read_head fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 16_384 then Buffer.contents buf
+    else
+      let seen = Buffer.contents buf in
+      let have_terminator =
+        let n = String.length seen in
+        n >= 4 && String.sub seen (n - 4) 4 = "\r\n\r\n"
+        || (n >= 2 && String.sub seen (n - 2) 2 = "\n\n")
+      in
+      if have_terminator then seen
+      else
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> seen
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error _ -> seen
+  in
+  go ()
+
+let parse_request head =
+  match String.index_opt head '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.trim (String.sub head 0 i) in
+    (match String.split_on_char ' ' line with
+     | meth :: target :: _ -> Some (meth, target)
+     | _ -> None)
+
+(* /statements?n=K — everything else about the query string is ignored. *)
+let parse_n target ~default =
+  match String.index_opt target '?' with
+  | None -> default
+  | Some q ->
+    let qs = String.sub target (q + 1) (String.length target - q - 1) in
+    List.fold_left
+      (fun acc kv ->
+        match String.split_on_char '=' kv with
+        | [ "n"; v ] -> ( try max 1 (int_of_string v) with Failure _ -> acc)
+        | _ -> acc)
+      default
+      (String.split_on_char '&' qs)
+
+let path_of target =
+  match String.index_opt target '?' with
+  | None -> target
+  | Some q -> String.sub target 0 q
+
+let handle t fd =
+  Atomic.incr t.requests_n;
+  let head = read_head fd in
+  (match parse_request head with
+  | None -> respond fd ~code:400 ~content_type:"text/plain" "bad request\n"
+  | Some (meth, target) when meth <> "GET" ->
+    ignore target;
+    respond fd ~code:405 ~content_type:"text/plain" "method not allowed\n"
+  | Some (_, target) -> (
+    let draining = Lifecycle.draining () in
+    let state = Atomic.get t.state in
+    match path_of target with
+    | "/healthz" ->
+      (* Readiness for load balancers and the CI smoke: 200 only while
+         serving; recovery and drain both answer 503 with the phase
+         spelled out. *)
+      let code, phase =
+        match (state, draining) with
+        | Recovering, _ -> (503, "recovering")
+        | Ready, true -> (503, "draining")
+        | Ready, false -> (200, "ready")
+      in
+      respond fd ~code ~content_type:"application/json"
+        (Printf.sprintf "{\"status\":\"%s\"}\n" phase)
+    | "/metrics" ->
+      if state <> Ready then
+        respond fd ~code:503 ~content_type:"text/plain" "recovering\n"
+      else
+        respond fd ~code:200
+          ~content_type:"text/plain; version=0.0.4" (t.metrics ())
+    | "/statements" ->
+      if state <> Ready then
+        respond fd ~code:503 ~content_type:"text/plain" "recovering\n"
+      else
+        respond fd ~code:200 ~content_type:"application/json"
+          (t.statements ~n:(parse_n target ~default:10))
+    | _ -> respond fd ~code:404 ~content_type:"text/plain" "not found\n"));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let stop = ref false in
+  while not !stop do
+    if Atomic.get t.stopping then stop := true
+    else
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] 1.0 with
+      | ready, _, _ ->
+        if List.mem t.stop_r ready then stop := true
+        else if List.mem t.listen_fd ready then (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ -> ignore (Thread.create (fun () -> handle t fd) ())
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+            -> ()
+          | exception Unix.Unix_error _ when Atomic.get t.stopping ->
+            stop := true)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let start ?(host = "127.0.0.1") ~port ~metrics ~statements () =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      listen_fd;
+      bound_port;
+      state = Atomic.make Recovering;
+      stopping = Atomic.make false;
+      stopped = Atomic.make false;
+      stop_r;
+      stop_w;
+      metrics;
+      statements;
+      requests_n = Atomic.make 0;
+      acceptor = None;
+    }
+  in
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stopping true;
+    (try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.acceptor;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+    try Unix.close t.stop_w with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,38 @@
+(** Minimal HTTP/1.0 observability endpoint ([avq serve --http PORT]).
+
+    Three routes, GET only, [Connection: close] per request:
+
+    - [/metrics] — the metrics registry as Prometheus text (histograms with
+      cumulative [_bucket] lines plus [_sum]/[_count]); 503 until
+      {!set_ready};
+    - [/healthz] — [{"status":"ready"}] with 200 while serving; 503 with
+      ["recovering"] before {!set_ready} and ["draining"] once
+      {!Lifecycle.draining} flips (SIGTERM received);
+    - [/statements?n=K] — top-K cumulative statement statistics as JSON
+      (same data as the [avq_stat_statements] system view).
+
+    Connections are handled one thread each — this serves a scraper every
+    few seconds, not traffic. *)
+
+type t
+
+val start :
+  ?host:string ->
+  port:int ->
+  metrics:(unit -> string) ->
+  statements:(n:int -> string) ->
+  unit ->
+  t
+(** Bind and start accepting (port 0 picks an ephemeral port — see
+    {!port}).  Starts in the [recovering] state. *)
+
+val set_ready : t -> unit
+(** Flip [/healthz] to 200 and open [/metrics] + [/statements] (call once
+    recovery finished and the TCP front end is listening). *)
+
+val port : t -> int
+val requests : t -> int
+(** Requests accepted since start (any route, any status). *)
+
+val stop : t -> unit
+(** Stop accepting and close the listener.  Idempotent. *)

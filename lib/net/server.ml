@@ -222,6 +222,8 @@ let exec_query t sess sql =
   match Replay.classify sql with
   | Replay.Directive_metrics fmt ->
     tag_reply ~source:"text" ~ms:0. (Replay.run_metrics t.svc fmt)
+  | Replay.Directive_stats kind ->
+    tag_reply ~source:"text" ~ms:0. (Replay.run_stats t.svc kind)
   | Replay.Directive_matviews ->
     tag_reply ~source:"text" ~ms:0. (Service.render_matviews t.svc)
   | Replay.Explain_analyze inner ->
@@ -339,13 +341,14 @@ let accept_one t =
      with _ -> ());
     try Unix.close fd with Unix.Unix_error _ -> ())
   else begin
+    let id = Atomic.fetch_and_add t.next_id 1 in
     let sess =
       {
-        id = Atomic.fetch_and_add t.next_id 1;
+        id;
         fd;
         sm = Mutex.create ();
         fd_closed = false;
-        limits = Service.no_limits;
+        limits = { Service.no_limits with Service.sl_sid = Some id };
         prepared = Hashtbl.create 7;
         thread = None;
       }
@@ -422,6 +425,26 @@ let start ?(config = default_config) pool =
     ~help:"statements or connections refused by admission control"
     "avq_server_rejected_total"
     (fun () -> float_of_int (rejected t));
+  (* [avq_server_sessions] source: snapshot the live session table (the
+     hashtable is tiny — max_connections entries — so copying under [tm]
+     is cheap). *)
+  Sysview.set_session_provider (fun () ->
+      let sessions =
+        Mutex.protect t.tm (fun () ->
+            Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [])
+      in
+      List.map
+        (fun sess ->
+          let l = sess.limits in
+          { Sysview.ss_sid = sess.id;
+            ss_dop = Option.value ~default:(-1) l.Service.sl_dop;
+            ss_work_mem = Option.value ~default:(-1) l.Service.sl_work_mem;
+            ss_timeout_ms =
+              Option.value ~default:(-1.) l.Service.sl_timeout_ms;
+            ss_spill_quota =
+              Option.value ~default:(-1) l.Service.sl_spill_quota;
+            ss_prepared = Hashtbl.length sess.prepared })
+        sessions);
   t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 
@@ -454,6 +477,7 @@ let stop t =
     in
     List.iter shutdown_session sessions;
     List.iter (fun s -> Option.iter Thread.join s.thread) sessions;
+    Sysview.clear_session_provider ();
     (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
     try Unix.close t.stop_w with Unix.Unix_error _ -> ()
   end

@@ -135,12 +135,19 @@ let emit t ~trace_id ?parent ?(status = "ok") ~t0 ~dur_ms name attrs =
   write_line t ~trace_id ~span_id ~parent ~name ~status ~t0 ~dur_ms attrs;
   span_id
 
-let note_slow t ~sql ~dur_ms ~trace_id =
+let note_slow t ?fingerprint ?sid ~sql ~dur_ms ~trace_id () =
   match t.slow_ms with
   | Some thresh when dur_ms >= thresh ->
     Atomic.incr t.slow_statements;
     let sql =
       if String.length sql > 200 then String.sub sql 0 197 ^ "..." else sql
     in
-    Printf.eprintf "[slow %.1fms trace=%d] %s\n%!" dur_ms trace_id sql
+    let fp =
+      match fingerprint with None -> "" | Some f -> Printf.sprintf " fp=%s" f
+    in
+    let sid =
+      match sid with None -> "" | Some s -> Printf.sprintf " sid=%d" s
+    in
+    Printf.eprintf "[slow %.1fms trace=%d%s%s] %s\n%!" dur_ms trace_id fp sid
+      sql
   | _ -> ()

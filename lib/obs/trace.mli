@@ -58,9 +58,20 @@ val emit :
 (** Write a span with externally measured [t0] (Unix seconds) and [dur_ms];
     returns the new span id. *)
 
-val note_slow : tracer -> sql:string -> dur_ms:float -> trace_id:int -> unit
+val note_slow :
+  tracer ->
+  ?fingerprint:string ->
+  ?sid:int ->
+  sql:string ->
+  dur_ms:float ->
+  trace_id:int ->
+  unit ->
+  unit
 (** Report the statement to the slow-query log if [dur_ms] is at or above the
-    tracer's [slow_ms] threshold (no-op otherwise). *)
+    tracer's [slow_ms] threshold (no-op otherwise).  [fingerprint] (plan-cache
+    hex fingerprint) and [sid] (server session/connection id) are printed when
+    given, so slow-log lines can be joined against [avq_stat_statements] and
+    per-connection traces. *)
 
 val spans_emitted : tracer -> int
 val slow_statements : tracer -> int

@@ -49,6 +49,7 @@ let describe_error = function
    of the statement under profiling and renders the annotated tree. *)
 type classified =
   | Directive_metrics of [ `Json | `Prometheus ]
+  | Directive_stats of [ `Show | `Reset ]
   | Directive_matviews
   | Directive_checkpoint
   | Explain_analyze of string
@@ -76,6 +77,8 @@ let classify sql =
   match lt with
   | "\\metrics" | "\\metrics json" -> Directive_metrics `Json
   | "\\metrics prom" | "\\metrics prometheus" -> Directive_metrics `Prometheus
+  | "\\stats" -> Directive_stats `Show
+  | "\\stats reset" -> Directive_stats `Reset
   | "\\dm" -> Directive_matviews
   | "\\checkpoint" -> Directive_checkpoint
   | _ ->
@@ -94,6 +97,33 @@ let run_metrics svc fmt_kind =
   match fmt_kind with
   | `Json -> Metrics.to_json m
   | `Prometheus -> Metrics.to_prometheus m
+
+let run_stats svc = function
+  | `Reset ->
+    Stmt_stats.reset (Service.stats_store svc);
+    "statement statistics reset"
+  | `Show ->
+    let st = Service.stats_store svc in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "tracked=%d recorded=%d evictions=%d\n"
+         (Stmt_stats.tracked st) (Stmt_stats.recorded st)
+         (Stmt_stats.evictions st));
+    Buffer.add_string buf
+      (Printf.sprintf "%-16s %6s %5s %10s %9s %9s %8s  %s\n" "fingerprint"
+         "calls" "errs" "total_ms" "mean_ms" "p95_ms" "rows" "query");
+    List.iter
+      (fun (s : Stmt_stats.stat) ->
+        let q =
+          if String.length s.query > 48 then String.sub s.query 0 45 ^ "..."
+          else s.query
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-16s %6d %5d %10.2f %9.3f %9.3f %8d  %s\n"
+             s.fingerprint s.calls s.errors s.total_ms s.mean_ms s.p95_ms
+             s.rows q))
+      (Stmt_stats.top ~n:20 st);
+    Buffer.contents buf
 
 (* A failed EXPLAIN ANALYZE still has a (partial) rendered tree worth
    showing next to the error. *)
@@ -116,6 +146,7 @@ let run_update svc sql =
 let run_one svc sql =
   match classify sql with
   | Directive_metrics kind -> Rendered (run_metrics svc kind)
+  | Directive_stats kind -> Rendered (run_stats svc kind)
   | Directive_matviews -> Rendered (Service.render_matviews svc)
   | Directive_checkpoint -> Rendered (Service.checkpoint svc)
   | Explain_analyze rest -> (
@@ -163,6 +194,7 @@ let replay_pool pool text =
       | p, rel, _io -> Executed (p, Relation.cardinality rel)
       | exception e -> Failed (describe_error e))
     | `Sync (Directive_metrics kind) -> Rendered (run_metrics svc kind)
+    | `Sync (Directive_stats kind) -> Rendered (run_stats svc kind)
     | `Sync Directive_matviews -> Rendered (Service.render_matviews svc)
     | `Sync (Explain_analyze rest) -> (
       match run_explain_analyze svc rest with
@@ -192,7 +224,8 @@ let replay_pool pool text =
           results := (sql, Rendered (Service.checkpoint svc)) :: !results
         | Plain p ->
           pending := (sql, `Fut (Service.Pool.submit_sql pool p)) :: !pending
-        | (Directive_metrics _ | Directive_matviews | Explain_analyze _) as c ->
+        | (Directive_metrics _ | Directive_stats _ | Directive_matviews
+          | Explain_analyze _) as c ->
           pending := (sql, `Sync c) :: !pending)
     (split_statements text);
   flush ();

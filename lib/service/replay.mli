@@ -24,6 +24,9 @@ val split_statements : string -> string list
     serve] speaks exactly the session statement language. *)
 type classified =
   | Directive_metrics of [ `Json | `Prometheus ]
+  | Directive_stats of [ `Show | `Reset ]
+      (** [\stats] / [\stats reset]: render the top statement statistics
+          ({!Stmt_stats}) or drop every tracked entry *)
   | Directive_matviews
   | Directive_checkpoint
       (** [\checkpoint]: snapshot catalog + matviews to the data directory
@@ -41,6 +44,10 @@ val describe_error : exn -> string
     Re-raises anything it cannot soundly describe. *)
 
 val run_metrics : Service.t -> [ `Json | `Prometheus ] -> string
+
+val run_stats : Service.t -> [ `Show | `Reset ] -> string
+(** Render the top tracked statements as an aligned table, or reset the
+    store and report that. *)
 
 exception Analysis_failed of exn * string
 (** A failed [EXPLAIN ANALYZE] still carries its partial annotated tree. *)

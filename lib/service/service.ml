@@ -57,6 +57,11 @@ type t = {
      service touches (buffer pool, plan cache, errors, statements, pool);
      the tracer, when set, receives one span tree per executed statement. *)
   metrics : Metrics.t;
+  (* Per-fingerprint cumulative statement statistics (always on): every
+     statement path — execute_on, exec_statement, explain_analyze — records
+     exactly one observation per [statements] increment, so the sum of
+     [Stats] calls tracks [avq_statements_total] while nothing is evicted. *)
+  stats : Stmt_stats.t;
   mutable tracer : Trace.tracer option;
   statements : Metrics.Counter.t;
   stmt_ms : Metrics.Histogram.t;
@@ -194,7 +199,8 @@ let register_metrics t =
     ~help:"Spans emitted by the statement tracer" (fun () ->
       match t.tracer with
       | Some tr -> float_of_int (Trace.spans_emitted tr)
-      | None -> 0.)
+      | None -> 0.);
+  Stmt_stats.register_metrics t.stats m
 
 let create ?(config = default_config) ?mviews cat =
   if config.recost_ratio < 1.0 then
@@ -220,6 +226,7 @@ let create ?(config = default_config) ?mviews cat =
       opt_ms_saved = Sync.Fsum.create ();
       errs = Array.init n_err_kinds (fun _ -> Sync.Counter.create ());
       metrics;
+      stats = Stmt_stats.create ();
       tracer = None;
       statements =
         Metrics.counter metrics "avq_statements_total"
@@ -342,13 +349,15 @@ type session_limits = {
   sl_spill_quota : int option;
   sl_dop : int option;
   sl_work_mem : int option;
+  sl_sid : int option;  (* server session id, for slow-log / stats joins *)
 }
 
 let no_limits =
   { sl_timeout_ms = None; sl_spill_quota = None; sl_dop = None;
-    sl_work_mem = None }
+    sl_work_mem = None; sl_sid = None }
 let matviews t = t.mviews
 let metrics t = t.metrics
+let stats_store t = t.stats
 let set_tracer t tr = t.tracer <- tr
 let tracer t = t.tracer
 
@@ -378,6 +387,13 @@ let prepare_query _t query = make_stmt ~parse_ms:0. query
 
 let prepare t sql =
   let t0 = Unix.gettimeofday () in
+  (* Queries over the system views read a snapshot taken just before they
+     are bound: re-materialize under the statement lock, then bind against
+     the refreshed catalog.  The textual trigger over-approximates, which
+     only costs an unneeded refresh. *)
+  if Sysview.references_system_view sql then
+    Sync.protect t.lock (fun () ->
+        Sysview.refresh t.cat ~stats:t.stats ~mviews:t.mviews);
   let query = Binder.bind_sql t.cat sql in
   let parse_ms = (Unix.gettimeofday () -. t0) *. 1000. in
   make_stmt ~parse_ms query
@@ -626,7 +642,7 @@ let observe_success t ~ms ~io =
   Metrics.Histogram.observe t.stmt_io
     (float_of_int (io.Buffer_pool.reads + io.Buffer_pool.writes))
 
-let execute_traced tr ctx ?params ?limits t stmt =
+let execute_traced tr ctx ?params ?(limits = no_limits) t stmt =
   let trace_id = Trace.new_trace tr in
   let root = Trace.start tr ~trace_id "statement" in
   Trace.set_attr root "fingerprint" (Trace.S (Fingerprint.to_hex stmt.fp));
@@ -641,7 +657,7 @@ let execute_traced tr ctx ?params ?limits t stmt =
     (Trace.emit tr ~trace_id ~parent:(Trace.id root) ~t0:now
        ~dur_ms:stmt.canon_ms "canonicalize" []);
   match
-    let p = plan ?params ?limits t stmt in
+    let p = plan ?params ~limits t stmt in
     ignore
       (Trace.emit tr ~trace_id ~parent:(Trace.id root)
          ~t0:(Unix.gettimeofday () -. (p.plan_ms /. 1000.))
@@ -684,12 +700,14 @@ let execute_traced tr ctx ?params ?limits t stmt =
   with
   | p, rel, io ->
     let dur = Trace.finish root in
-    Trace.note_slow tr ~sql:stmt.template ~dur_ms:dur ~trace_id;
+    Trace.note_slow tr ~fingerprint:(Fingerprint.to_hex stmt.fp)
+      ?sid:limits.sl_sid ~sql:stmt.template ~dur_ms:dur ~trace_id ();
     observe_success t ~ms:dur ~io;
     (p, rel, io)
   | exception e ->
     let dur = Trace.finish ~status:"error" root in
-    Trace.note_slow tr ~sql:stmt.template ~dur_ms:dur ~trace_id;
+    Trace.note_slow tr ~fingerprint:(Fingerprint.to_hex stmt.fp)
+      ?sid:limits.sl_sid ~sql:stmt.template ~dur_ms:dur ~trace_id ();
     raise e
 
 (* Plan under the shared lock, execute on the caller's own context —
@@ -720,11 +738,13 @@ let execute_on ctx ?cancel ?params ?(limits = no_limits) t stmt =
      runs at all (the executor's initial check fires). *)
   Exec_ctx.begin_statement ?timeout_ms ?spill_quota ?cancel ctx;
   Metrics.Counter.incr t.statements;
+  let t0 = Unix.gettimeofday () in
+  let fp = Fingerprint.to_hex stmt.fp in
+  let dop = Option.value ~default:t.cfg.dop limits.sl_dop in
   match
     match t.tracer with
     | Some tr -> execute_traced tr ctx ?params ~limits t stmt
     | None ->
-      let t0 = Unix.gettimeofday () in
       let p = plan ?params ~limits t stmt in
       let rel, io =
         Executor.run_measured ~cold:false ~executor:t.cfg.executor ctx p.plan
@@ -732,11 +752,31 @@ let execute_on ctx ?cancel ?params ?(limits = no_limits) t stmt =
       observe_success t ~ms:((Unix.gettimeofday () -. t0) *. 1000.) ~io;
       (p, rel, io)
   with
-  | r -> r
+  | (p, rel, io) as r ->
+    Stmt_stats.record t.stats ~fp ~query:stmt.template
+      ~rows:(Relation.cardinality rel)
+      ~pages:(io.Buffer_pool.reads + io.Buffer_pool.writes)
+      ~spill_bytes:(Exec_ctx.spill_pages ctx * Page.size)
+      ~cache_hit:(p.source = Hit)
+      ~rebind:(p.source = Hit_rebound)
+      ~mv_hit:(Matview.rewritten_view p.rewrite <> None)
+      ~dop
+      ~ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ();
+    r
   | exception e ->
-    (match Avq_error.of_exn e with
-     | Some te -> record_error t te
-     | None -> ());
+    let error =
+      match Avq_error.of_exn e with
+      | Some te ->
+        record_error t te;
+        err_kind_label (err_slot te)
+      | None -> "exception"
+    in
+    Stmt_stats.record t.stats ~fp ~query:stmt.template ~error
+      ~spill_bytes:(Exec_ctx.spill_pages ctx * Page.size)
+      ~dop
+      ~ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ();
     raise e
 
 let execute ?params t stmt =
@@ -753,7 +793,20 @@ let explain_analyze ?params t stmt =
   Exec_ctx.begin_statement ?timeout_ms:t.cfg.statement_timeout_ms
     ?spill_quota:t.cfg.spill_quota_pages ctx;
   Metrics.Counter.incr t.statements;
-  let p = plan ?params t stmt in
+  let fp = Fingerprint.to_hex stmt.fp in
+  let p =
+    try plan ?params t stmt
+    with e ->
+      let error =
+        match Avq_error.of_exn e with
+        | Some te ->
+          record_error t te;
+          err_kind_label (err_slot te)
+        | None -> "exception"
+      in
+      Stmt_stats.record t.stats ~fp ~query:stmt.template ~error ~ms:0. ();
+      raise e
+  in
   let t0 = Unix.gettimeofday () in
   match
     Executor.run_profiled_result ~cold:false ~executor:t.cfg.executor ctx
@@ -762,15 +815,30 @@ let explain_analyze ?params t stmt =
   | Ok (rel, io, prof) ->
     let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
     observe_success t ~ms:(p.plan_ms +. wall_ms) ~io;
+    Stmt_stats.record t.stats ~fp ~query:stmt.template
+      ~rows:(Relation.cardinality rel)
+      ~pages:(io.Buffer_pool.reads + io.Buffer_pool.writes)
+      ~spill_bytes:(Exec_ctx.spill_pages ctx * Page.size)
+      ~cache_hit:(p.source = Hit)
+      ~rebind:(p.source = Hit_rebound)
+      ~mv_hit:(Matview.rewritten_view p.rewrite <> None)
+      ~ms:(p.plan_ms +. wall_ms) ();
     ( p,
       Ok rel,
       Explain_analyze.of_profile t.cat ~work_mem:t.cfg.work_mem p.plan ~io
         ~wall_ms prof )
   | Error (e, prof) ->
-    (match Avq_error.of_exn e with
-     | Some te -> record_error t te
-     | None -> ());
+    let error =
+      match Avq_error.of_exn e with
+      | Some te ->
+        record_error t te;
+        err_kind_label (err_slot te)
+      | None -> "exception"
+    in
     let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    Stmt_stats.record t.stats ~fp ~query:stmt.template ~error
+      ~spill_bytes:(Exec_ctx.spill_pages ctx * Page.size)
+      ~ms:(p.plan_ms +. wall_ms) ();
     let io = { Buffer_pool.reads = 0; writes = 0; hits = 0 } in
     ( p,
       Error e,
@@ -883,7 +951,7 @@ let bad_stmt fmt =
    means no planner observes a half-applied write).  The epoch bump inside
    [Catalog.insert] / the extent swap invalidates cached plans on their next
    lookup.  Returns a human-readable completion tag. *)
-let exec_statement t sql =
+let exec_statement_inner t sql =
   let count_err = record_error t in
   let guard f =
     try f () with
@@ -906,6 +974,8 @@ let exec_statement t sql =
           && String.sub it_table 0 (String.length Matview.backing_prefix)
              = Matview.backing_prefix
         then bad_stmt "INSERT into a materialized-view extent is not allowed";
+        if Sysview.is_system_table it_table then
+          bad_stmt "INSERT into a system view is not allowed";
         let rows = Binder.bind_insert t.cat ~table:it_table it_rows in
         Sync.protect t.lock (fun () ->
             (* Write-ahead: the bound rows hit the log (and, in always mode,
@@ -972,6 +1042,40 @@ let exec_statement t sql =
             Printf.sprintf "REFRESH MATERIALIZED VIEW %s (%d groups)" name
               (Matview.row_count t.cat mv)))
   | _ -> bad_stmt "expected exactly one INSERT / MATERIALIZED VIEW statement"
+
+(* DML statements have no plan-cache fingerprint; key their stats on a
+   fingerprint of the trimmed text, and charge the WAL bytes their commit
+   appended (the cumulative counter's delta — checkpoint traffic between
+   statements is not attributed here because the lock is held across the
+   whole mutation). *)
+let exec_statement t sql =
+  let t0 = Unix.gettimeofday () in
+  let text = String.trim sql in
+  let fp = Fingerprint.to_hex (Fingerprint.of_string text) in
+  let wal_bytes () =
+    match t.wal with
+    | Some w -> (Wal.stats w).Wal.appended_bytes
+    | None -> 0
+  in
+  let before = wal_bytes () in
+  match exec_statement_inner t sql with
+  | tag ->
+    Stmt_stats.record t.stats ~fp ~query:text
+      ~wal_bytes:(wal_bytes () - before)
+      ~ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ();
+    tag
+  | exception e ->
+    let error =
+      match Avq_error.of_exn e with
+      | Some te -> err_kind_label (err_slot te)
+      | None -> "exception"
+    in
+    Stmt_stats.record t.stats ~fp ~query:text ~error
+      ~wal_bytes:(wal_bytes () - before)
+      ~ms:((Unix.gettimeofday () -. t0) *. 1000.)
+      ();
+    raise e
 
 let render_matviews t =
   Sync.protect t.lock (fun () ->

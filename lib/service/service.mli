@@ -109,6 +109,10 @@ type session_limits = {
   sl_spill_quota : int option;
   sl_dop : int option;
   sl_work_mem : int option;
+  sl_sid : int option;
+      (** server session/connection id — not a limit, but carried here so
+          the execution path can stamp slow-log lines and traces with the
+          connection that ran the statement *)
 }
 
 val no_limits : session_limits
@@ -199,6 +203,13 @@ val metrics : t -> Metrics.t
 (** The service's metrics registry: buffer-pool, plan-cache, error,
     statement and pool families, exportable as JSON
     ({!Metrics.to_json}) or Prometheus text ({!Metrics.to_prometheus}). *)
+
+val stats_store : t -> Stmt_stats.t
+(** The always-on per-fingerprint statement statistics.  Every statement
+    path ({!execute_on}, {!exec_statement}, {!explain_analyze}) records
+    exactly one observation per [avq_statements_total] increment, so total
+    calls across fingerprints track that counter until eviction or
+    {!Stmt_stats.reset} discards history. *)
 
 val set_tracer : t -> Trace.tracer option -> unit
 (** Install (or remove) the statement tracer.  When set, every

@@ -9,6 +9,8 @@ let err fmt = Format.kasprintf (fun s -> raise (Bind_error s)) fmt
 type scope = {
   sc_alias : string;
   sc_lookup : string -> Schema.column option;
+  sc_columns : unit -> (string * Schema.column) list;
+      (* visible columns in declaration order, for SELECT * expansion *)
 }
 
 let scope_of_table cat alias table_name =
@@ -21,13 +23,20 @@ let scope_of_table cat alias table_name =
       sc_lookup =
         (fun name ->
           Option.map (Schema.get schema) (Schema.find schema ~qual:alias name));
+      sc_columns =
+        (fun () ->
+          List.filter_map
+            (fun (c : Schema.column) ->
+              if String.equal c.Schema.cname "_rid" then None
+              else Some (c.Schema.cname, c))
+            (Schema.columns schema));
     }
 
 let scope_of_columns alias cols =
   {
     sc_alias = alias;
-    sc_lookup =
-      (fun name -> List.assoc_opt name cols);
+    sc_lookup = (fun name -> List.assoc_opt name cols);
+    sc_columns = (fun () -> cols);
   }
 
 let resolve_col scopes qual name =
@@ -191,6 +200,7 @@ let bind_aggregate_view cat ~outer_alias ~explicit_cols body =
         in
         out_rev := Block.Out_key (c, name) :: !out_rev
       | I_expr _ -> err "view %s: select list supports columns and aggregates" outer_alias
+      | I_star -> err "view %s: SELECT * not allowed in a view" outer_alias
       | I_agg (call, alias) ->
         let name =
           match explicit_name, alias with
@@ -265,7 +275,7 @@ let bind_spj_view cat ~outer_alias ~explicit_cols body =
             | None, None -> n
           in
           (name, c)
-        | I_expr _ | I_agg _ ->
+        | I_expr _ | I_agg _ | I_star ->
           err "view %s: SPJ view select list must be plain columns" outer_alias)
       body.s_items
   in
@@ -309,6 +319,11 @@ let bind ~views cat (sel : select) : Block.query =
               (fun name ->
                 Option.map (Schema.get schema)
                   (Schema.find schema ~qual:v.Block.v_alias name));
+            sc_columns =
+              (fun () ->
+                List.map
+                  (fun (c : Schema.column) -> (c.Schema.cname, c))
+                  (Schema.columns schema));
           }
         | F_inlined (_, _, scope) -> scope)
       entries
@@ -428,6 +443,13 @@ let bind ~views cat (sel : select) : Block.query =
         let name = Option.value ~default:n alias in
         select_rev := Block.Sel_col (c, name) :: !select_rev
       | I_expr _ -> err "select list supports columns and aggregates only"
+      | I_star ->
+        List.iter
+          (fun scope ->
+            List.iter
+              (fun (n, c) -> select_rev := Block.Sel_col (c, n) :: !select_rev)
+              (scope.sc_columns ()))
+          base_scopes
       | I_agg (call, alias) ->
         let bound = bind_agg acc ?name:alias call in
         select_rev := Block.Sel_agg bound :: !select_rev)
@@ -490,22 +512,25 @@ let bind ~views cat (sel : select) : Block.query =
            select
        in
        List.map
-         (fun (qual, name) ->
-           match qual with
-           | None when List.exists (String.equal name) out_names -> name
-           | _ -> (
-             (* Qualified (or non-output) reference: find the select item
-                computing that column. *)
-             let col = resolve_col base_scopes qual name in
-             match
-               List.find_map
-                 (function
-                   | Block.Sel_col (c, n) when Schema.column_equal c col -> Some n
-                   | Block.Sel_col _ | Block.Sel_agg _ -> None)
-                 select
-             with
-             | Some n -> n
-             | None -> err "ORDER BY column %s is not selected" name))
+         (fun { o_qual = qual; o_col = name; o_desc } ->
+           let resolved =
+             match qual with
+             | None when List.exists (String.equal name) out_names -> name
+             | _ -> (
+               (* Qualified (or non-output) reference: find the select item
+                  computing that column. *)
+               let col = resolve_col base_scopes qual name in
+               match
+                 List.find_map
+                   (function
+                     | Block.Sel_col (c, n) when Schema.column_equal c col -> Some n
+                     | Block.Sel_col _ | Block.Sel_agg _ -> None)
+                   select
+               with
+               | Some n -> n
+               | None -> err "ORDER BY column %s is not selected" name)
+           in
+           (resolved, o_desc))
          sel.s_order);
     q_limit = sel.s_limit;
   }

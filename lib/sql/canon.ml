@@ -123,7 +123,7 @@ let serialize (q : Block.query) =
     list " having" template_pred_sig (order_preds q.Block.q_having)
   end;
   list " select" sel_sig q.Block.q_select;
-  list " order" (fun s -> s) q.Block.q_order;
+  list " order" (fun (s, desc) -> if desc then s ^ " desc" else s) q.Block.q_order;
   (match q.Block.q_limit with
    | None -> ()
    | Some n -> add (Printf.sprintf " limit %d" n));

@@ -26,7 +26,7 @@ exception Lex_error of string * int
 let keywords =
   [
     "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "AS"; "AND"; "OR";
-    "ORDER"; "LIMIT"; "BETWEEN"; "IN"; "DISTINCT";
+    "ORDER"; "LIMIT"; "BETWEEN"; "IN"; "DISTINCT"; "ASC"; "DESC";
     "NOT"; "CREATE"; "VIEW"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "ALL";
     "INSERT"; "INTO"; "VALUES"; "MATERIALIZED"; "DROP"; "REFRESH";
   ]

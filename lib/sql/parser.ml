@@ -228,6 +228,9 @@ and parse_comparison st =
 
 and parse_select_item st =
   match peek st with
+  | Lexer.STAR ->
+    advance st;
+    I_star
   | Lexer.KW kw when agg_func_of_kw kw <> None ->
     let agg = parse_agg_call st kw in
     I_agg (agg, parse_alias st)
@@ -321,13 +324,24 @@ and parse_select_body st =
       eat_kw st "BY";
       let rec cols () =
         let q = ident st in
-        let col =
+        let o_qual, o_col =
           if peek st = Lexer.DOT then begin
             advance st;
             (Some q, ident st)
           end
           else (None, q)
         in
+        let o_desc =
+          match peek st with
+          | Lexer.KW "ASC" ->
+            advance st;
+            false
+          | Lexer.KW "DESC" ->
+            advance st;
+            true
+          | _ -> false
+        in
+        let col = { o_qual; o_col; o_desc } in
         if peek st = Lexer.COMMA then begin
           advance st;
           col :: cols ()

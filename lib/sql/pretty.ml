@@ -60,6 +60,7 @@ and select_to_string s =
     | I_expr (e, Some a) -> expr_to_string e ^ " AS " ^ a
     | I_agg (c, None) -> agg_to_string c
     | I_agg (c, Some a) -> agg_to_string c ^ " AS " ^ a
+    | I_star -> "*"
   in
   let from = function
     | t, None -> t
@@ -85,7 +86,12 @@ and select_to_string s =
   (match s.s_order with
    | [] -> ()
    | cols ->
-     let col = function None, n -> n | Some q, n -> q ^ "." ^ n in
+     let col o =
+       let base =
+         match o.o_qual with None -> o.o_col | Some q -> q ^ "." ^ o.o_col
+       in
+       if o.o_desc then base ^ " DESC" else base
+     in
      Buffer.add_string buf (" ORDER BY " ^ String.concat ", " (List.map col cols)));
   (match s.s_limit with
    | None -> ()

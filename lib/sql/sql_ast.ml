@@ -29,6 +29,13 @@ and cond =
 and select_item =
   | I_expr of sexpr * string option  (* expression, optional AS alias *)
   | I_agg of agg_call * string option
+  | I_star  (* SELECT *: every visible column of every FROM entry, in order *)
+
+and order_item = {
+  o_qual : string option;
+  o_col : string;
+  o_desc : bool;
+}
 
 and select = {
   s_distinct : bool;
@@ -37,7 +44,7 @@ and select = {
   s_where : cond option;
   s_group : (string option * string) list;
   s_having : cond option;
-  s_order : (string option * string) list;  (* ORDER BY columns, ascending *)
+  s_order : order_item list;
   s_limit : int option;
 }
 

@@ -157,7 +157,22 @@ let decode body =
 
 (* ---- snapshotting a live catalog ---- *)
 
+(* Synthesized system views ([avq_stat_*], [avq_server_*]) are rebuilt from
+   live state on every read and may legitimately be empty — they are not
+   durable state, and [restore_table] would reject their empty snapshots. *)
+let is_system_table name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "avq_stat_" || has_prefix "avq_server_"
+
 let snap_of ~last_lsn cat mviews =
+  let tables =
+    List.filter
+      (fun (tbl : Catalog.table) -> not (is_system_table tbl.Catalog.tname))
+      (Catalog.tables cat)
+  in
   let tables =
     List.map
       (fun (tbl : Catalog.table) ->
@@ -172,7 +187,7 @@ let snap_of ~last_lsn cat mviews =
           ts_version = Catalog.table_version cat tbl.Catalog.tname;
           ts_cksums = Heap_file.page_checksums tbl.Catalog.heap;
           ts_rows = List.of_seq (Heap_file.to_seq tbl.Catalog.heap) })
-      (Catalog.tables cat)
+      tables
   in
   let fks =
     List.map

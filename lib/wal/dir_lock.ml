@@ -1,0 +1,74 @@
+(* Exclusive data-directory lock: one [avq serve] per directory.
+
+   Two defenses, because POSIX [lockf] record locks do not conflict between
+   file descriptors of the SAME process (a second in-process acquire of the
+   same directory would silently succeed, and worse, releasing either fd
+   drops the lock):
+
+   - an OS-level [F_TLOCK] on [<dir>/LOCK] guards against other processes
+     (and is released by the kernel if the holder dies, so a crashed server
+     never wedges its directory — the stale PID in the file is advisory);
+   - an in-process registry of locked realpaths guards against a second
+     acquire from this process.
+
+   The PID is written into the file for operators ([cat data/LOCK] answers
+   "who has it?"); it is never trusted for correctness. *)
+
+type t = { fd : Unix.file_descr; path : string; real : string }
+
+let locked_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+let registry = Mutex.create ()
+
+let unavailable dir detail =
+  Avq_error.Error
+    (Avq_error.Unavailable
+       (Printf.sprintf "data directory %s is locked%s" dir detail))
+
+let acquire dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let real = try Unix.realpath dir with Unix.Unix_error _ -> dir in
+  Mutex.protect registry (fun () ->
+      if Hashtbl.mem locked_dirs real then
+        raise (unavailable dir " (by this process)");
+      Hashtbl.replace locked_dirs real ());
+  let path = Filename.concat dir "LOCK" in
+  let release_registry () =
+    Mutex.protect registry (fun () -> Hashtbl.remove locked_dirs real)
+  in
+  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 with
+  | exception e ->
+    release_registry ();
+    raise e
+  | fd -> (
+    match Unix.lockf fd Unix.F_TLOCK 0 with
+    | () ->
+      (try
+         ignore (Unix.ftruncate fd 0);
+         let pid = Printf.sprintf "%d\n" (Unix.getpid ()) in
+         ignore (Unix.write_substring fd pid 0 (String.length pid))
+       with Unix.Unix_error _ -> ());
+      { fd; path; real }
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+      let holder =
+        try
+          let ic = open_in path in
+          let line = try String.trim (input_line ic) with End_of_file -> "" in
+          close_in ic;
+          if line = "" then "" else Printf.sprintf " (pid %s)" line
+        with Sys_error _ -> ""
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      release_registry ();
+      raise (unavailable dir holder)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      release_registry ();
+      raise e)
+
+let release t =
+  (* Removing the file first keeps the window where a fresh LOCK exists
+     unlocked as small as possible; the unlock itself comes with the
+     close. *)
+  (try Sys.remove t.path with Sys_error _ -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  Mutex.protect registry (fun () -> Hashtbl.remove locked_dirs t.real)

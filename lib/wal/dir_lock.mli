@@ -1,0 +1,20 @@
+(** Exclusive data-directory lock: one server per directory.
+
+    {!acquire} takes an OS-level exclusive lock on [<dir>/LOCK] (created if
+    needed, directory too) and records the holder's PID in it for
+    operators.  A second acquire — from another process or this one —
+    raises [Avq_error.Error (Unavailable _)] naming the directory and, when
+    readable, the holding PID.  The kernel releases the OS lock if the
+    holder dies, so a crashed server never wedges its directory; the PID
+    left in a stale file is advisory only. *)
+
+type t
+
+val acquire : string -> t
+(** @raise Avq_error.Error [Unavailable] when the directory is already
+    locked.  Other [Unix.Unix_error]s (permissions, read-only fs)
+    propagate. *)
+
+val release : t -> unit
+(** Remove the lock file and drop the lock.  Also called implicitly by the
+    kernel on process exit. *)

@@ -324,6 +324,7 @@ type wstats = {
   fsyncs : int;
   deferred : int;  (** commits whose fsync was deferred (group / never) *)
   truncations : int;
+  appended_bytes : int;  (** cumulative bytes appended; survives truncation *)
 }
 
 type writer = {
@@ -341,6 +342,7 @@ type writer = {
   mutable wtruncations : int;
   mutable crash_plan : crash option;
   mutable appends : int;
+  mutable wappended_bytes : int;
   mutable closed : bool;
 }
 
@@ -397,6 +399,7 @@ let open_writer ?(fsync_mode = Fsync_always) ?(lsn_floor = 0L) path =
     wtruncations = 0;
     crash_plan = None;
     appends = 0;
+    wappended_bytes = 0;
     closed = false;
   }
 
@@ -414,6 +417,7 @@ let stats w =
     fsyncs = w.wfsyncs;
     deferred = w.wdeferred;
     truncations = w.wtruncations;
+    appended_bytes = w.wappended_bytes;
   }
 
 let die_here w ~frame ~torn =
@@ -439,6 +443,7 @@ let raw_append w record =
   write_all w.fd frame;
   w.next_lsn <- Int64.succ lsn;
   w.size <- w.size + String.length frame;
+  w.wappended_bytes <- w.wappended_bytes + String.length frame;
   w.dirty <- true;
   w.wrecords <- w.wrecords + 1;
   lsn

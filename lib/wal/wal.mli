@@ -89,6 +89,7 @@ type wstats = {
   fsyncs : int;
   deferred : int;  (** commits whose fsync was deferred (group / never) *)
   truncations : int;
+  appended_bytes : int;  (** cumulative bytes appended; survives truncation *)
 }
 
 val open_writer : ?fsync_mode:fsync_mode -> ?lsn_floor:int64 -> string -> writer

@@ -90,7 +90,7 @@ let q_category_revenue ?(category = 3) () =
     q_having = [];
     q_select =
       [ Block.Sel_col (icol ~qual:"d" "month", "month"); Block.Sel_agg revenue ];
-    q_order = [ "month" ];
+    q_order = [ ("month", false) ];
     q_limit = None;
   }
 

@@ -67,7 +67,7 @@ let sort_spill_formula () =
   let cat = Emp_dept.load ~params:{ Emp_dept.default_params with emps = 30_000 } () in
   let scan = Physical.Seq_scan { alias = "e"; table = "emp"; filter = [] } in
   let plan =
-    Physical.Sort { input = scan; cols = [ Schema.column ~qual:"e" "sal" Datatype.Int ] }
+    Physical.Sort { input = scan; cols = [ Schema.column ~qual:"e" "sal" Datatype.Int ] ; desc = [] }
   in
   let est = Cost_model.estimate cat ~work_mem:8 plan in
   let scan_est = Cost_model.estimate cat ~work_mem:8 scan in

@@ -23,7 +23,7 @@ let build_catalog () =
 
 let spilling_sort = Physical.Sort
     { input = Physical.Seq_scan { alias = "a"; table = "r"; filter = [] };
-      cols = [ c ~q:"a" "v" ] }
+      cols = [ c ~q:"a" "v" ] ; desc = [] }
 
 (* 100 / (v - 50) > 0 — evaluates fine (negative) for v < 50, raises
    Type_error (division by zero) once the sorted stream reaches v = 50. *)

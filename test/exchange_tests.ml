@@ -50,7 +50,7 @@ let rewrite_shapes () =
     (Exchange.has_exchange
        (Exchange.parallelize ~dop:4
           (Physical.Sort
-             { input = group_l scan; cols = [ col "g" "rev" ] })));
+             { input = group_l scan; cols = [ col "g" "rev" ] ; desc = [] })));
   (* A UDF aggregate has no partial/merge decomposition. *)
   Alcotest.(check bool) "UDF aggregates never parallelize partials" false
     (Exchange.parallel_group_ok

@@ -63,8 +63,8 @@ let prop_join_methods =
             { left = scan_a; right = scan_b; keys; cond = []; build_side = `Left };
           Physical.Merge_join
             {
-              left = Physical.Sort { input = scan_a; cols = [ c ~q:"a" "g" ] };
-              right = Physical.Sort { input = scan_b; cols = [ c ~q:"b" "g" ] };
+              left = Physical.Sort { input = scan_a; cols = [ c ~q:"a" "g" ] ; desc = [] };
+              right = Physical.Sort { input = scan_b; cols = [ c ~q:"b" "g" ] ; desc = [] };
               keys;
               cond = [];
             };
@@ -127,7 +127,7 @@ let prop_sort =
     (QCheck.pair (QCheck.int_range 0 10_000) (QCheck.int_range 3 6))
     (fun (seed, work_mem) ->
       let cat = build_catalog seed 3000 10 in
-      let plan = Physical.Sort { input = scan_a; cols = [ c ~q:"a" "v"; c ~q:"a" "k" ] } in
+      let plan = Physical.Sort { input = scan_a; cols = [ c ~q:"a" "v"; c ~q:"a" "k" ] ; desc = [] } in
       let got = exec ~work_mem cat plan in
       let base = exec cat scan_a in
       let tuples = Relation.tuples got in
@@ -155,7 +155,7 @@ let group_plans cat =
   let hash = Physical.Hash_group { input = scan_a; agg_qual = "x"; keys; aggs; having } in
   let sorted =
     Physical.Sort_group
-      { input = Physical.Sort { input = scan_a; cols = keys }; agg_qual = "x"; keys;
+      { input = Physical.Sort { input = scan_a; cols = keys ; desc = [] }; agg_qual = "x"; keys;
         aggs; having }
   in
   (logical, hash, sorted)

@@ -36,7 +36,7 @@ let multi_pass_merge () =
   let scan = Physical.Seq_scan { alias = "a"; table = "t"; filter = [] } in
   let sorted =
     Executor.run ctx
-      (Physical.Sort { input = scan; cols = [ Schema.column ~qual:"a" "x" Datatype.Int ] })
+      (Physical.Sort { input = scan; cols = [ Schema.column ~qual:"a" "x" Datatype.Int ] ; desc = [] })
   in
   Alcotest.(check int) "cardinality preserved" 20_000 (Relation.cardinality sorted);
   let rec is_sorted = function
@@ -58,12 +58,12 @@ let temp_cleanup () =
   (* Run a spilling sort, then ensure cleanup drops every temp frame. *)
   ignore
     (Executor.run ctx
-       (Physical.Sort { input = scan; cols = [ Schema.column ~qual:"a" "x" Datatype.Int ] }));
+       (Physical.Sort { input = scan; cols = [ Schema.column ~qual:"a" "x" Datatype.Int ] ; desc = [] }));
   Exec_ctx.cleanup ctx;
   (* A second identical run must behave identically: no temp leakage. *)
   let r2 =
     Executor.run ctx
-      (Physical.Sort { input = scan; cols = [ Schema.column ~qual:"a" "x" Datatype.Int ] })
+      (Physical.Sort { input = scan; cols = [ Schema.column ~qual:"a" "x" Datatype.Int ] ; desc = [] })
   in
   Alcotest.(check int) "second run identical" 5000 (Relation.cardinality r2)
 

@@ -17,10 +17,15 @@ let fast_sql =
    BY e.dno"
 
 (* a self-join blowup: enough batches that timeouts, cancellation and abort
-   all get observed at a boundary before it finishes *)
+   all get observed at a boundary before it finishes.  Three-way on purpose:
+   the two-way pair count (~360k joined rows) completes in ~1 ms on a fast
+   host, racing the 1 ms deadline the tests arm; the ~100M-row triple count
+   cannot finish before any deadline check fires, on any host.  No test
+   reads its result — every use expects a timeout, a cancel, or neither
+   outcome specifically. *)
 let slow_sql =
-  "SELECT e1.dno AS dno, COUNT(*) AS pairs FROM emp e1, emp e2 WHERE e1.dno = \
-   e2.dno GROUP BY e1.dno"
+  "SELECT e1.dno AS dno, COUNT(*) AS triples FROM emp e1, emp e2, emp e3 \
+   WHERE e1.dno = e2.dno AND e2.dno = e3.dno GROUP BY e1.dno"
 
 (* ---- wire framing ---- *)
 

@@ -28,6 +28,7 @@ let () =
       ("pool", Pool_tests.tests);
       ("fault", Fault_tests.tests);
       ("obs", Obs_tests.tests);
+      ("sysview", Sysview_tests.tests);
       ("wal", Wal_tests.tests);
       ("net", Net_tests.tests);
     ]
